@@ -1,0 +1,27 @@
+"""Shared plumbing for the per-table/figure benchmark suite.
+
+Each benchmark runs one experiment from
+:mod:`repro.bench.experiments`, times it with pytest-benchmark, prints
+the paper-style table (paper-vs-measured columns), and asserts the
+experiment's fidelity checks — the shape claims of the paper that the
+reproduction must preserve.
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments import EXPERIMENTS, ExperimentResult
+
+
+def run_experiment(benchmark, exp_id: str, **kwargs) -> ExperimentResult:
+    """Execute one registered experiment under the benchmark fixture."""
+    fn = EXPERIMENTS[exp_id]
+    result = benchmark.pedantic(
+        lambda: fn(**kwargs), rounds=1, iterations=1
+    )
+    print()
+    print(result.rendered)
+    failing = [name for name, ok in result.fidelity.items() if not ok]
+    assert not failing, (
+        f"{exp_id}: fidelity checks failed: {failing}\n{result.rendered}"
+    )
+    return result

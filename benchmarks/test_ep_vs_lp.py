@@ -1,0 +1,18 @@
+"""Extension — Lazy vs Eager Persistency, measured.
+
+The paper's motivating comparison (Sections I-II): EP's logging,
+flushing and barriers cost heavily during normal execution and multiply
+NVM writes; LP replaces all of it with checksums. The simulator
+implements both, so the claim is measured rather than cited.
+"""
+
+from _common import run_experiment
+
+
+def test_ep_vs_lp(benchmark):
+    result = run_experiment(benchmark, "ep_vs_lp")
+    for row in result.rows:
+        assert row["ep_overhead"] > row["lp_overhead"]
+        # EP's write amplification dwarfs LP's checksum-only writes.
+        assert row["ep_write_amp"] > 5 * max(row["lp_write_amp"], 1e-6)
+        assert row["lp_write_amp"] < 0.25

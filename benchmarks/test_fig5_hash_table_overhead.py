@@ -1,0 +1,23 @@
+"""Figure 5 — naive LP overhead: quadratic probing vs cuckoo hashing.
+
+Reproduces the paper's first characterization result: with a hash-table
+checksum store (lock-free, shuffle reduction), LP costs ~30 % geomean,
+dominated by the two huge-grid benchmarks (MRI-GRIDDING, SAD) whose
+insertion bursts saturate the table's atomic units.
+"""
+
+from _common import run_experiment
+
+
+def test_fig5_hash_table_overheads(benchmark):
+    result = run_experiment(benchmark, "fig5")
+    rows = {r["bench"]: r for r in result.rows}
+
+    # Paper shape: MRI-GRIDDING (quad) and SAD are the catastrophic
+    # cases; small-grid benchmarks stay under 10 %.
+    assert rows["mri-gridding"]["quad"] > 1.0
+    assert rows["sad"]["quad"] > 0.25
+    assert rows["histo"]["quad"] < 0.10
+    assert rows["tpacf"]["quad"] < 0.10
+    # Geomeans land in the paper's ~30 % band.
+    assert 0.10 <= rows["geomean"]["quad"] <= 0.60

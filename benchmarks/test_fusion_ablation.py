@@ -1,0 +1,27 @@
+"""Extension — thread-block fusion of LP regions (Section IV-A).
+
+"[Regions] can be enlarged if needed, e.g. through thread block
+fusion": fusing F blocks divides checksum-table pressure by F at the
+price of F-times-coarser recovery. This ablation quantifies the
+trade-off the paper only names.
+"""
+
+from _common import run_experiment
+
+
+def test_fusion_tradeoff(benchmark):
+    result = run_experiment(benchmark, "fusion")
+    rows = result.rows
+    # Normal-execution overhead falls monotonically as regions grow,
+    # from warp granularity through fused blocks...
+    overheads = [r["modeled_overhead"] for r in rows]
+    assert all(a >= b - 1e-9 for a, b in zip(overheads, overheads[1:]))
+    # ...warp-sized regions are dramatically worse than blocks...
+    by_factor = {r["factor"]: r for r in rows}
+    assert by_factor[1 / 32]["modeled_overhead"] > (
+        5 * by_factor[1]["modeled_overhead"]
+    )
+    # ...while the recovery bill grows with fusion.
+    recovery = [r["recovery_cycles"] for r in rows
+                if r["recovery_cycles"] is not None]
+    assert recovery[-1] > recovery[0]

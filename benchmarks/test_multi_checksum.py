@@ -1,0 +1,21 @@
+"""§VII-2 — one vs two simultaneous checksums (TMM + quadratic).
+
+The paper: parity alone 7.6 %, modular alone 7.7 %, both together
+8.1 % — the second checksum is nearly free, and drives the combined
+false-negative bound below one in a trillion.
+"""
+
+from _common import run_experiment
+
+
+def test_multi_checksum_costs(benchmark):
+    result = run_experiment(benchmark, "multi_checksum")
+    by = {r["variant"]: r["overhead"] for r in result.rows}
+
+    assert by["both"] > by["parity"]
+    assert by["both"] > by["modular"]
+    # "Only adds minor additional overheads": under 1.5x of one lane.
+    assert by["both"] < 1.5 * max(by["parity"], by["modular"])
+    # All three stay in the single-digit-percent band (paper 7.6-8.1%).
+    for v in by.values():
+        assert v < 0.12

@@ -1,0 +1,20 @@
+"""Extension — LP's recovery bill, characterized.
+
+"As a trade off, crash recovery is slower in LP" (Section I): eager
+recovery always pays a validation sweep over the grid plus
+re-execution of the lost regions; the write-back cache capacity bounds
+what a crash can strand. This quantifies the trade LP makes.
+"""
+
+from _common import run_experiment
+
+
+def test_recovery_cost_profile(benchmark):
+    result = run_experiment(benchmark, "recovery_cost")
+    sweep = result.rows[:5]
+    # Monotone: the later the crash, the less re-execution.
+    reexec = [r["reexecution_cycles"] for r in sweep]
+    assert all(a >= b for a, b in zip(reexec, reexec[1:]))
+    # Validation cost is flat — it is grid-shaped, not loss-shaped.
+    validations = {r["validation_cycles"] for r in sweep}
+    assert len(validations) == 1

@@ -1,0 +1,16 @@
+"""Figure 1 — the warp-level shuffle reduction microbenchmark.
+
+``__shfl_down_sync`` reduces a warp in log2(32) = 5 register-to-
+register steps (vs 31 sequential combines), bit-exactly equal to the
+sequential fold for the commutative checksum lanes.
+"""
+
+from _common import run_experiment
+
+
+def test_shuffle_reduction_microbench(benchmark):
+    result = run_experiment(benchmark, "fig1")
+    row = result.rows[0]
+    assert row["shuffle_steps"] == 5
+    assert row["sequential_steps"] == 31
+    assert row["parallel_equals_sequential"]

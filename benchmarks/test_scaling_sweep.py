@@ -1,0 +1,19 @@
+"""Extension — the title's claim as one curve: overhead vs grid size.
+
+"Scalable and Fast": the checksum global array's overhead is flat from
+64 to 131,072 thread blocks while the hash tables deteriorate and the
+lock-based variants collapse — the whole paper in one sweep.
+"""
+
+from _common import run_experiment
+
+
+def test_scaling_sweep(benchmark):
+    result = run_experiment(benchmark, "scaling")
+    rows = result.rows
+    # Flat for the global array across three orders of magnitude.
+    ga = [r["global_array"] for r in rows]
+    assert max(ga) < 2 * max(min(ga), 0.005)
+    # Monotone-or-plateauing deterioration for quad; catastrophe for locks.
+    assert rows[-1]["quad"] > 0.2
+    assert rows[-1]["quad_lock"] > 100

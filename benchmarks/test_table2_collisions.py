@@ -1,0 +1,23 @@
+"""Table II — hash-table collision counts at paper-scale grids.
+
+The collision counts come from actually inserting the paper-scale key
+sets (up to SAD's 128 640 block ids) into the two hash tables. The
+reproduced shape: collisions concentrate overwhelmingly on the
+huge-grid benchmarks (TMM, MRI-GRIDDING, SAD), the paper's explanation
+for Figure 5's overheads.
+"""
+
+from _common import run_experiment
+
+
+def test_table2_collision_counts(benchmark):
+    result = run_experiment(benchmark, "table2")
+    rows = {r["bench"]: r for r in result.rows}
+
+    big = ("tmm", "mri-gridding", "sad")
+    small = ("tpacf", "spmv", "histo", "cutcp", "mri-q")
+    for b in big:
+        for s in small:
+            assert rows[b]["quad"] > rows[s]["quad"]
+    # SAD has the most keys, hence the most collisions in our sizing.
+    assert rows["sad"]["quad"] == max(r["quad"] for r in result.rows)

@@ -1,0 +1,32 @@
+"""Table IV — parallel (shuffle) vs sequential (through-memory) reduction.
+
+Without ``shfl_down``, per-thread checksums stage through shared and
+global memory; the added traffic punishes the bandwidth-bound
+benchmarks (SPMV, SAD, HISTO) far more than the instruction-bound ones
+— the paper's geomean rises from 29.4 % to 63.3 % (quad).
+"""
+
+import numpy as np
+
+from _common import run_experiment
+
+
+def test_table4_reduction_ablation(benchmark):
+    result = run_experiment(benchmark, "table4")
+    rows = {r["bench"]: r for r in result.rows}
+
+    # No-shuffle is never cheaper, for either table.
+    for r in result.rows:
+        assert r["quad_no"] >= r["quad_shfl"] - 1e-9
+        assert r["cuckoo_no"] >= r["cuckoo_shfl"] - 1e-9
+
+    # Bandwidth-bound benchmarks pay the larger absolute penalty.
+    bw_penalty = np.mean([
+        rows[b]["quad_no"] - rows[b]["quad_shfl"]
+        for b in ("spmv", "sad", "histo")
+    ])
+    inst_penalty = np.mean([
+        rows[b]["quad_no"] - rows[b]["quad_shfl"]
+        for b in ("tpacf", "cutcp", "mri-q")
+    ])
+    assert bw_penalty > 3 * inst_penalty

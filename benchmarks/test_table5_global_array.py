@@ -1,0 +1,30 @@
+"""Table V — the paper's final design: checksum global array + shuffle.
+
+The hash-table-less design indexes checksums by thread-block id:
+collision-free, race-free, 100 % load factor. The paper measures 2.1 %
+geomean execution-time overhead and 1.63 % space overhead; the
+per-benchmark time column anchors this reproduction's calibration
+(DESIGN.md §2), the space column and every comparison against the hash
+tables are predictions.
+"""
+
+from _common import run_experiment
+from repro.bench.harness import geomean_overhead
+
+
+def test_table5_global_array(benchmark):
+    result = run_experiment(benchmark, "table5")
+    rows = {r["bench"]: r for r in result.rows}
+
+    gm_time = geomean_overhead(r["time"] for r in result.rows)
+    assert 0.01 <= gm_time <= 0.04  # paper: 2.1 %
+
+    # Space: SAD is the outlier (tiny per-block output), paper 12.27 %.
+    assert rows["sad"]["space"] == max(r["space"] for r in result.rows)
+    assert rows["sad"]["space"] > 0.05
+    gm_space = geomean_overhead(r["space"] for r in result.rows)
+    assert gm_space < 0.06  # paper: 1.63 %
+
+    # Per-benchmark times track the paper's Table V closely (anchored).
+    for r in result.rows:
+        assert abs(r["time"] - r["time_paper"]) < 0.01

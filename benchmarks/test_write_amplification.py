@@ -1,0 +1,21 @@
+"""§VII-3 — NVM write amplification (functional persistence domain).
+
+The paper measures 0.5 % (SPMV) to 2.2 % (MM) more main-memory writes
+with LP, on GPGPU-sim with NVM timings — the increase is purely the
+checksum stores (no flushes, no logs). Here the runs are functional:
+every NVM line write is counted by the simulated persistence domain.
+"""
+
+from _common import run_experiment
+
+
+def test_write_amplification(benchmark):
+    result = run_experiment(benchmark, "write_amp")
+    for row in result.rows:
+        # LP always writes more (the checksums), but only a little.
+        assert row["lp_lines"] > row["baseline_lines"]
+        assert row["measured"] < 0.25
+        # At paper-scale block sizes the analytic ratio sits in or near
+        # the paper's 0.5-2.2 % band (SAD's tiny blocks are the outlier,
+        # matching its 12 % space overhead in Table V).
+        assert row["paper_scale_analytic"] < 0.15

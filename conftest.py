@@ -1,0 +1,14 @@
+"""Repo-root pytest configuration.
+
+Ensures ``src/`` is importable even when the package has not been
+installed (the reproduction environment is offline and pip editable
+installs need the absent ``wheel`` package; ``python setup.py develop``
+works, but this fallback makes ``pytest`` self-sufficient either way).
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Tour of the paper's LP design space (Section IV).
+
+Walks every valid corner of (checksum table x locks x reduction x
+atomics), runs each functionally on a small workload to show they all
+produce correct, recoverable results, and then prints the paper-scale
+modeled overheads that reproduce Figure 5 / Tables III-V — showing why
+the paper lands on the hash-table-less global array.
+
+Run:  python examples/design_space_tour.py
+"""
+
+import repro
+from repro.bench.harness import estimate, geomean_overhead
+from repro.bench.profiles import PROFILES
+from repro.core.recovery import RecoveryManager
+from repro.core.runtime import LPRuntime
+
+
+def functional_sweep() -> None:
+    """Every design corner survives a crash on a real workload."""
+    print("functional sweep: crash + recovery under every design corner")
+    print("-" * 64)
+    for config in repro.LPConfig.design_space():
+        device = repro.Device(cache_capacity_lines=16)
+        work = repro.workloads.SPMVWorkload(scale="tiny")
+        kernel = work.setup(device)
+        lp_kernel = LPRuntime(device, config).instrument(kernel)
+        n_blocks = kernel.launch_config().n_blocks
+        device.launch(
+            lp_kernel,
+            crash_plan=repro.CrashPlan(after_blocks=n_blocks // 2,
+                                       persist_fraction=0.4, seed=7),
+        )
+        report = RecoveryManager(device, lp_kernel).recover()
+        work.verify(device)
+        print(f"  {config.describe():38s} recovered "
+              f"{len(report.recovered_blocks)} regions  OK")
+    print()
+
+
+def modeled_overheads() -> None:
+    """Paper-scale overheads for the main design points."""
+    points = {
+        "quadratic (lock-free, shfl)": repro.LPConfig.naive_quadratic(),
+        "cuckoo (lock-free, shfl)": repro.LPConfig.naive_cuckoo(),
+        "quadratic + LOCKS": repro.LPConfig.naive_quadratic().with_(
+            locks=repro.LockMode.LOCK_BASED
+        ),
+        "quadratic, NO shuffle": repro.LPConfig.naive_quadratic().with_(
+            reduction=repro.ReductionMode.SEQUENTIAL_MEMORY
+        ),
+        "GLOBAL ARRAY (paper's design)": repro.LPConfig.paper_best(),
+    }
+    print("paper-scale modeled overheads (geomean over the 8 benchmarks)")
+    print("-" * 64)
+    for label, config in points.items():
+        overheads = [
+            estimate(profile, config).overhead
+            for profile in PROFILES.values()
+        ]
+        gm = geomean_overhead(overheads)
+        worst = max(overheads)
+        print(f"  {label:32s} geomean {gm * 100:8.1f}%   "
+              f"worst {worst * 100:10.1f}%")
+    print()
+    print("the global array wins everywhere: no collisions, no races,")
+    print("minimum space — the paper's 2.1% geomean result (Table V).")
+
+
+def main() -> None:
+    functional_sweep()
+    modeled_overheads()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Lazy vs Eager Persistency, head to head (extension).
+
+The paper's opening argument: Eager Persistency pays during *normal
+execution* — undo logs, cache-line flushes, persist barriers, 2x+
+NVM writes — while Lazy Persistency pays only at *recovery time* (the
+rare case) and writes nothing extra but checksums. GPUs do not even
+have EP's instructions; the simulator does, so the argument can be
+measured.
+
+Both schemes run the same kernel, crash, and recover — by opposite
+mechanisms:
+
+* **EP** rolls back uncommitted regions from undo logs (no validation
+  pass, no recomputation of completed work);
+* **LP** validates every region's checksum and re-executes failures.
+
+Run:  python examples/lazy_vs_eager.py
+"""
+
+import repro
+from repro.core.recovery import RecoveryManager
+from repro.ep import EPRecoveryManager, EPRuntime
+from repro.workloads.tmm import TMMWorkload
+
+
+def build(mode: str):
+    device = repro.Device(cache_capacity_lines=32)
+    work = TMMWorkload(scale="small")
+    kernel = work.setup(device)
+    if mode == "lp":
+        kernel = repro.LPRuntime(device,
+                                 repro.LPConfig.paper_best()).instrument(
+            kernel
+        )
+    elif mode == "ep":
+        kernel = EPRuntime(device).instrument(kernel)
+    return device, work, kernel
+
+
+def main() -> None:
+    # --- normal-execution costs --------------------------------------------
+    print("normal execution (TMM small; modeled cycles, NVM line writes)")
+    print("-" * 64)
+    stats = {}
+    for mode in ("base", "lp", "ep"):
+        device, work, kernel = build(mode)
+        result = device.launch(kernel)
+        work.verify(device)
+        device.drain()
+        stats[mode] = (result.total_cycles,
+                       device.memory.write_stats.total_lines)
+        cyc, lines = stats[mode]
+        print(f"  {mode:5s} {cyc:12,.0f} cycles   {lines:6,d} lines")
+    base_c, base_l = stats["base"]
+    for mode in ("lp", "ep"):
+        cyc, lines = stats[mode]
+        print(f"  {mode}: +{(cyc / base_c - 1) * 100:6.1f}% time, "
+              f"+{(lines / base_l - 1) * 100:6.1f}% NVM writes")
+
+    # --- crash + recovery, both ways ------------------------------------------
+    print("\ncrash after half the grid, then recover")
+    print("-" * 64)
+
+    device, work, lp_kernel = build("lp")
+    device.launch(lp_kernel, crash_plan=repro.CrashPlan(
+        after_blocks=32, persist_fraction=0.3, seed=1))
+    report = RecoveryManager(device, lp_kernel).recover()
+    work.verify(device)
+    print(f"  LP: validated all regions, re-executed "
+          f"{len(report.recovered_blocks)}; "
+          f"{report.total_recovery_cycles:,.0f} recovery cycles")
+
+    device, work, ep_kernel = build("ep")
+    device.launch(ep_kernel, crash_plan=repro.CrashPlan(
+        after_blocks=32, persist_fraction=0.3, seed=1))
+    ep_report = EPRecoveryManager(device, ep_kernel).recover()
+    work.verify(device)
+    relaunch = ep_report.relaunch.total_cycles if ep_report.relaunch else 0
+    print(f"  EP: no validation needed; rolled back "
+          f"{len(ep_report.uncommitted_blocks)} uncommitted regions "
+          f"({ep_report.undo_records_applied} undo records), re-ran them "
+          f"in {relaunch:,.0f} cycles")
+
+    print("\nthe trade the paper describes: EP taxes every run,")
+    print("LP taxes only the crash — and crashes are the rare case.")
+
+
+if __name__ == "__main__":
+    main()

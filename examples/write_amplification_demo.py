@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Write amplification on the NVM-timed device (Section VII-3).
+
+NVM wears out: write endurance is limited, so persistency schemes that
+flush cache lines and keep logs (Eager Persistency) multiply the write
+traffic. Lazy Persistency writes nothing extra except the checksums —
+this demo counts every line the simulated persistence domain writes,
+with and without LP, on the paper's NVM timings (326.4 GB/s, 160/480 ns).
+
+Run:  python examples/write_amplification_demo.py
+"""
+
+import repro
+from repro.core.runtime import LPRuntime
+from repro.nvm.model import write_amplification
+from repro.workloads import make_workload
+
+
+def run(name: str, with_lp: bool) -> repro.Device:
+    device = repro.Device(nvm=repro.NVMSpec.paper_nvm())
+    work = make_workload(name, scale="medium")
+    kernel = work.setup(device)
+    if with_lp:
+        kernel = LPRuntime(device, repro.LPConfig.paper_best()).instrument(
+            kernel
+        )
+    device.launch(kernel)
+    device.drain()
+    if with_lp:
+        work.verify(device)
+    return device
+
+
+def main() -> None:
+    print("NVM line writes (128 B lines), baseline vs Lazy Persistency")
+    print("paper (GPGPU-sim, Titan V + NVM): +0.5% (SPMV) ... +2.2% (MM)")
+    print("-" * 66)
+    print(f"{'bench':14s} {'baseline':>10s} {'with LP':>10s} "
+          f"{'checksum':>9s} {'amplification':>14s}")
+    for name in ("spmv", "tmm", "sad"):
+        base = run(name, with_lp=False)
+        lp = run(name, with_lp=True)
+        b = base.memory.write_stats.total_lines
+        l = lp.memory.write_stats.total_lines
+        cs = lp.memory.write_stats.lines_for_buffers("__lp_")
+        amp = write_amplification(lp.memory.write_stats,
+                                  base.memory.write_stats)
+        print(f"{name:14s} {b:10,d} {l:10,d} {cs:9,d} {amp:13.2%}")
+    print("-" * 66)
+    print("every extra line is a checksum store — LP flushes nothing,")
+    print("logs nothing; data persists by natural cache eviction.")
+    print("(functional scale uses smaller blocks than the paper's, so")
+    print("the checksum/data ratio — and thus amplification — is a few")
+    print("percent here vs 0.5-2.2% at paper scale.)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setuptools entry point.
+
+Exists so ``pip install -e .`` works in offline environments without
+the ``wheel`` package (PEP 660 editable builds need it; the legacy
+``setup.py develop`` path does not). All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

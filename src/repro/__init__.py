@@ -1,0 +1,107 @@
+"""``repro`` — Scalable and Fast Lazy Persistency on GPUs (IISWC 2020).
+
+A from-scratch reproduction of the paper's system: GPU Lazy Persistency
+(LP) on a simulated SIMT device whose global memory sits in an NVM
+persistence domain with lazy (eviction-driven) write-back.
+
+Quick tour
+----------
+
+>>> import repro
+>>> device = repro.Device()
+>>> work = repro.workloads.TMMWorkload(scale="tiny")
+>>> kernel = work.setup(device)
+>>> lp = repro.LPRuntime(device, repro.LPConfig.paper_best())
+>>> lp_kernel = lp.instrument(kernel)
+>>> result = device.launch(lp_kernel)
+>>> work.verify(device)                       # outputs are correct
+
+Public surface
+--------------
+
+* :class:`Device` / :class:`GPUSpec` / :class:`NVMSpec` — the simulated
+  NVM-backed GPU.
+* :class:`LPConfig` and its enums — the design space of Section IV.
+* :class:`LPRuntime` / :class:`LazyPersistentKernel` — kernel
+  instrumentation (checksums, reduction, checksum table).
+* :class:`RecoveryManager` — post-crash validation + eager recovery.
+* :class:`CrashPlan` / :class:`FaultInjector` — failure models.
+* :mod:`repro.workloads` — the paper's nine benchmarks.
+* :mod:`repro.compiler` — the ``#pragma nvm`` directive compiler.
+* :mod:`repro.bench` — the experiment harness for every table/figure.
+"""
+
+from repro.core.checksum import (
+    ChecksumSet,
+    float_bits,
+    float_to_ordered_int,
+)
+from repro.core.config import (
+    AtomicMode,
+    ChecksumKind,
+    LockMode,
+    LPConfig,
+    ReductionMode,
+    TableKind,
+)
+from repro.core.checkpoint import (
+    CheckpointManager,
+    CheckpointPolicy,
+    optimal_checkpoint_interval,
+)
+from repro.core.fusion import FusedKernel, fuse_blocks
+from repro.core.recovery import RecoveryManager, RecoveryReport, ValidationReport
+from repro.core.runtime import LazyPersistentKernel, LPRuntime
+from repro.ep import EagerPersistentKernel, EPRecoveryManager, EPRuntime
+from repro.core.tables import make_table
+from repro.errors import ReproError
+from repro.gpu.device import Device, LaunchResult
+from repro.gpu.kernel import BlockContext, ExecMode, Kernel, LaunchConfig
+from repro.gpu.spec import GPUSpec, NVMSpec
+from repro.nvm.audit import AuditReport, audit_crash_consistency
+from repro.nvm.crash import CrashPlan, FaultInjector
+
+from repro import workloads  # noqa: E402  (re-export subpackage)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AtomicMode",
+    "AuditReport",
+    "BlockContext",
+    "CheckpointManager",
+    "CheckpointPolicy",
+    "ChecksumKind",
+    "ChecksumSet",
+    "CrashPlan",
+    "Device",
+    "EPRecoveryManager",
+    "EPRuntime",
+    "EagerPersistentKernel",
+    "ExecMode",
+    "FaultInjector",
+    "FusedKernel",
+    "GPUSpec",
+    "Kernel",
+    "LaunchConfig",
+    "LaunchResult",
+    "LazyPersistentKernel",
+    "LockMode",
+    "LPConfig",
+    "LPRuntime",
+    "NVMSpec",
+    "RecoveryManager",
+    "RecoveryReport",
+    "ReductionMode",
+    "ReproError",
+    "TableKind",
+    "ValidationReport",
+    "__version__",
+    "audit_crash_consistency",
+    "float_bits",
+    "float_to_ordered_int",
+    "fuse_blocks",
+    "make_table",
+    "optimal_checkpoint_interval",
+    "workloads",
+]

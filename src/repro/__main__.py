@@ -1,0 +1,144 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``experiments [ids...]``
+    Run reproduction experiments (all by default) and print the
+    paper-vs-measured tables with fidelity outcomes.
+``workloads``
+    List the benchmark workloads with their paper-scale launch shapes.
+``run <workload> [--scale S] [--config C] [--crash-after N]``
+    Launch one workload under LP, optionally crash it, recover, verify.
+``report [path]``
+    Regenerate EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.bench.experiments import EXPERIMENTS
+
+    ids = args.ids or list(EXPERIMENTS)
+    unknown = [i for i in ids if i not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {unknown}; "
+              f"known: {sorted(EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    failures = 0
+    for exp_id in ids:
+        result = EXPERIMENTS[exp_id]()
+        print(result.rendered)
+        for name, ok in result.fidelity.items():
+            print(f"  [{'PASS' if ok else 'FAIL'}] {name}")
+            failures += 0 if ok else 1
+        print()
+    return 1 if failures else 0
+
+
+def _cmd_workloads(_args: argparse.Namespace) -> int:
+    from repro.bench.profiles import PROFILES
+    from repro.workloads import WORKLOADS
+
+    print(f"{'name':14s} {'paper blocks':>12s} {'threads':>8s} "
+          f"{'bottleneck':>10s}")
+    for name in WORKLOADS:
+        profile = PROFILES[name]
+        print(f"{name:14s} {profile.n_blocks:12,d} "
+              f"{profile.threads_per_block:8d} "
+              f"{profile.bottleneck:>10s}")
+    print("\n(+ megakv: see repro.megakv / examples/megakv_server.py)")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    import repro
+    from repro.core.recovery import RecoveryManager
+    from repro.workloads import make_workload
+
+    configs = {
+        "global-array": repro.LPConfig.paper_best(),
+        "quadratic": repro.LPConfig.naive_quadratic(),
+        "cuckoo": repro.LPConfig.naive_cuckoo(),
+    }
+    device = repro.Device(cache_capacity_lines=args.cache_lines)
+    work = make_workload(args.workload, scale=args.scale, seed=args.seed)
+    kernel = work.setup(device)
+    lp_kernel = repro.LPRuntime(device,
+                                configs[args.config]).instrument(kernel)
+    n_blocks = kernel.launch_config().n_blocks
+    print(f"{args.workload} ({args.scale}): {n_blocks} blocks, "
+          f"LP design {lp_kernel.config.describe()}")
+
+    crash_plan = None
+    if args.crash_after is not None:
+        crash_plan = repro.CrashPlan(after_blocks=args.crash_after,
+                                     persist_fraction=0.3, seed=args.seed)
+    result = device.launch(lp_kernel, crash_plan=crash_plan)
+    print(f"launch: {result.n_completed}/{n_blocks} blocks, "
+          f"{result.total_cycles:,.0f} modeled cycles"
+          + (", CRASHED" if result.crashed else ""))
+
+    if result.crashed:
+        report = RecoveryManager(device, lp_kernel).recover()
+        print(f"recovered {len(report.recovered_blocks)} regions in "
+              f"{report.total_recovery_cycles:,.0f} cycles")
+    work.verify(device)
+    print("output verified against the reference.")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.bench.make_experiments_md import main as make_md
+
+    make_md(args.path)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``python -m repro`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="GPU Lazy Persistency reproduction (IISWC 2020).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_exp = sub.add_parser("experiments",
+                           help="run reproduction experiments")
+    p_exp.add_argument("ids", nargs="*",
+                       help="experiment ids (default: all)")
+    p_exp.set_defaults(fn=_cmd_experiments)
+
+    p_wl = sub.add_parser("workloads", help="list benchmark workloads")
+    p_wl.set_defaults(fn=_cmd_workloads)
+
+    p_run = sub.add_parser("run", help="run a workload under LP")
+    p_run.add_argument("workload")
+    p_run.add_argument("--scale", default="small",
+                       choices=("tiny", "small", "medium"))
+    p_run.add_argument("--config", default="global-array",
+                       choices=("global-array", "quadratic", "cuckoo"))
+    p_run.add_argument("--crash-after", type=int, default=None,
+                       metavar="N", help="crash after N blocks")
+    p_run.add_argument("--cache-lines", type=int, default=64)
+    p_run.add_argument("--seed", type=int, default=0)
+    p_run.set_defaults(fn=_cmd_run)
+
+    p_rep = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
+    p_rep.add_argument("path", nargs="?", default=None)
+    p_rep.set_defaults(fn=_cmd_report)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,180 @@
+"""Paper-scale benchmark profiles for the analytic overhead estimates.
+
+Functional runs use scaled-down instances (Python executes every
+store); the paper's *overheads*, however, depend on paper-scale
+structure — most importantly the thread-block counts of Table III
+(42 … 128 640) and each benchmark's bottleneck class (Table I). A
+:class:`BenchProfile` captures that structure:
+
+* ``n_blocks`` / ``threads_per_block`` — the paper's launch geometry
+  (Table III gives the block counts; block sizes follow the standard
+  Parboil/TMM configurations);
+* ``stores_per_thread`` — how many protected stores each thread issues
+  (sets the checksum-update cost);
+* ``baseline_cycles`` — the end-to-end baseline kernel time. This is a
+  **calibrated anchor**: it is chosen so the paper's final design
+  (global array + shuffle, Table V) lands at the paper's measured
+  overhead for that benchmark. Everything else — Figure 5, Tables
+  II-IV, the ablations — is then a *prediction* of the cost model with
+  no further per-benchmark tuning, which is what EXPERIMENTS.md
+  compares against the paper.
+* ``memory_fraction`` / ``compute_fraction`` — how close each resource
+  runs to being the bottleneck (exactly one of them is 1.0), encoding
+  Table I's instruction-throughput vs bandwidth classification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import LPConfig
+from repro.gpu.costs import CostModel, Tally
+
+#: Bottleneck labels from Table I.
+INST = "inst"
+BANDWIDTH = "bw"
+
+
+@dataclass(frozen=True)
+class BenchProfile:
+    """Paper-scale structure of one benchmark."""
+
+    name: str
+    #: Thread blocks at paper scale (Table III's last column).
+    n_blocks: int
+    threads_per_block: int
+    #: Protected stores per thread per kernel.
+    stores_per_thread: float
+    #: Bytes per protected store value.
+    store_bytes: int
+    #: End-to-end baseline time in cycles — a realistic estimate of the
+    #: paper-scale kernel's V100 runtime (set per benchmark below).
+    baseline_cycles: float
+    #: Bottleneck class from Table I.
+    bottleneck: str
+    #: Fraction of ``baseline_cycles`` each resource is busy.
+    memory_fraction: float = 0.7
+    compute_fraction: float = 0.7
+    #: Calibrated occupancy-dilation anchor: the fraction by which LP
+    #: instrumentation dilutes the dominant pipe (register pressure,
+    #: scheduling), solved so the paper-best design reproduces Table V.
+    lp_dilation: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.bottleneck not in (INST, BANDWIDTH):
+            raise ValueError(f"unknown bottleneck {self.bottleneck!r}")
+
+    @property
+    def total_protected_stores(self) -> float:
+        """Protected store count across the launch."""
+        return self.n_blocks * self.threads_per_block * self.stores_per_thread
+
+    @property
+    def protected_data_bytes(self) -> float:
+        """Bytes of LP-protected output data."""
+        return self.total_protected_stores * self.store_bytes
+
+    def baseline_tally(self, model: CostModel) -> Tally:
+        """Synthesize the baseline launch tally from the anchor.
+
+        The dominant resource runs for exactly ``baseline_cycles``; the
+        other runs at its fraction. LP variants then *add* to this
+        tally and the cost model recomputes the total.
+        """
+        spec = model.spec
+        if self.bottleneck == BANDWIDTH:
+            mem_cycles = self.baseline_cycles * 1.0
+            compute_cycles = self.baseline_cycles * self.compute_fraction
+        else:
+            compute_cycles = self.baseline_cycles * 1.0
+            mem_cycles = self.baseline_cycles * self.memory_fraction
+
+        lanes = min(spec.total_lanes,
+                    self.n_blocks * self.threads_per_block)
+        tally = Tally(
+            n_blocks=self.n_blocks,
+            threads_per_block=self.threads_per_block,
+        )
+        tally.alu_ops = compute_cycles * lanes
+        bytes_total = mem_cycles * model.nvm.bytes_per_cycle(spec)
+        # Reads dominate most kernels; protected stores set the writes.
+        writes = min(self.protected_data_bytes, bytes_total * 0.5)
+        tally.global_write_bytes = writes
+        tally.global_read_bytes = bytes_total - writes
+        return tally
+
+
+def _calibrated(name, n_blocks, threads, stores, store_bytes, bottleneck,
+                baseline_cycles, target_ga_overhead) -> BenchProfile:
+    """Build a profile whose dilation anchors Table V's overhead.
+
+    With the baseline fixed at a realistic runtime, the occupancy
+    dilation is the remaining free parameter; a short fixed-point
+    iteration solves for the value at which the paper-best design
+    (global array + shuffle + both checksums) reproduces the paper's
+    Table V overhead under the default cost model.
+    """
+    from repro.bench import harness  # imported late: avoids a cycle
+
+    config = LPConfig.paper_best()
+    model = CostModel()
+
+    def profile_at(dilation: float) -> BenchProfile:
+        return BenchProfile(
+            name=name,
+            n_blocks=n_blocks,
+            threads_per_block=threads,
+            stores_per_thread=stores,
+            store_bytes=store_bytes,
+            baseline_cycles=baseline_cycles,
+            bottleneck=bottleneck,
+            lp_dilation=dilation,
+        )
+
+    dilation = 0.0
+    for _ in range(12):
+        overhead = harness.estimate(
+            profile_at(dilation), config, model
+        ).overhead
+        dilation = max(0.0, dilation + (target_ga_overhead - overhead))
+    return profile_at(dilation)
+
+
+# ---------------------------------------------------------------------------
+# The eight paper benchmarks (block counts from Table III; block sizes
+# from the standard TMM / Parboil configurations; Table V anchors).
+# ---------------------------------------------------------------------------
+
+def build_profiles() -> dict[str, BenchProfile]:
+    """Construct the calibrated paper-scale profile set.
+
+    Block counts come from Table III; block sizes from the standard
+    TMM / Parboil launch configurations; baselines are realistic
+    V100-scale runtimes (e.g. TMM 4096³ ≈ 14 ms ≈ 1.9e7 cycles, TPACF
+    is a long-running O(n²) sweep, SAD/MRI-GRIDDING/SPMV are
+    sub-millisecond kernels); the final column is Table V's measured
+    overhead of the paper's final design, which calibrates each
+    profile's occupancy dilation.
+    """
+    spec = [
+        # name, blocks, threads, st/thr, B, bottleneck, base cyc, TableV
+        # (stores/thread chosen so the checksum-table space overhead
+        # matches Table V's space column: SAD's tiny per-block output
+        # makes it the space-overhead outlier at 12 %.)
+        ("tmm", 16384, 1024, 1.0, 4, INST, 1.9e7, 0.062),
+        ("tpacf", 512, 256, 2.0, 8, INST, 2.8e8, 0.010),
+        ("mri-gridding", 65536, 64, 4.0, 4, INST, 1.55e6, 0.025),
+        ("spmv", 1536, 192, 8.0, 4, BANDWIDTH, 4.0e5, 0.016),
+        ("sad", 128640, 64, 0.5, 4, BANDWIDTH, 4.2e6, 0.006),
+        ("histo", 42, 512, 2.0, 4, BANDWIDTH, 2.0e5, 0.006),
+        ("cutcp", 128, 128, 4.0, 4, INST, 8.0e5, 0.021),
+        ("mri-q", 1024, 256, 2.0, 4, INST, 1.0e6, 0.027),
+    ]
+    return {
+        row[0]: _calibrated(*row[:7], target_ga_overhead=row[7])
+        for row in spec
+    }
+
+
+#: The calibrated profile set, keyed by paper benchmark name.
+PROFILES: dict[str, BenchProfile] = build_profiles()

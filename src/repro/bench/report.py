@@ -1,0 +1,115 @@
+"""Paper-style ASCII reporting for the experiment harness.
+
+Formats experiment rows as fixed-width tables with paper-vs-measured
+columns, the way the benchmark suite prints them and EXPERIMENTS.md
+records them.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+
+
+def fmt_pct(value: float) -> str:
+    """``0.021`` → ``'2.1%'`` (one decimal; more for tiny values)."""
+    pct = value * 100.0
+    if abs(pct) >= 1000:
+        return f"{pct:,.0f}%"
+    if abs(pct) >= 0.1:
+        return f"{pct:.1f}%"
+    return f"{pct:.3f}%"
+
+
+def fmt_slowdown(value: float) -> str:
+    """``1.07`` → ``'1.07x'``; large values get thousands separators."""
+    if value >= 100:
+        return f"{value:,.0f}x"
+    return f"{value:.2f}x"
+
+
+def fmt_count(value: int | float) -> str:
+    """Collision-count style integer formatting."""
+    return f"{int(round(value)):,}"
+
+
+def render_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Iterable[Sequence[str]],
+    note: str | None = None,
+) -> str:
+    """Render one fixed-width table with a title rule."""
+    rows = [list(map(str, r)) for r in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(
+            cell.ljust(widths[i]) if i == 0 else cell.rjust(widths[i])
+            for i, cell in enumerate(cells)
+        )
+
+    rule = "-" * (sum(widths) + 2 * (len(widths) - 1))
+    out = [title, "=" * len(title), line(headers), rule]
+    out += [line(r) for r in rows]
+    if note:
+        out += ["", f"note: {note}"]
+    return "\n".join(out)
+
+
+def render_bars(
+    title: str,
+    series: Mapping[str, Mapping[str, float]],
+    width: int = 46,
+    clip: float | None = None,
+    fmt=fmt_pct,
+) -> str:
+    """ASCII horizontal bar chart, one group of bars per key.
+
+    ``series`` maps a row label to ``{series name: value}``. Values are
+    scaled to the widest bar; ``clip`` truncates outliers the way the
+    paper truncates MRI-GRIDDING's and SAD's bars off Figure 5's axis
+    (clipped bars are marked with ``>``).
+    """
+    all_values = [v for group in series.values() for v in group.values()]
+    if not all_values:
+        raise ValueError("nothing to chart")
+    scale_max = max(
+        min(v, clip) if clip is not None else v for v in all_values
+    )
+    scale_max = max(scale_max, 1e-12)
+    label_w = max(len(k) for k in series)
+    name_w = max(len(n) for g in series.values() for n in g)
+
+    lines = [title, "=" * len(title)]
+    for label, group in series.items():
+        for i, (name, value) in enumerate(group.items()):
+            shown = min(value, clip) if clip is not None else value
+            bar = "#" * max(1, int(round(width * shown / scale_max)))
+            marker = ">" if clip is not None and value > clip else ""
+            row_label = label if i == 0 else ""
+            lines.append(
+                f"{row_label:<{label_w}}  {name:<{name_w}} "
+                f"|{bar}{marker} {fmt(value)}"
+            )
+        lines.append("")
+    return "\n".join(lines[:-1])
+
+
+def paired_columns(
+    measured: Mapping[str, float],
+    paper: Mapping[str, float],
+    fmt=fmt_pct,
+) -> list[list[str]]:
+    """Rows of (name, measured, paper) in measured's key order."""
+    rows = []
+    for name, value in measured.items():
+        paper_val = paper.get(name)
+        rows.append([
+            name,
+            fmt(value),
+            fmt(paper_val) if paper_val is not None else "-",
+        ])
+    return rows

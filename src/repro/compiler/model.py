@@ -1,0 +1,139 @@
+"""Data model of the ``#pragma nvm`` directive compiler.
+
+The paper proposes two directives (Section VI):
+
+* ``#pragma nvm lpcuda_init(checksum_tab_id, nelems, selem)`` — host
+  side, before a kernel launch: declares and sizes a checksum table.
+* ``#pragma nvm lpcuda_checksum(checksum_type, checksum_tab_id, key1,
+  ...)`` — kernel side, immediately before the statement whose stored
+  value must be checksum-protected.
+
+The compiler parses these out of CUDA-like source text
+(:mod:`repro.compiler.parser`), slices the store-address computation
+(:mod:`repro.compiler.slicing`), and emits the instrumented kernel plus
+the check-and-recovery kernel (:mod:`repro.compiler.transform`,
+:mod:`repro.compiler.recovery_gen`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import DirectiveSemanticError
+
+#: Checksum-type tokens accepted by ``lpcuda_checksum`` (Section VI):
+#: ``+`` modular, ``^`` parity.
+CHECKSUM_TYPE_TOKENS = {"+": "modular", "^": "parity"}
+
+
+@dataclass(frozen=True)
+class InitDirective:
+    """One ``lpcuda_init`` occurrence (host code)."""
+
+    table: str
+    nelems_expr: str
+    selem_expr: str
+    line_no: int
+
+    def __post_init__(self) -> None:
+        if not self.table.isidentifier():
+            raise DirectiveSemanticError(
+                f"line {self.line_no}: checksum table name {self.table!r} "
+                "is not an identifier"
+            )
+
+
+@dataclass(frozen=True)
+class ChecksumDirective:
+    """One ``lpcuda_checksum`` occurrence (kernel code)."""
+
+    checksum_types: tuple[str, ...]
+    table: str
+    keys: tuple[str, ...]
+    line_no: int
+    #: The annotated statement (the store the directive protects).
+    target_statement: str = ""
+
+    def __post_init__(self) -> None:
+        for tok in self.checksum_types:
+            if tok not in CHECKSUM_TYPE_TOKENS:
+                raise DirectiveSemanticError(
+                    f"line {self.line_no}: unknown checksum type {tok!r}; "
+                    f"expected one of {sorted(CHECKSUM_TYPE_TOKENS)}"
+                )
+        if not self.keys:
+            raise DirectiveSemanticError(
+                f"line {self.line_no}: lpcuda_checksum needs at least one key"
+            )
+
+    @property
+    def checksum_names(self) -> tuple[str, ...]:
+        """Human names of the requested checksum kinds."""
+        return tuple(CHECKSUM_TYPE_TOKENS[t] for t in self.checksum_types)
+
+
+@dataclass
+class StoreTarget:
+    """The left-hand side of a protected store statement."""
+
+    #: Full LHS text, e.g. ``C[c + wB * ty + tx]``.
+    lhs: str
+    #: Base array identifier, e.g. ``C``.
+    array: str
+    #: Index expression, e.g. ``c + wB * ty + tx``.
+    index_expr: str
+    #: RHS of the assignment (the stored value), e.g. ``Csub``.
+    value_expr: str
+
+
+@dataclass
+class KernelSource:
+    """A parsed ``__global__`` kernel definition."""
+
+    name: str
+    #: Parameter list text, e.g. ``float *C, float *A, int wA``.
+    params: str
+    #: Parameter names in order.
+    param_names: tuple[str, ...]
+    #: Body lines (without the enclosing braces), original indentation.
+    body: list[str] = field(default_factory=list)
+    #: First line number of the body in the original source.
+    body_start_line: int = 0
+    #: Checksum directives found inside this kernel.
+    checksums: list[ChecksumDirective] = field(default_factory=list)
+
+
+@dataclass
+class ProgramSource:
+    """A parsed CUDA-like translation unit."""
+
+    lines: list[str]
+    inits: list[InitDirective] = field(default_factory=list)
+    kernels: list[KernelSource] = field(default_factory=list)
+
+    def kernel(self, name: str) -> KernelSource:
+        """Look up a kernel by name."""
+        for k in self.kernels:
+            if k.name == name:
+                return k
+        raise DirectiveSemanticError(f"no kernel named {name!r}")
+
+    def init_for(self, table: str) -> InitDirective:
+        """The ``lpcuda_init`` that declared a table."""
+        for ini in self.inits:
+            if ini.table == table:
+                return ini
+        raise DirectiveSemanticError(
+            f"checksum table {table!r} was never declared with lpcuda_init"
+        )
+
+
+@dataclass
+class CompiledProgram:
+    """Everything the directive compiler emits for one program."""
+
+    host_code: str
+    kernel_code: str
+    recovery_code: str
+    inits: list[InitDirective]
+    checksums: list[ChecksumDirective]

@@ -1,0 +1,226 @@
+"""Parsing of ``#pragma nvm`` directives and CUDA-like kernel sources.
+
+This is a directive-focused parser, not a C compiler: it understands
+
+* the two ``#pragma nvm`` directive forms,
+* ``__global__`` kernel definitions (name, parameter list, body), and
+* simple C statements (declarations/assignments) well enough to slice
+  store-address computations.
+
+Unsupported constructs in a kernel body are passed through untouched —
+exactly the behaviour the paper requires of older compilers ("simply
+ignore them") inverted: *we* only touch what the directives point at.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.compiler.model import (
+    ChecksumDirective,
+    InitDirective,
+    KernelSource,
+    ProgramSource,
+)
+from repro.errors import DirectiveSyntaxError
+
+_PRAGMA_RE = re.compile(r"^\s*#pragma\s+nvm\s+(\w+)\s*\((.*)\)\s*$")
+_KERNEL_RE = re.compile(r"__global__\s+\w+[\w\s\*]*?\b(\w+)\s*\(")
+
+
+def split_args(arg_text: str) -> list[str]:
+    """Split a directive argument list on top-level commas.
+
+    Respects parentheses and quotes, so ``lpcuda_init(tab, grid.x *
+    grid.y, 1)`` and ``lpcuda_checksum("+", tab, blockIdx.x)`` both
+    split correctly.
+    """
+    args: list[str] = []
+    depth = 0
+    quote: str | None = None
+    current: list[str] = []
+    for ch in arg_text:
+        if quote:
+            current.append(ch)
+            if ch == quote:
+                quote = None
+            continue
+        if ch in "\"'":
+            quote = ch
+            current.append(ch)
+        elif ch == "(":
+            depth += 1
+            current.append(ch)
+        elif ch == ")":
+            depth -= 1
+            if depth < 0:
+                raise DirectiveSyntaxError(
+                    f"unbalanced parentheses in arguments: {arg_text!r}"
+                )
+            current.append(ch)
+        elif ch == "," and depth == 0:
+            args.append("".join(current).strip())
+            current = []
+        else:
+            current.append(ch)
+    tail = "".join(current).strip()
+    if tail:
+        args.append(tail)
+    if quote is not None or depth != 0:
+        raise DirectiveSyntaxError(
+            f"unterminated quote/parenthesis in arguments: {arg_text!r}"
+        )
+    return args
+
+
+def _strip_quotes(tok: str) -> str:
+    if len(tok) >= 2 and tok[0] == tok[-1] and tok[0] in "\"'":
+        return tok[1:-1]
+    return tok
+
+
+def parse_pragma(line: str, line_no: int):
+    """Parse one source line; return a directive object or ``None``."""
+    m = _PRAGMA_RE.match(line)
+    if m is None:
+        return None
+    name, raw_args = m.group(1), m.group(2)
+    args = split_args(raw_args)
+    if name == "lpcuda_init":
+        if len(args) != 3:
+            raise DirectiveSyntaxError(
+                f"line {line_no}: lpcuda_init takes 3 arguments "
+                f"(table, nelems, selem), got {len(args)}"
+            )
+        return InitDirective(
+            table=args[0], nelems_expr=args[1], selem_expr=args[2],
+            line_no=line_no,
+        )
+    if name == "lpcuda_checksum":
+        if len(args) < 3:
+            raise DirectiveSyntaxError(
+                f"line {line_no}: lpcuda_checksum takes at least 3 "
+                f"arguments (type, table, key1, ...), got {len(args)}"
+            )
+        # The type argument may request several simultaneous checksums
+        # as "+^" (modular and parity together, the paper's
+        # recommendation); each character is one type token.
+        type_arg = _strip_quotes(args[0])
+        types = tuple(type_arg) if type_arg else ()
+        return ChecksumDirective(
+            checksum_types=types,
+            table=args[1],
+            keys=tuple(args[2:]),
+            line_no=line_no,
+        )
+    raise DirectiveSyntaxError(
+        f"line {line_no}: unknown nvm directive {name!r}"
+    )
+
+
+def _extract_param_names(params: str) -> tuple[str, ...]:
+    names = []
+    for piece in split_args(params):
+        piece = piece.replace("*", " ").strip()
+        if not piece:
+            continue
+        names.append(piece.split()[-1])
+    return tuple(names)
+
+
+def parse_program(source: str) -> ProgramSource:
+    """Parse a CUDA-like translation unit into a :class:`ProgramSource`.
+
+    Kernel bodies are captured by brace matching; ``lpcuda_checksum``
+    directives are attached to their enclosing kernel, together with
+    the statement on the following line (the protected store).
+    """
+    lines = source.splitlines()
+    program = ProgramSource(lines=lines)
+
+    i = 0
+    while i < len(lines):
+        line = lines[i]
+        directive = parse_pragma(line, i + 1)
+        if isinstance(directive, InitDirective):
+            program.inits.append(directive)
+            i += 1
+            continue
+        if isinstance(directive, ChecksumDirective):
+            # Kernel-side; handled again during kernel body scan below.
+            i += 1
+            continue
+
+        m = _KERNEL_RE.search(line)
+        if m:
+            kernel, i = _parse_kernel(lines, i, m.group(1))
+            program.kernels.append(kernel)
+            continue
+        i += 1
+    return program
+
+
+def _parse_kernel(lines: list[str], start: int, name: str) -> tuple[KernelSource, int]:
+    # Collect the parameter list (may span lines) up to the opening '{'.
+    header = []
+    i = start
+    while i < len(lines) and "{" not in lines[i]:
+        header.append(lines[i])
+        i += 1
+    if i >= len(lines):
+        raise DirectiveSyntaxError(f"kernel {name!r}: no body found")
+    header.append(lines[i][:lines[i].index("{")])
+    header_text = "\n".join(header)
+    p_open = header_text.index("(")
+    depth = 0
+    p_close = -1
+    for pos in range(p_open, len(header_text)):
+        if header_text[pos] == "(":
+            depth += 1
+        elif header_text[pos] == ")":
+            depth -= 1
+            if depth == 0:
+                p_close = pos
+                break
+    if p_close < 0:
+        raise DirectiveSyntaxError(f"kernel {name!r}: unbalanced parameters")
+    params = " ".join(header_text[p_open + 1:p_close].split())
+
+    # Brace-match the body.
+    body: list[str] = []
+    depth = 0
+    body_start = i + 1
+    rest_of_line = lines[i][lines[i].index("{"):]
+    depth += rest_of_line.count("{") - rest_of_line.count("}")
+    i += 1
+    while i < len(lines) and depth > 0:
+        depth += lines[i].count("{") - lines[i].count("}")
+        if depth > 0:
+            body.append(lines[i])
+        i += 1
+
+    kernel = KernelSource(
+        name=name,
+        params=params,
+        param_names=_extract_param_names(params),
+        body=body,
+        body_start_line=body_start + 1,
+    )
+
+    # Attach checksum directives (and their target statements).
+    for j, bline in enumerate(kernel.body):
+        directive = parse_pragma(bline, kernel.body_start_line + j)
+        if isinstance(directive, ChecksumDirective):
+            target = ""
+            if j + 1 < len(kernel.body):
+                target = kernel.body[j + 1].strip()
+            kernel.checksums.append(
+                ChecksumDirective(
+                    checksum_types=directive.checksum_types,
+                    table=directive.table,
+                    keys=directive.keys,
+                    line_no=directive.line_no,
+                    target_statement=target,
+                )
+            )
+    return kernel, i

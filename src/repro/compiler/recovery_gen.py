@@ -1,0 +1,66 @@
+"""Generation of check-and-recovery kernels (the paper's Listing 7).
+
+For each protected store, the recovery kernel:
+
+1. re-executes the *program slice* that computes the store's pointer
+   (``c = wB * BLOCK_SIZE * by + BLOCK_SIZE * bx;`` etc.),
+2. fetches the value memory holds there and validates it against the
+   checksum table using the directive's keys,
+3. on failure, invokes the recovery function generated from the
+   original kernel body (for idempotent regions, the kernel itself).
+
+The kernel has the same thread dimensions as the original, as Section
+IV-A specifies.
+"""
+
+from __future__ import annotations
+
+from repro.compiler.model import ChecksumDirective, KernelSource
+from repro.compiler.slicing import parse_store_target, slice_for_index
+
+
+def recovery_kernel_name(kernel_name: str) -> str:
+    """Name of the generated check-and-recovery kernel (``cr`` prefix)."""
+    return f"cr{kernel_name[0].upper()}{kernel_name[1:]}"
+
+
+def generate_recovery_kernel(
+    kernel: KernelSource, directive: ChecksumDirective
+) -> str:
+    """Emit the check-and-recovery kernel for one protected store."""
+    target = parse_store_target(directive.target_statement)
+    slice_stmts = slice_for_index(kernel, target)
+    keys = ", ".join(directive.keys)
+    args = ", ".join(kernel.param_names)
+
+    lines = [
+        f"__global__ void {recovery_kernel_name(kernel.name)}"
+        f"({kernel.params}) {{",
+    ]
+    lines += [f"    {stmt}" for stmt in slice_stmts]
+    lines += [
+        f"    if (!lpcuda_validate({target.lhs}, {directive.table}, "
+        f"{keys})) {{",
+        f"        recovery_{kernel.name}({args});",
+        "    }",
+        "}",
+    ]
+    return "\n".join(lines)
+
+
+def generate_recovery_function(kernel: KernelSource) -> str:
+    """Emit the default recovery function: re-run the region's body.
+
+    Valid for idempotent regions ("usually a thread block is
+    idempotent, hence the recovery function is trivially identical to
+    the original kernel function", Section IV-A). Non-idempotent
+    kernels must supply their own.
+    """
+    lines = [
+        f"__device__ void recovery_{kernel.name}({kernel.params}) {{",
+        "    /* idempotent region: recovery re-executes the block */",
+    ]
+    lines += [line for line in kernel.body
+              if not line.strip().startswith("#pragma nvm")]
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,124 @@
+"""Program slicing of store-address computations.
+
+To generate the check-and-recovery kernel (Listing 7), the compiler
+must reproduce — inside the recovery kernel — exactly the statements
+that compute the *pointer* of each protected store ("the compiler
+exploits a program slice that is used for the pointer calculation",
+Section VI). This module implements that slice over simple C
+statements: given the index expression of a store LHS, it walks the
+kernel body backwards collecting the assignments that (transitively)
+define the identifiers the expression uses.
+
+Built-in CUDA identifiers (``threadIdx``/``blockIdx``/... ) and kernel
+parameters are free variables of the slice: they need no defining
+statement.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.compiler.model import KernelSource, StoreTarget
+from repro.errors import SliceError
+
+#: Identifiers that are implicitly defined in every CUDA kernel.
+CUDA_BUILTINS = frozenset(
+    {
+        "threadIdx", "blockIdx", "blockDim", "gridDim", "warpSize",
+        "x", "y", "z",
+    }
+)
+
+# Identifiers must not start inside a numeric literal: the lookbehind
+# keeps suffixes of constants like ``1.0f`` or ``0xFF`` from leaking.
+_IDENT_RE = re.compile(r"(?<![\w.])[A-Za-z_]\w*")
+_DECL_ASSIGN_RE = re.compile(
+    r"^\s*(?:(?:unsigned|signed|const|static)\s+)*"
+    r"(?:(?:int|float|double|long|short|char|size_t|auto)\s+)?"
+    r"([A-Za-z_]\w*)\s*=\s*(.+?);\s*$"
+)
+
+
+def parse_store_target(statement: str) -> StoreTarget:
+    """Split ``A[expr] = value;`` into its parts."""
+    stmt = statement.strip()
+    m = re.match(r"^([A-Za-z_]\w*)\s*\[(.+?)\]\s*=\s*(.+?);?\s*$", stmt)
+    if m is None:
+        raise SliceError(
+            f"cannot parse protected store statement: {statement!r}; "
+            "expected the form 'array[index] = value;'"
+        )
+    array, index_expr, value_expr = m.group(1), m.group(2), m.group(3)
+    return StoreTarget(
+        lhs=f"{array}[{index_expr}]",
+        array=array,
+        index_expr=index_expr,
+        value_expr=value_expr,
+    )
+
+
+def identifiers(expr: str) -> set[str]:
+    """All identifiers appearing in a C expression."""
+    return set(_IDENT_RE.findall(expr))
+
+
+def statement_definition(line: str) -> tuple[str, str] | None:
+    """If ``line`` defines a scalar, return ``(name, rhs)``."""
+    stripped = line.strip()
+    if stripped.startswith(("#", "//", "if", "for", "while", "return")):
+        return None
+    m = _DECL_ASSIGN_RE.match(stripped)
+    if m is None:
+        return None
+    return m.group(1), m.group(2)
+
+
+def slice_for_index(kernel: KernelSource, target: StoreTarget) -> list[str]:
+    """Statements computing ``target``'s index, in execution order.
+
+    Walks the kernel body backwards from the protected store, keeping
+    every assignment whose LHS is (transitively) needed by the index
+    expression. Free variables must be CUDA builtins or kernel
+    parameters; anything else means the slice escapes what the
+    directive compiler supports.
+    """
+    needed = identifiers(target.index_expr)
+    free_ok = CUDA_BUILTINS | set(kernel.param_names)
+
+    # Find the store's position in the body.
+    store_pos = None
+    for j, line in enumerate(kernel.body):
+        if target.lhs.replace(" ", "") in line.replace(" ", ""):
+            store_pos = j
+            break
+    if store_pos is None:
+        store_pos = len(kernel.body)
+
+    kept: list[str] = []
+    for j in range(store_pos - 1, -1, -1):
+        definition = statement_definition(kernel.body[j])
+        if definition is None:
+            continue
+        name, rhs = definition
+        if name in needed:
+            kept.append(kernel.body[j].strip())
+            needed.discard(name)
+            needed |= identifiers(rhs)
+
+    unresolved = {
+        n for n in needed
+        if n not in free_ok
+        and not n.isdigit()
+        # ALL_CAPS identifiers are macro constants (e.g. BLOCK_SIZE):
+        # compile-time free variables of the slice.
+        and not (n.isupper() and len(n) > 1)
+    }
+    # Numeric literals starting with a digit never match the identifier
+    # regex, so anything left over is a real unknown.
+    if unresolved:
+        raise SliceError(
+            f"store index of {target.lhs!r} depends on identifiers the "
+            f"slice cannot resolve: {sorted(unresolved)}"
+        )
+    kept.reverse()
+    return kept

@@ -1,0 +1,1 @@
+"""Lazy Persistency core: checksums, reduction, tables, runtime, recovery."""

@@ -1,0 +1,132 @@
+"""Thread-block fusion: enlarging LP regions (Section IV-A).
+
+The paper notes LP regions "can be enlarged if needed, e.g. through
+thread block fusion": merging F consecutive thread blocks into one LP
+region trades checksum-table pressure (F× fewer entries, F× fewer
+insertions) against recovery granularity (a failed region re-executes
+F blocks' work).
+
+:class:`FusedKernel` implements the transformation generically: the
+fused launch has ``ceil(N / F)`` blocks; each fused block executes its
+F constituent blocks back to back *sharing one execution context*, so
+an attached LP observer accumulates one checksum across the whole fused
+region and the checksum table is sized to the fused grid automatically.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import LaunchError
+from repro.gpu.kernel import BlockContext, Kernel, LaunchConfig
+
+
+class _SubBlockContext:
+    """A view of a fused context posing as one constituent block.
+
+    Everything (memory, tally, shared memory, LP observer, EP
+    interceptor) is shared with the parent context; only the block
+    identity differs. Implemented by delegation so any future context
+    capability is inherited automatically.
+    """
+
+    def __init__(self, parent: BlockContext, inner_config: LaunchConfig,
+                 block_id: int) -> None:
+        object.__setattr__(self, "_parent", parent)
+        object.__setattr__(self, "config", inner_config)
+        object.__setattr__(self, "block_id", block_id)
+
+    def __getattr__(self, name):
+        return getattr(object.__getattribute__(self, "_parent"), name)
+
+    def __setattr__(self, name, value):
+        if name in ("config", "block_id"):
+            object.__setattr__(self, name, value)
+        else:
+            setattr(object.__getattribute__(self, "_parent"), name, value)
+
+    # Geometry helpers must use the *inner* identity.
+    @property
+    def n_threads(self) -> int:
+        return self.config.threads_per_block
+
+    @property
+    def tid(self):
+        import numpy as np
+
+        return np.arange(self.n_threads)
+
+    @property
+    def block_xy(self):
+        return self.config.block_coords(self.block_id)
+
+    def thread_xy(self):
+        import numpy as np
+
+        bx = self.config.block[0]
+        t = np.arange(self.n_threads)
+        return t % bx, t // bx
+
+
+class FusedKernel(Kernel):
+    """``factor`` consecutive blocks of ``inner`` fused into one region."""
+
+    def __init__(self, inner: Kernel, factor: int) -> None:
+        if factor < 1:
+            raise LaunchError("fusion factor must be >= 1")
+        self.inner = inner
+        self.factor = factor
+        self._inner_config = inner.launch_config()
+        self.name = f"{inner.name}*fuse{factor}"
+        self.protected_buffers = inner.protected_buffers
+        self.idempotent = inner.idempotent
+
+    def launch_config(self) -> LaunchConfig:
+        fused_blocks = math.ceil(self._inner_config.n_blocks / self.factor)
+        return LaunchConfig.linear(
+            fused_blocks, self._inner_config.threads_per_block
+        )
+
+    def _constituents(self, fused_id: int) -> range:
+        lo = fused_id * self.factor
+        hi = min(lo + self.factor, self._inner_config.n_blocks)
+        return range(lo, hi)
+
+    def block_output_map(self, block_id: int):
+        """Union of the constituent blocks' store-address slices."""
+        import numpy as np
+
+        merged: dict[str, list] = {}
+        for inner_id in self._constituents(block_id):
+            sub_map = self.inner.block_output_map(inner_id)
+            if sub_map is None:
+                return None
+            for name, idx in sub_map.items():
+                merged.setdefault(name, []).append(idx)
+        return {name: np.concatenate(parts)
+                for name, parts in merged.items()}
+
+    def run_block(self, ctx: BlockContext) -> None:
+        for inner_id in self._constituents(ctx.block_id):
+            sub = _SubBlockContext(ctx, self._inner_config, inner_id)
+            self.inner.run_block(sub)
+
+    def validate_block(self, ctx: BlockContext) -> None:
+        for inner_id in self._constituents(ctx.block_id):
+            sub = _SubBlockContext(ctx, self._inner_config, inner_id)
+            self.inner.validate_block(sub)
+
+    def recover_block(self, ctx: BlockContext) -> None:
+        for inner_id in self._constituents(ctx.block_id):
+            sub = _SubBlockContext(ctx, self._inner_config, inner_id)
+            self.inner.recover_block(sub)
+
+
+def fuse_blocks(kernel: Kernel, factor: int) -> Kernel:
+    """Fuse ``factor`` consecutive thread blocks into one LP region.
+
+    ``factor=1`` returns the kernel unchanged.
+    """
+    if factor == 1:
+        return kernel
+    return FusedKernel(kernel, factor)

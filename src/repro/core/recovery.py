@@ -1,0 +1,129 @@
+"""Crash recovery: validation and eager re-execution of failed regions.
+
+After a crash, the recovery kernel (same thread dimensions as the
+original, Section IV-A) validates each thread block: it recomputes the
+block's checksum from the data found in memory and compares it with the
+checksum table. Blocks that fail — because data lines, checksum lines,
+or both were lost — are re-executed by the recovery function (for
+idempotent blocks, the original kernel itself).
+
+The paper adopts **eager recovery**: recover immediately and
+completely, guaranteeing forward progress; the expense is acceptable
+because recovery is the rare case. :class:`RecoveryManager.recover`
+implements that loop, including the re-validation pass that confirms a
+consistent state, and keeps retrying (bounded) if a crash during
+recovery is simulated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.runtime import LazyPersistentKernel
+from repro.errors import RecoveryError
+from repro.gpu.device import Device, LaunchResult
+from repro.gpu.kernel import ExecMode
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of one validation launch."""
+
+    n_blocks: int
+    failed_blocks: list[int]
+    missing_checksums: list[int]
+    launch: LaunchResult
+
+    @property
+    def n_failed(self) -> int:
+        """Regions needing recovery."""
+        return len(self.failed_blocks)
+
+    @property
+    def all_passed(self) -> bool:
+        """True when every region's checksum validated."""
+        return not self.failed_blocks
+
+
+@dataclass
+class RecoveryReport:
+    """Outcome of a full eager-recovery cycle."""
+
+    initial: ValidationReport
+    recovered_blocks: list[int] = field(default_factory=list)
+    final: ValidationReport | None = None
+    recovery_launches: list[LaunchResult] = field(default_factory=list)
+
+    @property
+    def recovered(self) -> bool:
+        """True when the final validation passed everywhere."""
+        return self.final is not None and self.final.all_passed
+
+    @property
+    def total_recovery_cycles(self) -> float:
+        """Modeled cycles spent in validation + re-execution."""
+        cycles = self.initial.launch.total_cycles
+        cycles += sum(lr.total_cycles for lr in self.recovery_launches)
+        if self.final is not None:
+            cycles += self.final.launch.total_cycles
+        return cycles
+
+
+class RecoveryManager:
+    """Drives post-crash validation and eager recovery for one kernel."""
+
+    def __init__(self, device: Device, kernel: LazyPersistentKernel) -> None:
+        self.device = device
+        self.kernel = kernel
+
+    # ------------------------------------------------------------------
+    # Phases
+    # ------------------------------------------------------------------
+
+    def validate(self, block_ids: list[int] | None = None) -> ValidationReport:
+        """Launch the validation pass over all (or given) blocks."""
+        self.kernel.reset_validation()
+        launch = self.device.launch(
+            self.kernel, block_ids=block_ids, mode=ExecMode.VALIDATE
+        )
+        return ValidationReport(
+            n_blocks=len(launch.completed_blocks),
+            failed_blocks=sorted(self.kernel.validation_failures),
+            missing_checksums=sorted(self.kernel.missing_checksums),
+            launch=launch,
+        )
+
+    def recover(self, max_rounds: int = 3) -> RecoveryReport:
+        """Eager recovery: validate, re-execute failures, re-validate.
+
+        Re-validation after re-execution confirms forward progress; a
+        handful of rounds bounds pathological cases (e.g. fault
+        injection racing recovery in tests). Raises
+        :class:`~repro.errors.RecoveryError` if the state will not
+        converge.
+        """
+        if self.device.crashed:
+            self.device.restart()
+
+        initial = self.validate()
+        report = RecoveryReport(initial=initial)
+        failed = initial.failed_blocks
+
+        for _ in range(max_rounds):
+            if not failed:
+                break
+            launch = self.device.launch(
+                self.kernel, block_ids=failed, mode=ExecMode.RECOVER
+            )
+            report.recovery_launches.append(launch)
+            report.recovered_blocks.extend(failed)
+            check = self.validate(block_ids=failed)
+            failed = check.failed_blocks
+
+        report.final = self.validate()
+        if not report.final.all_passed:
+            raise RecoveryError(
+                f"recovery of {self.kernel.name!r} did not converge; "
+                f"{report.final.n_failed} regions still failing"
+            )
+        return report

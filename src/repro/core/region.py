@@ -1,0 +1,65 @@
+"""LP region state: the store observer attached to one thread block.
+
+An LP region on the GPU is one thread block (Section IV-A). While the
+block runs, every store to a *protected* buffer is intercepted by the
+block's :class:`LPRegionObserver`, which folds the stored values into
+per-thread checksum accumulators — the simulator's equivalent of the
+``UpdateCheckSum(...)`` call the paper places after each persistent
+store (Listing 1, line 12; Listing 2, lines 21-24).
+
+The observer satisfies the :class:`~repro.gpu.kernel.StoreObserver`
+protocol that :class:`~repro.gpu.kernel.BlockContext` consults on every
+``st``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.checksum import BlockChecksumState, ChecksumSet
+from repro.gpu.kernel import BlockContext
+
+
+class LPRegionObserver:
+    """Per-block checksum accumulation over protected stores.
+
+    Parameters
+    ----------
+    cset:
+        The checksum lanes protecting the region.
+    ctx:
+        The block's execution context; checksum-update ALU work is
+        charged here (the per-store overhead of Section IV-B).
+    protected:
+        Buffer names whose stores the region protects.
+    charge_float_conversion:
+        Whether to charge the float→ordered-int conversion op on every
+        update (the parity lane's Fig. 2 conversion). The functional
+        conversion always happens; only its cost is configurable, so an
+        integer-only kernel is not billed for it.
+    """
+
+    def __init__(
+        self,
+        cset: ChecksumSet,
+        ctx: BlockContext,
+        protected: frozenset[str],
+        charge_float_conversion: bool = True,
+    ) -> None:
+        self._ctx = ctx
+        self.protected = protected
+        self.state: BlockChecksumState = cset.new_block_state(ctx.n_threads)
+        self._ops_per_update = cset.ops_per_update
+        if not charge_float_conversion:
+            self._ops_per_update = max(1, self._ops_per_update - 1)
+
+    def on_store(self, values: np.ndarray, slots: np.ndarray) -> None:
+        """Fold one store's values into the region checksums."""
+        values = np.asarray(values).reshape(-1)
+        self._ctx.alu(values.size * self._ops_per_update)
+        self.state.update(values, slots)
+
+    @property
+    def n_values(self) -> int:
+        """Store values folded so far in this region."""
+        return self.state.n_values

@@ -1,0 +1,180 @@
+"""The Lazy Persistency runtime: kernel instrumentation.
+
+:class:`LazyPersistentKernel` wraps any simulator kernel with the LP
+protocol of the paper's Listing 2:
+
+1. at block start, reset per-thread checksum accumulators;
+2. every protected store updates the accumulators (via the context's
+   store interception and an :class:`~repro.core.region.LPRegionObserver`);
+3. at block end, reduce the accumulators (shuffle or sequential,
+   Listings 3-4) and insert the block's checksum into the checksum
+   table, keyed by block id.
+
+:class:`LPRuntime` is the host-side façade: given a device and an
+:class:`~repro.core.config.LPConfig`, it sizes and allocates the
+checksum table for a kernel (the ``lpcuda_init`` directive's job) and
+returns the instrumented kernel.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.checksum import ChecksumSet
+from repro.core.config import LPConfig
+from repro.core.reduction import reduce_block
+from repro.core.region import LPRegionObserver
+from repro.core.tables import ChecksumTable, make_table
+from repro.errors import ConfigError
+from repro.gpu.device import Device
+from repro.gpu.kernel import BlockContext, ExecMode, Kernel, LaunchConfig
+
+
+class LazyPersistentKernel(Kernel):
+    """A kernel wrapped with Lazy Persistency instrumentation.
+
+    The wrapper preserves the inner kernel's launch shape and delegates
+    the computation; it adds checksum accumulation, reduction and table
+    insertion per block, plus the validation/recovery protocol used
+    after a crash.
+    """
+
+    def __init__(
+        self,
+        inner: Kernel,
+        config: LPConfig,
+        table: ChecksumTable,
+        charge_float_conversion: bool | None = None,
+    ) -> None:
+        if not inner.protected_buffers:
+            raise ConfigError(
+                f"kernel {inner.name!r} declares no protected buffers; "
+                "nothing for Lazy Persistency to protect"
+            )
+        self.inner = inner
+        self.config = config
+        self.table = table
+        self.cset = ChecksumSet(config.checksums)
+        self.name = f"{inner.name}+lp[{config.describe()}]"
+        self.protected_buffers = inner.protected_buffers
+        self.idempotent = inner.idempotent
+        self._protected = frozenset(inner.protected_buffers)
+        if charge_float_conversion is None:
+            charge_float_conversion = config.uses_float_conversion
+        self._charge_conv = charge_float_conversion
+        #: Block ids whose checksums failed the last validation launch.
+        self.validation_failures: list[int] = []
+        #: Blocks whose stored checksum was missing entirely.
+        self.missing_checksums: list[int] = []
+
+    # ------------------------------------------------------------------
+    # Kernel interface
+    # ------------------------------------------------------------------
+
+    def launch_config(self) -> LaunchConfig:
+        return self.inner.launch_config()
+
+    def run_block(self, ctx: BlockContext) -> None:
+        observer = self._attach_observer(ctx)
+        self.inner.run_block(ctx)
+        self._seal_region(ctx, observer)
+
+    def validate_block(self, ctx: BlockContext) -> None:
+        """Check one block's region checksum against the table.
+
+        Replays the block in ``VALIDATE`` mode: protected stores read
+        memory's current contents into the checksum instead of writing.
+        A mismatch — or a missing table entry — marks the block failed.
+        """
+        if ctx.mode is not ExecMode.VALIDATE:
+            raise ConfigError("validate_block requires a VALIDATE context")
+        observer = self._attach_observer(ctx)
+        self.inner.validate_block(ctx)
+        lanes = reduce_block(observer.state, self.config.reduction, ctx)
+        stored = self.table.lookup(ctx.block_id)
+        if stored is None:
+            self.missing_checksums.append(ctx.block_id)
+            self.validation_failures.append(ctx.block_id)
+        elif not np.array_equal(lanes, stored):
+            self.validation_failures.append(ctx.block_id)
+
+    def recover_block(self, ctx: BlockContext) -> None:
+        """Re-execute a failed region and refresh its checksum entry."""
+        observer = self._attach_observer(ctx)
+        self.inner.recover_block(ctx)
+        self._seal_region(ctx, observer)
+
+    # ------------------------------------------------------------------
+    # Host-side helpers
+    # ------------------------------------------------------------------
+
+    def reset_validation(self) -> None:
+        """Clear the failure lists before a validation launch."""
+        self.validation_failures = []
+        self.missing_checksums = []
+
+    @property
+    def protected_data_bytes(self) -> int:
+        """Bytes of protected output data (for the space-overhead metric)."""
+        total = 0
+        # The table and kernel share a memory; resolve via the table.
+        for name in self.protected_buffers:
+            total += self.table.memory[name].nbytes
+        return total
+
+    def space_overhead(self) -> float:
+        """Checksum-table bytes relative to protected data (Table V)."""
+        data = self.protected_data_bytes
+        if data <= 0:
+            raise ConfigError("no protected data to compare against")
+        return self.table.space_bytes / data
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _attach_observer(self, ctx: BlockContext) -> LPRegionObserver:
+        observer = LPRegionObserver(
+            self.cset, ctx, self._protected,
+            charge_float_conversion=self._charge_conv,
+        )
+        ctx.lp_observer = observer
+        return observer
+
+    def _seal_region(self, ctx: BlockContext, observer: LPRegionObserver) -> None:
+        lanes = reduce_block(observer.state, self.config.reduction, ctx)
+        self.table.insert(ctx, ctx.block_id, lanes)
+
+
+class LPRuntime:
+    """Host-side LP orchestration bound to one device.
+
+    The runtime plays the role of the paper's ``lpcuda_init`` runtime
+    call: it knows the number of LP regions in advance (the grid's
+    block count), sizes the checksum table accordingly, and hands back
+    an instrumented kernel ready to launch.
+    """
+
+    def __init__(self, device: Device, config: LPConfig | None = None) -> None:
+        self.device = device
+        self.config = config or LPConfig.paper_best()
+        self.cset = ChecksumSet(self.config.checksums)
+
+    def instrument(
+        self,
+        kernel: Kernel,
+        table_name: str | None = None,
+        perfect_hash: bool = False,
+    ) -> LazyPersistentKernel:
+        """Wrap ``kernel`` with LP, allocating its checksum table."""
+        n_keys = kernel.launch_config().n_blocks
+        table = make_table(
+            self.device.memory,
+            table_name or kernel.name,
+            n_keys,
+            self.cset.n_lanes,
+            self.config,
+            cost_model=self.device.cost_model,
+            perfect_hash=perfect_hash,
+        )
+        return LazyPersistentKernel(kernel, self.config, table)

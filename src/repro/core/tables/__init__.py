@@ -1,0 +1,77 @@
+"""Checksum-table organizations for GPU Lazy Persistency.
+
+Use :func:`make_table` to build the table an
+:class:`~repro.core.config.LPConfig` asks for.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import LPConfig, TableKind
+from repro.core.tables.base import (
+    EMPTY_KEY,
+    TABLE_BUFFER_PREFIX,
+    ChecksumTable,
+    TableStats,
+    mix64,
+    mix64_array,
+    pow2_ceil,
+)
+from repro.core.tables.cuckoo import CuckooTable
+from repro.core.tables.global_array import GlobalArrayTable
+from repro.core.tables.locks import InsertionProtocol
+from repro.core.tables.quadratic import QuadraticTable
+from repro.errors import TableError
+from repro.gpu.costs import CostModel
+from repro.gpu.memory import GlobalMemory
+
+__all__ = [
+    "EMPTY_KEY",
+    "TABLE_BUFFER_PREFIX",
+    "ChecksumTable",
+    "CuckooTable",
+    "GlobalArrayTable",
+    "InsertionProtocol",
+    "QuadraticTable",
+    "TableStats",
+    "make_table",
+    "mix64",
+    "mix64_array",
+    "pow2_ceil",
+]
+
+
+def make_table(
+    memory: GlobalMemory,
+    name: str,
+    n_keys: int,
+    n_lanes: int,
+    config: LPConfig,
+    cost_model: CostModel | None = None,
+    perfect_hash: bool = False,
+) -> ChecksumTable:
+    """Instantiate the checksum table selected by ``config.table``.
+
+    ``perfect_hash`` enables the Section IV-D-2 collision-free ablation
+    on the hash-table kinds (it is meaningless for the global array,
+    which is already collision-free).
+    """
+    if config.table is TableKind.QUADRATIC:
+        return QuadraticTable(
+            memory, name, n_keys, n_lanes, config, cost_model,
+            perfect_hash=perfect_hash,
+        )
+    if config.table is TableKind.CUCKOO:
+        return CuckooTable(
+            memory, name, n_keys, n_lanes, config, cost_model,
+            perfect_hash=perfect_hash,
+        )
+    if config.table is TableKind.GLOBAL_ARRAY:
+        if perfect_hash:
+            raise TableError(
+                "perfect_hash is a hash-table ablation; the global array "
+                "is already collision-free"
+            )
+        return GlobalArrayTable(
+            memory, name, n_keys, n_lanes, config, cost_model
+        )
+    raise TableError(f"unknown table kind: {config.table}")

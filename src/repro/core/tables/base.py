@@ -1,0 +1,202 @@
+"""Checksum-table interface, sizing policy, hashing and statistics.
+
+A checksum table stores one entry per LP region (= thread block): the
+region's key (its block id) and its checksum lane values. The table
+itself lives in *persistent* device memory — its stores are just as
+lazy as the data stores they protect, which is why LP needs no flush
+instructions anywhere (Section II-A).
+
+Three organizations are provided (Sections IV-C and V):
+
+* :class:`~repro.core.tables.quadratic.QuadraticTable` — open
+  addressing with quadratic probing, ``atomicCAS`` slot claims;
+* :class:`~repro.core.tables.cuckoo.CuckooTable` — two-table cuckoo
+  hashing, ``atomicExch`` eviction chains;
+* :class:`~repro.core.tables.global_array.GlobalArrayTable` — the
+  paper's contribution: a plain array indexed by block id. Collision-
+  free, race-free, 100 % load factor.
+
+Table buffers are named with the ``__lp_`` prefix so NVM write
+statistics can attribute checksum traffic separately from application
+data (the write-amplification study, Section VII-3).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import LPConfig, TableKind
+from repro.errors import TableError
+from repro.gpu.costs import CostModel
+from repro.gpu.kernel import BlockContext
+from repro.gpu.memory import Buffer, GlobalMemory
+
+#: Key sentinel for an empty slot. Block ids are far below 2**64 - 1.
+EMPTY_KEY = np.uint64(0xFFFFFFFFFFFFFFFF)
+#: Prefix of every table buffer name, for write-stats attribution.
+TABLE_BUFFER_PREFIX = "__lp_"
+
+_MASK64 = (1 << 64) - 1
+
+
+def pow2_ceil(n: int) -> int:
+    """Smallest power of two ≥ ``n`` (≥ 1)."""
+    if n <= 1:
+        return 1
+    return 1 << (n - 1).bit_length()
+
+
+def mix64(value: int, seed: int) -> int:
+    """SplitMix64-style integer hash; full-period, well-distributed.
+
+    Used as the hash function of both hash tables; ``seed`` selects a
+    function from the family (cuckoo rehash picks fresh seeds).
+    """
+    x = (value + seed) & _MASK64
+    x ^= x >> 30
+    x = (x * 0xBF58476D1CE4E5B9) & _MASK64
+    x ^= x >> 27
+    x = (x * 0x94D049BB133111EB) & _MASK64
+    x ^= x >> 31
+    return x
+
+
+def mix64_array(values: np.ndarray, seed: int) -> np.ndarray:
+    """Vectorized :func:`mix64` over a uint64 array."""
+    x = (values.astype(np.uint64) + np.uint64(seed & _MASK64))
+    with np.errstate(over="ignore"):
+        x ^= x >> np.uint64(30)
+        x *= np.uint64(0xBF58476D1CE4E5B9)
+        x ^= x >> np.uint64(27)
+        x *= np.uint64(0x94D049BB133111EB)
+        x ^= x >> np.uint64(31)
+    return x
+
+
+@dataclass
+class TableStats:
+    """Insertion/lookup statistics of one checksum table."""
+
+    inserts: int = 0
+    #: Probes that found an occupied slot (the paper's Table II metric).
+    collisions: int = 0
+    #: Total slots examined across all insertions.
+    probes: int = 0
+    #: Cuckoo rehash events.
+    rehashes: int = 0
+    lookups: int = 0
+    failed_lookups: int = 0
+    #: Longest probe / eviction chain seen for a single insert.
+    max_chain: int = 0
+
+    def note_chain(self, length: int) -> None:
+        """Record the chain length of one insert."""
+        self.max_chain = max(self.max_chain, length)
+
+
+class ChecksumTable(abc.ABC):
+    """Device-resident checksum store for LP regions.
+
+    Parameters
+    ----------
+    memory:
+        The device global memory the table's buffers live in.
+    name:
+        Logical name; buffer names derive from it.
+    n_keys:
+        Number of regions (thread blocks) that will insert — known in
+        advance, as the paper notes, which is what allows sizing the
+        table to a safe load factor (or eliminating it entirely).
+    n_lanes:
+        Checksum words per entry.
+    config:
+        LP configuration (lock mode, atomic mode, load-factor targets).
+    cost_model:
+        Used for contention sub-models (lock convoys, emulated atomics).
+    """
+
+    kind: TableKind
+
+    def __init__(
+        self,
+        memory: GlobalMemory,
+        name: str,
+        n_keys: int,
+        n_lanes: int,
+        config: LPConfig,
+        cost_model: CostModel | None = None,
+    ) -> None:
+        if n_keys <= 0:
+            raise TableError("a checksum table needs at least one key")
+        if n_lanes <= 0:
+            raise TableError("a checksum table needs at least one lane")
+        self.memory = memory
+        self.name = name
+        self.n_keys = n_keys
+        self.n_lanes = n_lanes
+        self.config = config
+        self.cost_model = cost_model or CostModel()
+        self.stats = TableStats()
+        self._buffers: list[Buffer] = []
+
+    # -- construction helpers -------------------------------------------
+
+    def _alloc(self, suffix: str, shape, dtype=np.uint64, fill=None) -> Buffer:
+        """Allocate one persistent table buffer (``__lp_`` namespaced)."""
+        full = f"{TABLE_BUFFER_PREFIX}{self.name}_{suffix}"
+        init = None
+        if fill is not None:
+            init = np.full(shape, fill, dtype=dtype)
+        buf = self.memory.alloc(full, shape, dtype=dtype, persistent=True,
+                                init=init)
+        self._buffers.append(buf)
+        return buf
+
+    # -- abstract interface ----------------------------------------------
+
+    @abc.abstractmethod
+    def insert(self, ctx: BlockContext, key: int, lanes: np.ndarray) -> None:
+        """Insert (or refresh) a region's checksum from inside a block.
+
+        Runs on the device: all memory traffic, atomics and contention
+        are charged to ``ctx``. Re-inserting an existing key overwrites
+        its lanes — which is exactly what recovery re-execution needs.
+        """
+
+    @abc.abstractmethod
+    def lookup(self, key: int) -> np.ndarray | None:
+        """Host-side lookup during crash recovery.
+
+        Reads the *post-crash* (persisted) image. Returns the lane
+        values or ``None`` if the key is absent — absence means the
+        checksum store itself did not persist, so the region must be
+        recovered. Lookups are off the critical path (Section IV-C).
+        """
+
+    # -- shared metrics ----------------------------------------------------
+
+    @property
+    def space_bytes(self) -> int:
+        """Device memory footprint of the table (Table V's space column)."""
+        return sum(buf.nbytes for buf in self._buffers)
+
+    @property
+    def buffer_names(self) -> list[str]:
+        """Names of the table's device buffers."""
+        return [buf.name for buf in self._buffers]
+
+    def free(self) -> None:
+        """Release the table's device buffers."""
+        for buf in self._buffers:
+            self.memory.free(buf.name)
+        self._buffers.clear()
+
+    # -- lane packing -------------------------------------------------------
+
+    def _lane_slice(self, entry_index: int) -> np.ndarray:
+        """Flat indices of an entry's lane words in a packed lane buffer."""
+        base = entry_index * self.n_lanes
+        return np.arange(base, base + self.n_lanes)

@@ -1,0 +1,181 @@
+"""Two-table cuckoo-hashing checksum table (Fig. 4).
+
+Each key has one candidate slot per table (``T1[H1(key)]`` and
+``T2[H2(key)]``). Insertion claims its ``T1`` slot unconditionally with
+``atomicExch``; if a victim key was evicted, the victim re-inserts into
+the *other* table, and so on — the paper's step (1)-(4) walk. A chain
+that exceeds the cycle bound triggers a **rehash**: new hash seeds,
+both tables rebuilt (every reinsert's collisions are counted, so a
+rehash is visibly expensive in the Table II statistics).
+
+The paper's observations reproduced here:
+
+* amortized-constant insertion, bounded lookups (exactly two probes);
+* the load factor must stay under ~50 % combined, hence the sizing from
+  :attr:`~repro.core.config.LPConfig.cuckoo_target_load_factor`;
+* ``atomicExch`` (not CAS) suffices because the slot is overwritten
+  whether or not it is occupied (Section IV-C-1).
+
+``perfect_hash`` implements the Section IV-D-2 collision-free ablation,
+as for the quadratic table.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import LPConfig, TableKind
+from repro.core.tables.base import (
+    EMPTY_KEY,
+    ChecksumTable,
+    mix64,
+    pow2_ceil,
+)
+from repro.core.tables.locks import InsertionProtocol
+from repro.errors import RehashLimitError
+from repro.gpu.costs import CostModel
+from repro.gpu.kernel import BlockContext
+from repro.gpu.memory import GlobalMemory
+
+#: Eviction-chain length that declares a cycle and forces a rehash.
+DEFAULT_MAX_CHAIN = 48
+#: Consecutive rehash attempts before giving up.
+MAX_REHASH_ATTEMPTS = 16
+
+
+class CuckooTable(ChecksumTable):
+    """Standard two-table cuckoo hash for per-block checksums."""
+
+    kind = TableKind.CUCKOO
+
+    def __init__(
+        self,
+        memory: GlobalMemory,
+        name: str,
+        n_keys: int,
+        n_lanes: int,
+        config: LPConfig,
+        cost_model: CostModel | None = None,
+        seed: int = 0x2545F491,
+        max_chain: int = DEFAULT_MAX_CHAIN,
+        perfect_hash: bool = False,
+    ) -> None:
+        super().__init__(memory, name, n_keys, n_lanes, config, cost_model)
+        self.perfect_hash = perfect_hash
+        if perfect_hash:
+            per_table = pow2_ceil(n_keys)
+        else:
+            # Combined load factor = n / (2 * per_table) <= target.
+            per_table = pow2_ceil(
+                int(np.ceil(n_keys / (2 * config.cuckoo_target_load_factor)))
+            )
+        self.per_table_capacity = per_table
+        self.capacity = 2 * per_table
+        self.max_chain = max_chain
+        self._seeds = [seed, seed ^ 0x6A09E667F3BCC909]
+        self._keys = [
+            self._alloc("keys0", (per_table,), np.uint64, fill=EMPTY_KEY),
+            self._alloc("keys1", (per_table,), np.uint64, fill=EMPTY_KEY),
+        ]
+        self._lanes = [
+            self._alloc("lanes0", (per_table * n_lanes,), np.uint64,
+                        fill=EMPTY_KEY),
+            self._alloc("lanes1", (per_table * n_lanes,), np.uint64,
+                        fill=EMPTY_KEY),
+        ]
+        self._protocol = InsertionProtocol(config, self.cost_model, n_keys)
+
+    # ------------------------------------------------------------------
+    # Hashing
+    # ------------------------------------------------------------------
+
+    def _index(self, table: int, key: int) -> int:
+        if self.perfect_hash:
+            return int(key) % self.per_table_capacity
+        return mix64(int(key), self._seeds[table]) % self.per_table_capacity
+
+    # ------------------------------------------------------------------
+    # Device-side insertion
+    # ------------------------------------------------------------------
+
+    def insert(self, ctx: BlockContext, key: int, lanes: np.ndarray) -> None:
+        self.stats.inserts += 1
+        self._insert_inner(ctx, np.uint64(key),
+                           np.asarray(lanes, dtype=np.uint64), depth=0)
+
+    def _insert_inner(
+        self, ctx: BlockContext, key: np.uint64, lanes: np.ndarray, depth: int
+    ) -> None:
+        # Recovery idempotence: refresh in place if the key is already
+        # resident (two reads; lookups are cheap and bounded).
+        for t in (0, 1):
+            idx = self._index(t, int(key))
+            if ctx.ld(self._keys[t], idx)[0] == key:
+                ctx.st(self._lanes[t], self._lane_slice(idx), lanes)
+                self._protocol.charge_lock(ctx, 1)
+                return
+
+        cur_key, cur_lanes = key, lanes
+        table = 0
+        chain = 0
+        while chain <= self.max_chain:
+            idx = self._index(table, int(cur_key))
+            old_key = self._protocol.swap(ctx, self._keys[table], idx, cur_key)
+            old_lanes = ctx.ld(self._lanes[table], self._lane_slice(idx))
+            ctx.st(self._lanes[table], self._lane_slice(idx), cur_lanes)
+            self.stats.probes += 1
+            if old_key == EMPTY_KEY:
+                self.stats.note_chain(chain + 1)
+                self._protocol.charge_lock(ctx, chain + 1)
+                return
+            self.stats.collisions += 1
+            cur_key, cur_lanes = old_key, old_lanes.copy()
+            table ^= 1
+            chain += 1
+
+        # Cycle detected: rehash with fresh seeds and retry the orphan.
+        self._protocol.charge_lock(ctx, chain)
+        self._rehash(ctx, depth)
+        self._insert_inner(ctx, cur_key, cur_lanes, depth + 1)
+
+    def _rehash(self, ctx: BlockContext, depth: int) -> None:
+        if depth >= MAX_REHASH_ATTEMPTS:
+            raise RehashLimitError(
+                f"cuckoo table {self.name!r} rehashed {depth} times "
+                "without converging"
+            )
+        self.stats.rehashes += 1
+        entries: list[tuple[np.uint64, np.ndarray]] = []
+        for t in (0, 1):
+            keys = self._keys[t].array
+            lanes = self._lanes[t].array
+            occupied = np.flatnonzero(keys != EMPTY_KEY)
+            for idx in occupied:
+                base = int(idx) * self.n_lanes
+                entries.append(
+                    (np.uint64(keys[idx]),
+                     lanes[base:base + self.n_lanes].copy())
+                )
+            # Clearing the tables is real device traffic.
+            all_idx = np.arange(self.per_table_capacity)
+            ctx.st(self._keys[t], all_idx, EMPTY_KEY)
+            ctx.st(self._lanes[t], np.arange(lanes.size), EMPTY_KEY)
+
+        self._seeds = [mix64(s, 0xD1B54A32D192ED03 + depth) for s in self._seeds]
+        for old_key, old_lanes in entries:
+            self._insert_inner(ctx, old_key, old_lanes, depth + 1)
+
+    # ------------------------------------------------------------------
+    # Host-side lookup (recovery path)
+    # ------------------------------------------------------------------
+
+    def lookup(self, key: int) -> np.ndarray | None:
+        key64 = np.uint64(key)
+        self.stats.lookups += 1
+        for t in (0, 1):
+            idx = self._index(t, int(key))
+            if self._keys[t].array[idx] == key64:
+                base = idx * self.n_lanes
+                return self._lanes[t].array[base:base + self.n_lanes].copy()
+        self.stats.failed_lookups += 1
+        return None

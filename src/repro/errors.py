@@ -1,0 +1,105 @@
+"""Exception hierarchy for the ``repro`` GPU Lazy Persistency library.
+
+Every exception raised by this package derives from :class:`ReproError`,
+so callers can catch the whole family with a single ``except`` clause.
+Exceptions are grouped by the subsystem that raises them (memory model,
+device execution, checksum tables, recovery, directive compiler).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigError(ReproError):
+    """An :class:`~repro.core.config.LPConfig` combination is invalid.
+
+    Example: requesting a parallel (shuffle) reduction with an
+    order-sensitive checksum such as Adler-32.
+    """
+
+
+class MemoryError_(ReproError):
+    """Base class for simulated-memory errors.
+
+    The trailing underscore avoids shadowing the :class:`MemoryError`
+    builtin while keeping the name recognizable.
+    """
+
+
+class AllocationError(MemoryError_):
+    """A buffer could not be allocated (duplicate name, bad shape, ...)."""
+
+
+class OutOfBoundsError(MemoryError_):
+    """A load/store addressed elements outside a buffer's extent."""
+
+
+class DeviceError(ReproError):
+    """The simulated device was driven through an invalid sequence."""
+
+
+class LaunchError(DeviceError):
+    """A kernel launch was malformed (zero blocks, bad block size, ...)."""
+
+
+class CrashedDeviceError(DeviceError):
+    """An operation requires a live device but the device has crashed.
+
+    Raised when e.g. a kernel launch is attempted between ``crash()`` and
+    ``restart()``.
+    """
+
+
+class TableError(ReproError):
+    """Base class for checksum-table errors."""
+
+
+class TableFullError(TableError):
+    """An open-addressing insertion could not find a free slot."""
+
+
+class RehashLimitError(TableError):
+    """Cuckoo hashing exceeded its bound on consecutive rehash attempts."""
+
+
+class DuplicateKeyError(TableError):
+    """A key was inserted twice into a table that forbids duplicates."""
+
+
+class RecoveryError(ReproError):
+    """Crash recovery could not restore a consistent state."""
+
+
+class ValidationError(RecoveryError):
+    """Checksum validation was attempted against a malformed table."""
+
+
+class UnrecoverableRegionError(RecoveryError):
+    """A failed LP region has no recovery function.
+
+    Raised for non-idempotent regions whose kernel does not provide a
+    custom recovery implementation.
+    """
+
+
+class CompileError(ReproError):
+    """Base class for directive-compiler errors."""
+
+
+class DirectiveSyntaxError(CompileError):
+    """A ``#pragma nvm`` directive could not be parsed."""
+
+
+class DirectiveSemanticError(CompileError):
+    """A directive parsed but is semantically invalid.
+
+    Example: ``lpcuda_checksum`` referencing a checksum table that no
+    ``lpcuda_init`` declared, or an unknown checksum-type token.
+    """
+
+
+class SliceError(CompileError):
+    """The program slice of a store-address computation could not be built."""

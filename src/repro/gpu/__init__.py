@@ -1,0 +1,1 @@
+"""Simulated SIMT GPU substrate: memory, cache, warps, kernels, device."""

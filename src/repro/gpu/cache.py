@@ -1,0 +1,134 @@
+"""Write-back cache model for the NVM persistence domain.
+
+Lazy Persistency's defining property is that stores are **not** flushed:
+they sit in volatile caches and reach NVM whenever eviction happens to
+write them back, possibly long after — and possibly never, if a crash
+intervenes. This module models exactly that property and nothing more:
+a bounded set of *dirty lines* with least-recently-written eviction.
+
+The cache is a metadata-only model: line *contents* live in the buffers
+of :class:`~repro.gpu.memory.GlobalMemory`; the cache just decides which
+lines' contents are still volatile.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from collections.abc import Iterable
+
+
+class WriteBackCache:
+    """Tracks dirty cache lines and evicts the least recently written.
+
+    Parameters
+    ----------
+    capacity_lines:
+        Maximum number of dirty lines held on chip at once. When a write
+        pushes the dirty set past this bound, the oldest lines are
+        evicted (returned to the caller, which writes them back to NVM).
+        ``0`` models a write-through system where every store persists
+        immediately.
+    """
+
+    def __init__(self, capacity_lines: int) -> None:
+        if capacity_lines < 0:
+            raise ValueError("capacity_lines must be non-negative")
+        self.capacity_lines = capacity_lines
+        self._dirty: OrderedDict[int, None] = OrderedDict()
+        #: Total lines evicted over the cache's lifetime.
+        self.evictions = 0
+
+    # ------------------------------------------------------------------
+    # Write path
+    # ------------------------------------------------------------------
+
+    def touch_write(self, line_ids: Iterable[int]) -> list[int]:
+        """Mark lines dirty; return the lines evicted to make room.
+
+        Re-writing an already-dirty line refreshes its recency (it was
+        just produced again, so it is the youngest data on chip).
+        """
+        dirty = self._dirty
+        for lid in line_ids:
+            if lid in dirty:
+                dirty.move_to_end(lid)
+            else:
+                dirty[lid] = None
+        evicted: list[int] = []
+        while len(dirty) > self.capacity_lines:
+            lid, _ = dirty.popitem(last=False)
+            evicted.append(lid)
+        self.evictions += len(evicted)
+        return evicted
+
+    # ------------------------------------------------------------------
+    # Bulk operations
+    # ------------------------------------------------------------------
+
+    def drain(self) -> list[int]:
+        """Evict every dirty line (a full write-back, e.g. at shutdown)."""
+        out = list(self._dirty.keys())
+        self._dirty.clear()
+        self.evictions += len(out)
+        return out
+
+    def drop_all(self) -> list[int]:
+        """Discard all dirty lines without writing them back (a crash).
+
+        Returns the lost line ids so callers can report what was lost.
+        """
+        out = list(self._dirty.keys())
+        self._dirty.clear()
+        return out
+
+    def evict_specific(self, line_ids: Iterable[int]) -> list[int]:
+        """Force-evict specific lines if dirty; return those evicted.
+
+        Used by crash plans that persist a random subset of dirty lines
+        before the failure (lines that happened to be written back just
+        in time).
+        """
+        out = []
+        for lid in line_ids:
+            if lid in self._dirty:
+                del self._dirty[lid]
+                out.append(lid)
+        self.evictions += len(out)
+        return out
+
+    def discard(self, line_ids: Iterable[int]) -> list[int]:
+        """Drop specific lines without writing them back; return dropped.
+
+        Used when a buffer is freed: its dirty lines no longer have a
+        home and must not be written back.
+        """
+        out = []
+        for lid in line_ids:
+            if lid in self._dirty:
+                del self._dirty[lid]
+                out.append(lid)
+        return out
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def dirty_lines(self) -> list[int]:
+        """Dirty line ids, oldest first."""
+        return list(self._dirty.keys())
+
+    @property
+    def n_dirty(self) -> int:
+        """Number of currently dirty lines."""
+        return len(self._dirty)
+
+    def is_dirty(self, line_id: int) -> bool:
+        """Whether a line is currently volatile-only."""
+        return line_id in self._dirty
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"WriteBackCache(capacity={self.capacity_lines}, "
+            f"dirty={self.n_dirty}, evictions={self.evictions})"
+        )

@@ -1,0 +1,222 @@
+"""The simulated GPU device: launches kernels, times them, crashes.
+
+:class:`Device` owns the global memory (with its NVM persistence
+domain), a cost model, and the launch machinery. Thread blocks execute
+one at a time — functionally this is indistinguishable from any other
+interleaving for the paper's workloads, whose blocks write disjoint
+outputs (the associativity property LP regions require) — while the
+cost model accounts for the parallelism the real machine would achieve.
+
+Blocks can run in *shuffled* order (the GPU guarantees no block
+ordering; tests use this to check that LP really is order-insensitive)
+and a launch can carry a :class:`~repro.nvm.crash.CrashPlan` that kills
+the device mid-kernel, losing all not-yet-evicted cache lines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import CrashedDeviceError, LaunchError
+from repro.gpu.atomics import AtomicUnit
+from repro.gpu.costs import CostModel, Tally, TimeBreakdown
+from repro.gpu.kernel import BlockContext, ExecMode, Kernel, LaunchConfig
+from repro.gpu.memory import CrashReport, GlobalMemory
+from repro.gpu.spec import GPUSpec, NVMSpec
+from repro.nvm.crash import CrashPlan
+
+
+@dataclass
+class LaunchResult:
+    """Everything a kernel launch produced besides its memory effects."""
+
+    kernel_name: str
+    config: LaunchConfig
+    completed_blocks: list[int]
+    crashed: bool
+    crash_report: CrashReport | None
+    tally: Tally
+    time: TimeBreakdown
+
+    @property
+    def n_completed(self) -> int:
+        """Blocks that ran to completion before any crash."""
+        return len(self.completed_blocks)
+
+    @property
+    def total_cycles(self) -> float:
+        """Modeled end-to-end time in device cycles."""
+        return self.time.total_cycles
+
+
+@dataclass
+class Device:
+    """A simulated NVM-backed GPU.
+
+    Parameters
+    ----------
+    spec / nvm:
+        Hardware parameters; defaults are the paper's V100 with a
+        DRAM-speed persistence domain (Section III-A).
+    cache_capacity_lines:
+        Dirty-line capacity of the persistence domain's write-back
+        cache; defaults to the spec's L2 size. Small values make crashes
+        lose little (almost everything evicted); large values make
+        crashes lose a lot.
+    block_order:
+        ``"sequential"`` or ``"shuffled"`` — the order thread blocks
+        execute in. The GPU guarantees neither.
+    seed:
+        Seed for shuffled block order and crash lotteries.
+    """
+
+    spec: GPUSpec = field(default_factory=GPUSpec.v100)
+    nvm: NVMSpec = field(default_factory=NVMSpec.dram_like)
+    cache_capacity_lines: int | None = None
+    block_order: str = "sequential"
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.block_order not in ("sequential", "shuffled"):
+            raise LaunchError(f"unknown block order {self.block_order!r}")
+        capacity = self.cache_capacity_lines
+        if capacity is None:
+            capacity = self.spec.l2_bytes // self.spec.line_size
+        self.memory = GlobalMemory(
+            line_size=self.spec.line_size, cache_capacity_lines=capacity
+        )
+        self.cost_model = CostModel(spec=self.spec, nvm=self.nvm)
+        self.crashed = False
+        self._rng = np.random.default_rng(self.seed)
+        self._launch_counter = 0
+
+    # ------------------------------------------------------------------
+    # Memory façade
+    # ------------------------------------------------------------------
+
+    def alloc(self, name, shape, dtype=np.float32, persistent=True, init=None):
+        """Allocate a buffer in device global memory."""
+        return self.memory.alloc(
+            name, shape, dtype=dtype, persistent=persistent, init=init
+        )
+
+    def free(self, name: str) -> None:
+        """Free a device buffer."""
+        self.memory.free(name)
+
+    def drain(self) -> int:
+        """Flush the persistence domain (e.g. before a clean shutdown)."""
+        return self.memory.drain()
+
+    # ------------------------------------------------------------------
+    # Launching
+    # ------------------------------------------------------------------
+
+    def launch(
+        self,
+        kernel: Kernel,
+        crash_plan: CrashPlan | None = None,
+        block_ids: list[int] | None = None,
+        mode: ExecMode = ExecMode.NORMAL,
+    ) -> LaunchResult:
+        """Run a kernel (optionally only specific blocks, e.g. recovery).
+
+        ``crash_plan`` kills the device after the plan's block count;
+        the result reports what the persistence domain lost. After a
+        crash the device refuses further launches until
+        :meth:`restart`.
+        """
+        if self.crashed:
+            raise CrashedDeviceError(
+                "device has crashed; call restart() before launching"
+            )
+        config = kernel.launch_config()
+        order = self._block_order(config, block_ids)
+
+        atomics = AtomicUnit(self.memory)
+        tally = Tally(
+            n_blocks=config.n_blocks,
+            threads_per_block=config.threads_per_block,
+        )
+        completed: list[int] = []
+        crash_report: CrashReport | None = None
+        crashed = False
+
+        # Persist-barrier cost parameters for Eager Persistency kernels:
+        # the stall exposes the NVM write latency, amortized over the
+        # blocks resident at this block size.
+        fence_latency = max(60.0, self.nvm.write_latency_cycles(self.spec))
+        fence_concurrency = min(
+            config.n_blocks,
+            self.spec.concurrent_blocks(config.threads_per_block),
+        )
+
+        for position, block_id in enumerate(order):
+            if crash_plan is not None and position >= crash_plan.after_blocks:
+                crashed = True
+                break
+            ctx = BlockContext(
+                self.memory, atomics, config, block_id, mode,
+                fence_latency_cycles=fence_latency,
+                fence_concurrency=fence_concurrency,
+            )
+            if mode is ExecMode.VALIDATE:
+                kernel.validate_block(ctx)
+            elif mode is ExecMode.RECOVER:
+                kernel.recover_block(ctx)
+            else:
+                kernel.run_block(ctx)
+            tally.merge(ctx.finalize_tally())
+            completed.append(block_id)
+
+        tally.atomic_ops = float(atomics.total_ops)
+        tally.atomic_hot_max = float(atomics.hot_max)
+
+        if crash_plan is not None and not crashed:
+            # The plan outlived the launch: power fails right at kernel
+            # completion, with the write-back cache still holding dirty
+            # lines. A crash plan always crashes.
+            crashed = True
+
+        if crashed:
+            assert crash_plan is not None
+            crash_report = self.memory.crash(
+                persist_fraction=crash_plan.persist_fraction,
+                rng=crash_plan.rng(),
+            )
+            self.crashed = True
+
+        self._launch_counter += 1
+        return LaunchResult(
+            kernel_name=kernel.name,
+            config=config,
+            completed_blocks=completed,
+            crashed=crashed,
+            crash_report=crash_report,
+            tally=tally,
+            time=self.cost_model.time_of(tally),
+        )
+
+    def restart(self) -> None:
+        """Reboot after a crash; memory shows only persisted contents."""
+        self.crashed = False
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _block_order(
+        self, config: LaunchConfig, block_ids: list[int] | None
+    ) -> list[int]:
+        if block_ids is None:
+            order = list(range(config.n_blocks))
+        else:
+            bad = [b for b in block_ids if not 0 <= b < config.n_blocks]
+            if bad:
+                raise LaunchError(f"block ids outside grid: {bad[:5]}")
+            order = list(block_ids)
+        if self.block_order == "shuffled":
+            self._rng.shuffle(order)
+        return order

@@ -1,0 +1,421 @@
+"""Kernel abstraction and per-block execution context.
+
+A :class:`Kernel` is the simulator's unit of GPU work: it declares a
+:class:`LaunchConfig` (grid × block dimensions) and a ``run_block``
+method that executes **one thread block**, vectorized across that
+block's threads with numpy (axis 0 = thread index, in lane order).
+
+The :class:`BlockContext` handed to ``run_block`` is the only legal way
+to touch device state. It provides:
+
+* global loads/stores (``ld``/``st``) with byte accounting and — when a
+  Lazy Persistency observer is attached — checksum interception of
+  persistent stores;
+* shared memory, ``__syncthreads``, warp shuffles;
+* atomics via the launch's :class:`~repro.gpu.atomics.AtomicUnit`;
+* explicit ALU-work accounting (``alu``/``flops``), since the simulator
+  does not interpret instructions.
+
+Execution modes (:class:`ExecMode`) implement the LP recovery protocol:
+in ``VALIDATE`` mode a replayed block does *not* write persistent data;
+instead each intercepted store reads what memory *currently holds* at
+the target addresses and feeds it to the checksum observer — exactly
+the check phase of the paper's check-and-recovery kernel (Listing 7).
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+import math
+from dataclasses import dataclass
+from typing import Protocol
+
+import numpy as np
+
+from repro.errors import DeviceError, LaunchError, UnrecoverableRegionError
+from repro.gpu.atomics import AtomicUnit
+from repro.gpu.costs import Tally
+from repro.gpu.memory import Buffer, GlobalMemory
+from repro.gpu.shared import SharedMemory
+from repro.gpu.warp import WARP_SIZE, shfl_down, shfl_xor
+
+
+@dataclass(frozen=True)
+class LaunchConfig:
+    """Grid and block dimensions of one kernel launch.
+
+    Dimensions follow CUDA's ``(x, y)`` convention; omit ``y`` for 1-D
+    launches. Thread blocks are numbered row-major: block id =
+    ``by * grid_x + bx``.
+    """
+
+    grid: tuple[int, int] = (1, 1)
+    block: tuple[int, int] = (32, 1)
+
+    def __post_init__(self) -> None:
+        if any(d <= 0 for d in self.grid + self.block):
+            raise LaunchError(f"non-positive launch dimension: {self}")
+
+    @classmethod
+    def linear(cls, n_blocks: int, threads_per_block: int) -> "LaunchConfig":
+        """A 1-D launch."""
+        return cls(grid=(n_blocks, 1), block=(threads_per_block, 1))
+
+    @property
+    def n_blocks(self) -> int:
+        """Total thread blocks in the grid."""
+        return self.grid[0] * self.grid[1]
+
+    @property
+    def threads_per_block(self) -> int:
+        """Threads in each block."""
+        return self.block[0] * self.block[1]
+
+    @property
+    def n_warps_per_block(self) -> int:
+        """Warps per block (final warp may be partial)."""
+        return math.ceil(self.threads_per_block / WARP_SIZE)
+
+    def block_coords(self, block_id: int) -> tuple[int, int]:
+        """``(bx, by)`` of a flat block id."""
+        if not 0 <= block_id < self.n_blocks:
+            raise LaunchError(f"block id {block_id} outside grid {self.grid}")
+        return block_id % self.grid[0], block_id // self.grid[0]
+
+
+class ExecMode(enum.Enum):
+    """What a block execution is for."""
+
+    #: Normal forward execution: stores write memory.
+    NORMAL = "normal"
+    #: Post-crash validation replay: persistent stores are suppressed
+    #: and the observer sees memory's current contents instead.
+    VALIDATE = "validate"
+    #: Crash recovery of a failed region: ``recover_block`` re-executes
+    #: it with normal store semantics.
+    RECOVER = "recover"
+
+
+class StoreObserver(Protocol):
+    """Interface the LP runtime plugs into a context (duck-typed)."""
+
+    #: Names of the buffers whose stores are checksum-protected.
+    protected: frozenset[str]
+
+    def on_store(self, values: np.ndarray, slots: np.ndarray) -> None:
+        """Fold ``values`` into per-thread checksums at ``slots``."""
+
+
+class BlockContext:
+    """Execution context of one thread block."""
+
+    def __init__(
+        self,
+        memory: GlobalMemory,
+        atomics: AtomicUnit,
+        config: LaunchConfig,
+        block_id: int,
+        mode: ExecMode = ExecMode.NORMAL,
+        fence_latency_cycles: float = 660.0,
+        fence_concurrency: int = 1,
+    ) -> None:
+        self.memory = memory
+        self.atomics = atomics
+        self.config = config
+        self.block_id = block_id
+        self.mode = mode
+        self.shared = SharedMemory()
+        self.tally = Tally(
+            n_blocks=config.n_blocks,
+            threads_per_block=config.threads_per_block,
+        )
+        #: Optional Lazy Persistency hook; set by the LP kernel wrapper.
+        self.lp_observer: StoreObserver | None = None
+        #: Optional Eager Persistency hook (logging before stores); set
+        #: by the EP kernel wrapper. Must expose ``protected`` and
+        #: ``before_store(ctx, buf, idx)``.
+        self.ep_interceptor = None
+        # Persist-barrier cost parameters (set by the device per launch).
+        self._fence_latency = fence_latency_cycles
+        self._fence_concurrency = max(1, fence_concurrency)
+        self._pending_flush_lines = 0
+
+    # ------------------------------------------------------------------
+    # Thread geometry
+    # ------------------------------------------------------------------
+
+    @property
+    def n_threads(self) -> int:
+        """Threads in this block."""
+        return self.config.threads_per_block
+
+    @property
+    def tid(self) -> np.ndarray:
+        """Flat thread indices ``[0, n_threads)``."""
+        return np.arange(self.n_threads)
+
+    @property
+    def block_xy(self) -> tuple[int, int]:
+        """``(blockIdx.x, blockIdx.y)``."""
+        return self.config.block_coords(self.block_id)
+
+    def thread_xy(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(threadIdx.x, threadIdx.y)`` vectors for a 2-D block."""
+        bx = self.config.block[0]
+        t = self.tid
+        return t % bx, t // bx
+
+    # ------------------------------------------------------------------
+    # Global memory
+    # ------------------------------------------------------------------
+
+    def buffer(self, buf: Buffer | str) -> Buffer:
+        """Resolve a buffer handle or name."""
+        return self.memory[buf] if isinstance(buf, str) else buf
+
+    def ld(self, buf: Buffer | str, idx: np.ndarray | int) -> np.ndarray:
+        """Global load; counts read traffic."""
+        buf = self.buffer(buf)
+        idx = np.atleast_1d(np.asarray(idx))
+        self.tally.global_read_bytes += idx.size * buf.dtype.itemsize
+        return self.memory.read(buf, idx)
+
+    def st(
+        self,
+        buf: Buffer | str,
+        idx: np.ndarray | int,
+        values: np.ndarray | float | int,
+        slots: np.ndarray | None = None,
+    ) -> None:
+        """Global store; counts write traffic and drives LP hooks.
+
+        ``slots`` optionally names the thread that issued each element
+        (defaults to position order); the LP observer uses it to keep
+        true per-thread checksum accumulators for the reduction.
+        """
+        buf = self.buffer(buf)
+        idx = np.atleast_1d(np.asarray(idx))
+        vals = np.broadcast_to(np.asarray(values, dtype=buf.dtype), idx.shape)
+        self.tally.global_write_bytes += idx.size * buf.dtype.itemsize
+
+        observer = self.lp_observer
+        observed = observer is not None and buf.name in observer.protected
+
+        if self.mode is ExecMode.VALIDATE:
+            if buf.persistent:
+                if observed:
+                    in_memory = self.memory.read(buf, idx)
+                    observer.on_store(in_memory, self._slots(slots, idx))
+                return  # persistent writes are suppressed during replay
+            self.memory.write(buf, idx, vals)
+            return
+
+        interceptor = self.ep_interceptor
+        if (interceptor is not None and buf.persistent
+                and buf.name in interceptor.protected):
+            interceptor.before_store(self, buf, idx)
+
+        self.memory.write(buf, idx, vals)
+        if observed:
+            observer.on_store(vals, self._slots(slots, idx))
+
+    def _slots(self, slots: np.ndarray | None, idx: np.ndarray) -> np.ndarray:
+        if slots is not None:
+            return np.atleast_1d(np.asarray(slots))
+        return np.arange(idx.size) % self.n_threads
+
+    # ------------------------------------------------------------------
+    # Atomics
+    # ------------------------------------------------------------------
+
+    def _guard_persistent_atomic(self, buf: Buffer) -> None:
+        if self.mode is ExecMode.VALIDATE and buf.persistent:
+            raise DeviceError(
+                "atomic to persistent buffer during VALIDATE replay; "
+                "kernels that accumulate into persistent data must "
+                "override validate_block()"
+            )
+
+    def atomic_cas(self, buf: Buffer | str, index: int, compare, value):
+        """``atomicCAS`` on one element; returns the old value."""
+        buf = self.buffer(buf)
+        self._guard_persistent_atomic(buf)
+        self.tally.global_write_bytes += buf.dtype.itemsize
+        return self.atomics.cas(buf, index, compare, value)
+
+    def atomic_exch(self, buf: Buffer | str, index: int, value):
+        """``atomicExch`` on one element; returns the old value."""
+        buf = self.buffer(buf)
+        self._guard_persistent_atomic(buf)
+        self.tally.global_write_bytes += buf.dtype.itemsize
+        return self.atomics.exch(buf, index, value)
+
+    def atomic_add(self, buf: Buffer | str, idx: np.ndarray, values: np.ndarray) -> None:
+        """``atomicAdd`` across threads."""
+        buf = self.buffer(buf)
+        self._guard_persistent_atomic(buf)
+        idx = np.atleast_1d(np.asarray(idx))
+        self.tally.global_write_bytes += idx.size * buf.dtype.itemsize
+        self.atomics.add(buf, idx, values)
+
+    def atomic_max(self, buf: Buffer | str, idx: np.ndarray, values: np.ndarray) -> None:
+        """``atomicMax`` across threads."""
+        buf = self.buffer(buf)
+        self._guard_persistent_atomic(buf)
+        idx = np.atleast_1d(np.asarray(idx))
+        self.tally.global_write_bytes += idx.size * buf.dtype.itemsize
+        self.atomics.max_(buf, idx, values)
+
+    # ------------------------------------------------------------------
+    # Eager Persistency primitives (clwb / persist barrier)
+    # ------------------------------------------------------------------
+
+    def clwb(self, buf: Buffer | str, idx: np.ndarray | int) -> int:
+        """Explicit cache-line write-back of the lines under ``idx``.
+
+        The Eager Persistency primitive LP never needs. Returns how many
+        lines were actually written to NVM; their persistence is only
+        guaranteed after the next :meth:`persist_barrier`.
+        """
+        buf = self.buffer(buf)
+        idx = np.atleast_1d(np.asarray(idx))
+        flushed = self.memory.flush(buf, idx)
+        self.tally.alu_ops += max(1, flushed)  # flush-issue instructions
+        self._pending_flush_lines += flushed
+        return flushed
+
+    def persist_barrier(self) -> None:
+        """``sfence``-style barrier: stall until pending flushes persist.
+
+        The stall exposes the NVM write latency (plus per-line drain
+        time) on the block's critical path; the charge is amortized by
+        the launch's resident-block concurrency, mirroring how real
+        fences overlap across blocks but not within one.
+        """
+        pending = self._pending_flush_lines
+        stall = self._fence_latency + pending * 8.0
+        self.tally.serial_cycles += stall / self._fence_concurrency
+        self._pending_flush_lines = 0
+
+    # ------------------------------------------------------------------
+    # Intra-block primitives
+    # ------------------------------------------------------------------
+
+    def syncthreads(self) -> None:
+        """Block-wide barrier (a no-op functionally; costed)."""
+        self.tally.syncthreads += 1
+
+    def shfl_down(self, values: np.ndarray, offset: int) -> np.ndarray:
+        """Warp shuffle-down across this block's thread vector."""
+        self.tally.shuffle_ops += np.asarray(values).shape[0]
+        return shfl_down(values, offset)
+
+    def shfl_xor(self, values: np.ndarray, lane_mask: int) -> np.ndarray:
+        """Warp shuffle-xor across this block's thread vector."""
+        self.tally.shuffle_ops += np.asarray(values).shape[0]
+        return shfl_xor(values, lane_mask)
+
+    # ------------------------------------------------------------------
+    # Work accounting
+    # ------------------------------------------------------------------
+
+    def alu(self, n_ops: float) -> None:
+        """Charge ``n_ops`` thread-level ALU operations."""
+        self.tally.alu_ops += n_ops
+
+    def flops(self, per_thread: float, active_threads: int | None = None) -> None:
+        """Charge floating-point work, ``per_thread`` ops per thread."""
+        n = self.n_threads if active_threads is None else active_threads
+        self.tally.alu_ops += per_thread * n
+
+    def add_serial_cycles(self, cycles: float) -> None:
+        """Charge cycles that serialize against the whole device.
+
+        Used by lock-based and emulated-atomic table insertion, whose
+        contention costs are computed by the cost model's sub-models.
+        """
+        self.tally.serial_cycles += cycles
+
+    def charge_shared(self, nbytes: float) -> None:
+        """Charge shared-memory traffic accounted outside ``self.shared``."""
+        self.tally.shared_bytes += nbytes
+
+    def finalize_tally(self) -> Tally:
+        """Fold shared-memory traffic into the tally and return it."""
+        self.tally.shared_bytes += self.shared.traffic_bytes
+        self.shared.traffic_bytes = 0
+        return self.tally
+
+
+class Kernel(abc.ABC):
+    """One GPU kernel: a launch shape plus per-block behaviour.
+
+    Subclasses set:
+
+    * :attr:`name` — stable identifier used in reports.
+    * :attr:`protected_buffers` — names of output buffers that Lazy
+      Persistency protects (the kernel's persistent stores).
+    * :attr:`idempotent` — whether re-running a block reproduces its
+      output (true for all the paper's Parboil-style kernels once
+      outputs are block-disjoint; the default recovery simply re-runs
+      the block, as Section IV-A describes).
+    """
+
+    name: str = "kernel"
+    protected_buffers: tuple[str, ...] = ()
+    idempotent: bool = True
+
+    @abc.abstractmethod
+    def launch_config(self) -> LaunchConfig:
+        """Grid/block dimensions for this kernel."""
+
+    @abc.abstractmethod
+    def run_block(self, ctx: BlockContext) -> None:
+        """Execute one thread block."""
+
+    def block_output_map(self, block_id: int) -> "dict[str, np.ndarray] | None":
+        """Flat indices of this block's protected stores, per buffer.
+
+        This is the *program slice* of the block's store addresses
+        (Section VI / Listing 7): when a kernel can compute where it
+        stores without computing what, validation can fetch and fold
+        those locations directly instead of replaying the whole block.
+        Return ``None`` (the default) to fall back to full replay.
+
+        The map must cover exactly the elements the block stores
+        (each once), in any order — the checksum lanes are commutative.
+        """
+        return None
+
+    def validate_block(self, ctx: BlockContext) -> None:
+        """Replay a block for checksum validation (``VALIDATE`` mode).
+
+        If :meth:`block_output_map` provides the store-address slice,
+        only those locations are fetched (the cheap Listing-7 path);
+        otherwise ``run_block`` is replayed with persistent writes
+        suppressed and memory contents fed to the checksum observer.
+        """
+        output_map = self.block_output_map(ctx.block_id)
+        if output_map is None:
+            self.run_block(ctx)
+            return
+        for buf_name in sorted(output_map):
+            idx = output_map[buf_name]
+            # In VALIDATE mode ``st`` folds what memory holds at ``idx``
+            # (the written values are ignored), which is exactly the
+            # check phase of the generated recovery kernel.
+            ctx.st(buf_name, idx, 0)
+
+    def recover_block(self, ctx: BlockContext) -> None:
+        """Re-execute a failed block during crash recovery.
+
+        Idempotent kernels re-run as-is; others must override with an
+        application-specific recovery function (Section IV-A).
+        """
+        if not self.idempotent:
+            raise UnrecoverableRegionError(
+                f"kernel {self.name!r} is not idempotent and provides no "
+                "recovery function"
+            )
+        self.run_block(ctx)

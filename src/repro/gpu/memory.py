@@ -1,0 +1,344 @@
+"""Simulated GPU global memory backed by an NVM persistence domain.
+
+Every *persistent* buffer has two images:
+
+* ``data`` — the **volatile view**: what running kernels observe. It is
+  the merge of cached (not yet persisted) lines and NVM contents.
+* ``shadow`` — the **NVM view**: what would survive a power failure.
+
+Stores update ``data`` immediately and mark the touched cache lines
+dirty in a bounded :class:`~repro.gpu.cache.WriteBackCache`. Lines reach
+``shadow`` only when the cache evicts them (or on an explicit
+:meth:`GlobalMemory.drain`). :meth:`GlobalMemory.crash` throws away
+every still-dirty line, leaving ``data`` equal to ``shadow`` — exactly
+the state a real machine would reboot into. This is the substrate on
+which Lazy Persistency's "stores persist out of order, arbitrarily
+late" semantics rest.
+
+Buffers are line-aligned, so every cache line belongs to exactly one
+buffer; a sorted interval index maps line ids back to buffers for
+write-back and accounting.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import AllocationError, OutOfBoundsError
+from repro.gpu.cache import WriteBackCache
+from repro.nvm.model import WritebackReason, WriteStats
+
+#: Default dirty-line capacity: 6 MiB of 128-byte lines, matching the
+#: V100 L2 as the volume of data that can be pending persistence.
+DEFAULT_CACHE_LINES = (6 * 1024 * 1024) // 128
+
+
+def _ceil_div(a: int, b: int) -> int:
+    return -(-a // b)
+
+
+class Buffer:
+    """One allocation in simulated global memory.
+
+    Exposes the volatile image as :attr:`array` (shaped) and the NVM
+    image as :attr:`nvm_array`. Client code should go through
+    :class:`GlobalMemory` (or a kernel's ``BlockContext``) for writes so
+    persistence tracking stays correct; direct mutation of
+    ``buffer.array`` bypasses the persistence domain and is reserved for
+    test setup of *non-persistent* scratch data.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        shape: tuple[int, ...],
+        dtype: np.dtype,
+        base_addr: int,
+        line_size: int,
+        persistent: bool,
+    ) -> None:
+        self.name = name
+        self.shape = shape
+        self.dtype = np.dtype(dtype)
+        self.persistent = persistent
+        self.line_size = line_size
+        self.base_addr = base_addr
+
+        self.size = int(np.prod(shape)) if shape else 1
+        self.data = np.zeros(self.size, dtype=self.dtype)
+        self.shadow = self.data.copy() if persistent else None
+
+        self.nbytes = self.size * self.dtype.itemsize
+        self.padded_bytes = _ceil_div(max(self.nbytes, 1), line_size) * line_size
+        self.first_line = base_addr // line_size
+        self.n_lines = self.padded_bytes // line_size
+
+    # -- views ----------------------------------------------------------
+
+    @property
+    def array(self) -> np.ndarray:
+        """The volatile image, shaped as allocated."""
+        return self.data.reshape(self.shape)
+
+    @property
+    def nvm_array(self) -> np.ndarray:
+        """The persisted (NVM) image, shaped as allocated."""
+        if self.shadow is None:
+            raise AllocationError(f"buffer {self.name!r} is not persistent")
+        return self.shadow.reshape(self.shape)
+
+    # -- line geometry ---------------------------------------------------
+
+    def lines_for_indices(self, flat_idx: np.ndarray) -> np.ndarray:
+        """Global line ids covering the given flat element indices."""
+        byte_off = flat_idx.astype(np.int64) * self.dtype.itemsize
+        first = (self.base_addr + byte_off) // self.line_size
+        if self.dtype.itemsize > 1:
+            # An element may straddle a line boundary only if itemsize
+            # does not divide line_size; with power-of-two sizes it never
+            # does, so the first line suffices.
+            pass
+        return np.unique(first)
+
+    def line_byte_range(self, line_id: int) -> tuple[int, int]:
+        """Byte range ``[lo, hi)`` of a global line within this buffer."""
+        lo = (line_id - self.first_line) * self.line_size
+        if lo < 0 or lo >= self.padded_bytes:
+            raise OutOfBoundsError(
+                f"line {line_id} is not in buffer {self.name!r}"
+            )
+        return lo, min(lo + self.line_size, self.nbytes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        kind = "persistent" if self.persistent else "scratch"
+        return f"Buffer({self.name!r}, {self.shape}, {self.dtype}, {kind})"
+
+
+@dataclass
+class CrashReport:
+    """What a simulated crash lost (and what squeaked through)."""
+
+    lost_lines: list[int] = field(default_factory=list)
+    persisted_lines: list[int] = field(default_factory=list)
+    lost_by_buffer: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def n_lost(self) -> int:
+        """Number of dirty lines whose contents did not survive."""
+        return len(self.lost_lines)
+
+
+class GlobalMemory:
+    """The device's global address space plus its persistence domain."""
+
+    def __init__(
+        self,
+        line_size: int = 128,
+        cache_capacity_lines: int = DEFAULT_CACHE_LINES,
+        write_stats: WriteStats | None = None,
+    ) -> None:
+        if line_size <= 0 or line_size & (line_size - 1):
+            raise AllocationError("line_size must be a positive power of two")
+        self.line_size = line_size
+        self.cache = WriteBackCache(cache_capacity_lines)
+        self.write_stats = write_stats or WriteStats(line_size=line_size)
+        self._buffers: dict[str, Buffer] = {}
+        self._next_addr = 0
+        # Parallel arrays for bisect: first-line of each live buffer,
+        # kept sorted by construction (addresses grow monotonically).
+        self._index_first_lines: list[int] = []
+        self._index_buffers: list[Buffer] = []
+
+    # ------------------------------------------------------------------
+    # Allocation
+    # ------------------------------------------------------------------
+
+    def alloc(
+        self,
+        name: str,
+        shape: tuple[int, ...] | int,
+        dtype: np.dtype | type = np.float32,
+        persistent: bool = True,
+        init: np.ndarray | None = None,
+    ) -> Buffer:
+        """Allocate a named, line-aligned buffer.
+
+        ``init`` (if given) seeds both the volatile and NVM images, i.e.
+        the data is considered persisted at allocation time — matching a
+        kernel input that was durably staged before launch.
+        """
+        if name in self._buffers:
+            raise AllocationError(f"buffer {name!r} already allocated")
+        if isinstance(shape, int):
+            shape = (shape,)
+        if any(s <= 0 for s in shape):
+            raise AllocationError(f"bad shape for {name!r}: {shape}")
+
+        buf = Buffer(name, shape, np.dtype(dtype), self._next_addr,
+                     self.line_size, persistent)
+        if init is not None:
+            arr = np.asarray(init, dtype=buf.dtype)
+            if arr.shape != shape:
+                raise AllocationError(
+                    f"init shape {arr.shape} != buffer shape {shape}"
+                )
+            buf.data[:] = arr.reshape(-1)
+            if buf.shadow is not None:
+                buf.shadow[:] = buf.data
+
+        self._next_addr += buf.padded_bytes
+        self._buffers[name] = buf
+        self._index_first_lines.append(buf.first_line)
+        self._index_buffers.append(buf)
+        return buf
+
+    def free(self, name: str) -> None:
+        """Release a buffer, discarding any of its pending dirty lines."""
+        buf = self._buffers.pop(name, None)
+        if buf is None:
+            raise AllocationError(f"no buffer named {name!r}")
+        lines = range(buf.first_line, buf.first_line + buf.n_lines)
+        self.cache.discard(lines)
+        pos = self._index_buffers.index(buf)
+        del self._index_first_lines[pos]
+        del self._index_buffers[pos]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._buffers
+
+    def __getitem__(self, name: str) -> Buffer:
+        try:
+            return self._buffers[name]
+        except KeyError:
+            raise AllocationError(f"no buffer named {name!r}") from None
+
+    @property
+    def buffers(self) -> dict[str, Buffer]:
+        """Live allocations by name (read-only use, please)."""
+        return self._buffers
+
+    # ------------------------------------------------------------------
+    # Data path
+    # ------------------------------------------------------------------
+
+    def read(self, buf: Buffer, flat_idx: np.ndarray) -> np.ndarray:
+        """Load elements from the volatile image."""
+        self._check_bounds(buf, flat_idx)
+        return buf.data[flat_idx]
+
+    def write(self, buf: Buffer, flat_idx: np.ndarray, values: np.ndarray) -> None:
+        """Store elements; persistent stores enter the cache dirty."""
+        self._check_bounds(buf, flat_idx)
+        buf.data[flat_idx] = values
+        if buf.persistent:
+            lines = buf.lines_for_indices(np.asarray(flat_idx))
+            evicted = self.cache.touch_write(lines.tolist())
+            if evicted:
+                self._write_back(evicted, WritebackReason.EVICTION)
+
+    # ------------------------------------------------------------------
+    # Persistence-domain events
+    # ------------------------------------------------------------------
+
+    def drain(self) -> int:
+        """Write back every dirty line; returns how many were written."""
+        lines = self.cache.drain()
+        self._write_back(lines, WritebackReason.DRAIN)
+        return len(lines)
+
+    def flush(self, buf: Buffer, flat_idx: np.ndarray) -> int:
+        """``clwb``-style explicit write-back of the lines under ``flat_idx``.
+
+        The Eager Persistency primitive: force the touched cache lines
+        into NVM *now* rather than waiting for eviction. Returns the
+        number of lines actually written (lines already clean cost
+        nothing). A no-op for non-persistent buffers.
+        """
+        if not buf.persistent:
+            return 0
+        self._check_bounds(buf, np.asarray(flat_idx))
+        lines = buf.lines_for_indices(np.asarray(flat_idx))
+        flushed = self.cache.evict_specific(lines.tolist())
+        self._write_back(flushed, WritebackReason.FLUSH)
+        return len(flushed)
+
+    def crash(
+        self,
+        persist_fraction: float = 0.0,
+        rng: np.random.Generator | None = None,
+    ) -> CrashReport:
+        """Simulate a power failure.
+
+        ``persist_fraction`` of the dirty lines (chosen at random with
+        ``rng``) are treated as having been evicted just before the
+        failure; the rest are lost. After this call the volatile image
+        of every persistent buffer equals its NVM image, and scratch
+        buffers are zeroed (their contents do not survive a reboot).
+        """
+        if not 0.0 <= persist_fraction <= 1.0:
+            raise ValueError("persist_fraction must be in [0, 1]")
+        report = CrashReport()
+
+        dirty = self.cache.dirty_lines
+        if persist_fraction > 0.0 and dirty:
+            rng = rng or np.random.default_rng(0)
+            n_keep = int(round(persist_fraction * len(dirty)))
+            keep = rng.choice(len(dirty), size=n_keep, replace=False)
+            saved = [dirty[i] for i in np.sort(keep)]
+            self.cache.evict_specific(saved)
+            self._write_back(saved, WritebackReason.CRASH_RACE)
+            report.persisted_lines = saved
+
+        lost = self.cache.drop_all()
+        report.lost_lines = lost
+        for lid in lost:
+            buf = self._buffer_of_line(lid)
+            report.lost_by_buffer[buf.name] = (
+                report.lost_by_buffer.get(buf.name, 0) + 1
+            )
+
+        for buf in self._buffers.values():
+            if buf.persistent:
+                buf.data[:] = buf.shadow
+            else:
+                buf.data[:] = 0
+        return report
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _check_bounds(self, buf: Buffer, flat_idx: np.ndarray) -> None:
+        idx = np.asarray(flat_idx)
+        if idx.size == 0:
+            return
+        lo, hi = int(idx.min()), int(idx.max())
+        if lo < 0 or hi >= buf.size:
+            raise OutOfBoundsError(
+                f"indices [{lo}, {hi}] out of range for buffer "
+                f"{buf.name!r} of size {buf.size}"
+            )
+
+    def _buffer_of_line(self, line_id: int) -> Buffer:
+        pos = bisect.bisect_right(self._index_first_lines, line_id) - 1
+        if pos < 0:
+            raise OutOfBoundsError(f"line {line_id} maps to no buffer")
+        buf = self._index_buffers[pos]
+        if line_id >= buf.first_line + buf.n_lines:
+            raise OutOfBoundsError(f"line {line_id} maps to no live buffer")
+        return buf
+
+    def _write_back(self, line_ids: list[int], reason: WritebackReason) -> None:
+        for lid in line_ids:
+            buf = self._buffer_of_line(lid)
+            if buf.shadow is None:
+                continue
+            lo, hi = buf.line_byte_range(lid)
+            if lo >= hi:
+                continue
+            src = buf.data.view(np.uint8)[lo:hi]
+            buf.shadow.view(np.uint8)[lo:hi] = src
+            self.write_stats.record(reason, buf.name)

@@ -1,0 +1,163 @@
+"""Hardware specifications for the simulated GPU and its NVM memory.
+
+Two preset configurations mirror the paper's testbeds:
+
+* :func:`GPUSpec.v100` — the NVIDIA Tesla V100 used for the timing
+  characterization (Section III-A).
+* :func:`NVMSpec.paper_nvm` — the NVM timing the paper dials into
+  GPGPU-sim for the write-amplification study (Section VII-3):
+  326.4 GB/s bandwidth, 160 ns read and 480 ns write latency.
+
+All timing in the simulator is expressed in *device cycles*; the specs
+provide the conversions (bytes per cycle, latencies in cycles).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """Static parameters of the simulated GPU.
+
+    The cost model (:mod:`repro.gpu.costs`) consumes these to convert
+    aggregate operation/byte counts into cycles. Only parameters that
+    influence the paper's *relative* results are modeled; see DESIGN.md
+    section 5.
+    """
+
+    name: str = "V100"
+    #: Number of streaming multiprocessors.
+    sm_count: int = 80
+    #: Threads per warp (fixed at 32 on all NVIDIA architectures).
+    warp_size: int = 32
+    #: Simple-ALU lanes per SM (FP32/INT32 cores usable per cycle).
+    lanes_per_sm: int = 64
+    #: Core clock in GHz; used only to convert external bandwidths.
+    clock_ghz: float = 1.38
+    #: Device-memory bandwidth in GB/s (HBM2 on V100).
+    mem_bw_gbps: float = 900.0
+    #: Shared-memory bandwidth per SM in bytes per cycle.
+    shared_bw_bytes_per_cycle_per_sm: int = 128
+    #: Round-trip latency of a global-memory access in cycles. Used for
+    #: *dependent* accesses that cannot be pipelined (lock spins,
+    #: emulated-atomic read-modify-write sequences).
+    global_latency_cycles: int = 450
+    #: Latency of one atomic operation at the L2 atomic units.
+    atomic_latency_cycles: int = 380
+    #: Device-wide atomic throughput to *distinct* addresses (ops/cycle).
+    atomic_throughput_per_cycle: float = 8.0
+    #: Minimum spacing between atomics that target the *same* address
+    #: (they serialize at the L2 atomic unit).
+    same_address_atomic_interval_cycles: int = 32
+    #: Maximum resident thread blocks per SM (occupancy cap).
+    max_blocks_per_sm: int = 32
+    #: Maximum resident threads per SM (the other occupancy cap; large
+    #: blocks reduce how many blocks an SM can host concurrently).
+    max_threads_per_sm: int = 2048
+    #: Cache-line / memory-sector size in bytes.
+    line_size: int = 128
+    #: L2 capacity in bytes (bounds the volume of not-yet-persisted data).
+    l2_bytes: int = 6 * 1024 * 1024
+
+    def __post_init__(self) -> None:
+        if self.sm_count <= 0 or self.warp_size <= 0 or self.lanes_per_sm <= 0:
+            raise ValueError("GPUSpec core counts must be positive")
+        if self.line_size <= 0 or self.line_size & (self.line_size - 1):
+            raise ValueError("line_size must be a positive power of two")
+
+    @property
+    def total_lanes(self) -> int:
+        """ALU lanes across the whole device."""
+        return self.sm_count * self.lanes_per_sm
+
+    @property
+    def mem_bytes_per_cycle(self) -> float:
+        """Device-memory bandwidth expressed per core cycle."""
+        return self.mem_bw_gbps / self.clock_ghz
+
+    @property
+    def shared_bytes_per_cycle(self) -> float:
+        """Aggregate shared-memory bandwidth per cycle."""
+        return float(self.shared_bw_bytes_per_cycle_per_sm * self.sm_count)
+
+    @property
+    def max_concurrent_blocks(self) -> int:
+        """Upper bound on simultaneously resident thread blocks."""
+        return self.sm_count * self.max_blocks_per_sm
+
+    def concurrent_blocks(self, threads_per_block: int | None = None) -> int:
+        """Resident-block bound given a block size.
+
+        Occupancy is limited both by the per-SM block cap and by the
+        per-SM thread capacity: 1024-thread blocks fit only 2 per SM,
+        64-thread blocks fit the full 32. This is why TMM's huge blocks
+        see far less insertion contention than SAD's tiny ones at the
+        same grid scale.
+        """
+        per_sm = self.max_blocks_per_sm
+        if threads_per_block:
+            per_sm = min(per_sm,
+                         max(1, self.max_threads_per_sm // threads_per_block))
+        return self.sm_count * per_sm
+
+    def cycles_to_us(self, cycles: float) -> float:
+        """Convert a cycle count to microseconds at the core clock."""
+        return cycles / (self.clock_ghz * 1e3)
+
+    @classmethod
+    def v100(cls) -> "GPUSpec":
+        """The paper's characterization platform (Section III-A)."""
+        return cls()
+
+    @classmethod
+    def titan_v(cls) -> "GPUSpec":
+        """Volta Titan V, the GPGPU-sim model of Section VII-3."""
+        return cls(name="TitanV", sm_count=80, mem_bw_gbps=652.8)
+
+
+@dataclass(frozen=True)
+class NVMSpec:
+    """Non-volatile memory timing attached behind the GPU caches.
+
+    ``None`` for :attr:`bw_gbps` means the memory system keeps the DRAM
+    bandwidth of the GPU spec (the paper's V100 runs are DRAM-based and
+    interpreted as relative overheads; Section III-A).
+    """
+
+    #: Sustained NVM bandwidth in GB/s, or ``None`` to inherit DRAM's.
+    bw_gbps: float | None = None
+    #: Read latency in nanoseconds.
+    read_ns: float = 160.0
+    #: Write latency in nanoseconds.
+    write_ns: float = 480.0
+
+    def __post_init__(self) -> None:
+        if self.bw_gbps is not None and self.bw_gbps <= 0:
+            raise ValueError("bw_gbps must be positive or None")
+        if self.read_ns < 0 or self.write_ns < 0:
+            raise ValueError("latencies must be non-negative")
+
+    def bytes_per_cycle(self, spec: GPUSpec) -> float:
+        """Effective memory bandwidth per device cycle under this NVM."""
+        bw = self.bw_gbps if self.bw_gbps is not None else spec.mem_bw_gbps
+        return bw / spec.clock_ghz
+
+    def write_latency_cycles(self, spec: GPUSpec) -> float:
+        """NVM write latency in device cycles."""
+        return self.write_ns * spec.clock_ghz
+
+    def read_latency_cycles(self, spec: GPUSpec) -> float:
+        """NVM read latency in device cycles."""
+        return self.read_ns * spec.clock_ghz
+
+    @classmethod
+    def dram_like(cls) -> "NVMSpec":
+        """DRAM-speed persistence domain (the V100 testbed stand-in)."""
+        return cls(bw_gbps=None, read_ns=0.0, write_ns=0.0)
+
+    @classmethod
+    def paper_nvm(cls) -> "NVMSpec":
+        """Section VII-3's GPGPU-sim NVM model."""
+        return cls(bw_gbps=326.4, read_ns=160.0, write_ns=480.0)

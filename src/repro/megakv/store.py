@@ -1,0 +1,137 @@
+"""A GPU-resident key-value store modeled on MEGA-KV (Section VII-4).
+
+MEGA-KV serves in-memory key-value traffic by running the index on the
+GPU: requests are batched on the host and each batch is processed by a
+kernel. We reproduce that structure with a device-resident **bucketed
+hash index** holding keys and values directly in (persistent NVM-backed)
+device memory:
+
+* the table is ``n_buckets`` buckets × ``BUCKET_WIDTH`` slots;
+* a slot holds a ``uint64`` key (``0`` = empty) and a ``uint64`` value;
+* insert/search/delete kernels (:mod:`repro.megakv.kernels`) process
+  one batch each, one request per thread, blocks owning disjoint
+  request slices.
+
+Invariants the Lazy Persistency integration relies on (see
+:mod:`repro.megakv.lp`):
+
+* **keys and values are non-zero** — ``0`` is the empty sentinel *and*
+  the identity of both checksum lanes (modular ``+`` and parity ``^``),
+  which is what makes delete's "fold the cleared slot" protocol agree
+  between normal execution, validation and recovery;
+* keys within one batch are unique, so requests commute — blocks are
+  associative LP regions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.tables.base import mix64
+from repro.errors import TableFullError
+from repro.gpu.device import Device
+from repro.gpu.memory import Buffer
+
+#: Slots per bucket (MEGA-KV uses wide buckets scanned linearly).
+BUCKET_WIDTH = 8
+
+#: Key/value word marking an empty slot.
+EMPTY_SLOT = np.uint64(0)
+
+
+@dataclass
+class StoreStats:
+    """Operation statistics of one store."""
+
+    inserts: int = 0
+    updates: int = 0
+    searches: int = 0
+    hits: int = 0
+    deletes: int = 0
+    removed: int = 0
+    probe_slots: int = 0
+    by_batch: list = field(default_factory=list)
+
+
+class MegaKVStore:
+    """Device-resident bucketed hash index with inline values."""
+
+    def __init__(
+        self,
+        device: Device,
+        capacity: int,
+        name: str = "megakv",
+        seed: int = 0x5851F42D,
+    ) -> None:
+        if capacity <= 0:
+            raise TableFullError("store capacity must be positive")
+        self.device = device
+        self.name = name
+        self.seed = seed
+        # Size buckets for a <=12.5 % target load factor: with two
+        # candidate buckets of width 8 that makes a doubly-full pair
+        # (an insertion failure) astronomically unlikely.
+        n_buckets = 1
+        while n_buckets * BUCKET_WIDTH < 8 * capacity:
+            n_buckets *= 2
+        self.n_buckets = n_buckets
+        self.n_slots = n_buckets * BUCKET_WIDTH
+        self.stats = StoreStats()
+
+        self.keys: Buffer = device.alloc(
+            f"{name}_keys", (self.n_slots,), np.uint64, persistent=True
+        )
+        self.values: Buffer = device.alloc(
+            f"{name}_vals", (self.n_slots,), np.uint64, persistent=True
+        )
+
+    # ------------------------------------------------------------------
+    # Geometry — two candidate buckets per key (power-of-two choices),
+    # as MEGA-KV's cuckoo-style index does; overflow of a single bucket
+    # becomes astronomically unlikely at the sized load factor.
+    # ------------------------------------------------------------------
+
+    def bucket_of(self, key: int, choice: int = 0) -> int:
+        """Bucket index of a key for candidate ``choice`` (0 or 1)."""
+        seed = self.seed if choice == 0 else self.seed ^ 0x9E3779B97F4A7C15
+        return mix64(int(key), seed) % self.n_buckets
+
+    def bucket_slots(self, key: int) -> np.ndarray:
+        """Flat slot indices of both candidate buckets of a key."""
+        out = []
+        for choice in (0, 1):
+            b = self.bucket_of(key, choice)
+            out.append(np.arange(b * BUCKET_WIDTH, (b + 1) * BUCKET_WIDTH))
+        both = np.concatenate(out)
+        # The two candidates may coincide; keep order, drop duplicates.
+        _, first = np.unique(both, return_index=True)
+        return both[np.sort(first)]
+
+    # ------------------------------------------------------------------
+    # Host-side (non-kernel) views, for tests and recovery checks
+    # ------------------------------------------------------------------
+
+    def host_search(self, key: int, persisted: bool = False) -> int | None:
+        """Find a key from the host; returns its value or ``None``."""
+        keys = self.keys.nvm_array if persisted else self.keys.array
+        vals = self.values.nvm_array if persisted else self.values.array
+        slots = self.bucket_slots(key)
+        hit = np.flatnonzero(keys[slots] == np.uint64(key))
+        if hit.size == 0:
+            return None
+        return int(vals[slots[int(hit[0])]])
+
+    def contents(self, persisted: bool = False) -> dict[int, int]:
+        """All live (key, value) pairs as a host dict."""
+        keys = self.keys.nvm_array if persisted else self.keys.array
+        vals = self.values.nvm_array if persisted else self.values.array
+        live = np.flatnonzero(keys != EMPTY_SLOT)
+        return {int(keys[i]): int(vals[i]) for i in live}
+
+    @property
+    def load_factor(self) -> float:
+        """Occupied fraction of all slots (volatile view)."""
+        occupied = int(np.count_nonzero(self.keys.array != EMPTY_SLOT))
+        return occupied / self.n_slots

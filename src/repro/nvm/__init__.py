@@ -1,0 +1,36 @@
+"""NVM persistence domain: write accounting, crash plans, fault
+injection, and crash-consistency auditing.
+
+Submodules are exposed lazily (PEP 562): :mod:`repro.gpu.memory`
+imports :mod:`repro.nvm.model` while the ``gpu`` package is still
+initializing, so this ``__init__`` must not import the higher-level
+crash/audit modules eagerly.
+"""
+
+from repro.nvm.model import WritebackReason, WriteStats, write_amplification
+
+_LAZY = {
+    "AuditFailure": "repro.nvm.audit",
+    "AuditReport": "repro.nvm.audit",
+    "CrashSchedule": "repro.nvm.audit",
+    "audit_crash_consistency": "repro.nvm.audit",
+    "generate_schedules": "repro.nvm.audit",
+    "CrashPlan": "repro.nvm.crash",
+    "FaultInjector": "repro.nvm.crash",
+}
+
+__all__ = [
+    "WriteStats",
+    "WritebackReason",
+    "write_amplification",
+    *sorted(_LAZY),
+]
+
+
+def __getattr__(name: str):
+    if name in _LAZY:
+        import importlib
+
+        module = importlib.import_module(_LAZY[name])
+        return getattr(module, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,112 @@
+"""Crash plans and fault injection for the persistence domain.
+
+Two failure models are provided, matching the paper's methodology:
+
+* **Crash** (:class:`CrashPlan`): power fails mid-kernel. Blocks that
+  already ran may or may not have their stores persisted — a random
+  subset of dirty cache lines happened to be evicted before the
+  failure, the rest are lost. This exercises the LP recovery path.
+* **Corruption** (:class:`FaultInjector`): random bit flips / element
+  overwrites in the *persisted* image, used for the false-negative-rate
+  study of checksum functions (Section IV-B's "random error
+  injection").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.gpu.memory import GlobalMemory
+
+
+@dataclass(frozen=True)
+class CrashPlan:
+    """When and how a launch fails.
+
+    Parameters
+    ----------
+    after_blocks:
+        Crash once this many thread blocks have completed. The remaining
+        blocks never run. ``0`` crashes before any block.
+    persist_fraction:
+        Fraction of dirty cache lines that happened to be written back
+        just before the failure (uniformly at random). ``0.0`` loses all
+        dirty lines; ``1.0`` is equivalent to a clean drain.
+    seed:
+        RNG seed for the persisted-line lottery, for reproducible tests.
+    """
+
+    after_blocks: int = 0
+    persist_fraction: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.after_blocks < 0:
+            raise ValueError("after_blocks must be non-negative")
+        if not 0.0 <= self.persist_fraction <= 1.0:
+            raise ValueError("persist_fraction must be in [0, 1]")
+
+    def rng(self) -> np.random.Generator:
+        """The plan's deterministic random generator."""
+        return np.random.default_rng(self.seed)
+
+
+class FaultInjector:
+    """Injects faults into the *persisted* (NVM) image of buffers.
+
+    All injections deterministically derive from the seed, so a
+    false-negative-rate sweep is exactly reproducible.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = np.random.default_rng(seed)
+
+    def flip_bit(
+        self, memory: GlobalMemory, buffer_name: str, flat_index: int, bit: int
+    ) -> None:
+        """Flip one bit of one element in a buffer's NVM image.
+
+        The volatile image is re-synchronized, modeling a post-crash
+        reboot reading the corrupted NVM contents.
+        """
+        buf = memory[buffer_name]
+        nbytes = buf.dtype.itemsize
+        if not 0 <= bit < nbytes * 8:
+            raise ValueError(f"bit {bit} out of range for {buf.dtype}")
+        if not 0 <= flat_index < buf.size:
+            raise ValueError(f"index {flat_index} out of range")
+        byte_view = buf.shadow.view(np.uint8)
+        pos = flat_index * nbytes + bit // 8
+        byte_view[pos] ^= np.uint8(1 << (bit % 8))
+        buf.data[:] = buf.shadow
+
+    def flip_random_bits(
+        self, memory: GlobalMemory, buffer_name: str, n_flips: int
+    ) -> list[tuple[int, int]]:
+        """Flip ``n_flips`` random (element, bit) pairs; return them."""
+        buf = memory[buffer_name]
+        bits_per_elem = buf.dtype.itemsize * 8
+        out = []
+        for _ in range(n_flips):
+            idx = int(self._rng.integers(0, buf.size))
+            bit = int(self._rng.integers(0, bits_per_elem))
+            self.flip_bit(memory, buffer_name, idx, bit)
+            out.append((idx, bit))
+        return out
+
+    def overwrite_elements(
+        self,
+        memory: GlobalMemory,
+        buffer_name: str,
+        flat_indices: np.ndarray,
+        values: np.ndarray,
+    ) -> None:
+        """Overwrite NVM elements outright (a torn / stray write)."""
+        buf = memory[buffer_name]
+        idx = np.asarray(flat_indices)
+        if idx.size and (idx.min() < 0 or idx.max() >= buf.size):
+            raise ValueError("overwrite indices out of range")
+        buf.shadow[idx] = np.asarray(values, dtype=buf.dtype)
+        buf.data[:] = buf.shadow

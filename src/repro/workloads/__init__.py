@@ -1,0 +1,70 @@
+"""The paper's benchmark workloads, implemented on the simulator.
+
+Table I's eight benchmarks; MEGA-KV (the ninth) lives in
+:mod:`repro.megakv` as a full key-value-store subsystem. Each workload
+builds seeded inputs, allocates device buffers, and exposes a numpy
+reference for verification.
+
+:data:`WORKLOADS` maps the paper's benchmark names to workload classes,
+in the row order of the paper's tables.
+"""
+
+from repro.workloads.base import SCALES, Workload
+from repro.workloads.cutcp import CUTCPKernel, CUTCPWorkload
+from repro.workloads.histo import HISTOKernel, HISTOWorkload
+from repro.workloads.mri_gridding import (
+    MRIGriddingKernel,
+    MRIGriddingWorkload,
+)
+from repro.workloads.mri_q import MRIQKernel, MRIQWorkload
+from repro.workloads.sad import SADKernel, SADWorkload
+from repro.workloads.spmv import SPMVKernel, SPMVWorkload
+from repro.workloads.tmm import TiledMatMulKernel, TMMWorkload
+from repro.workloads.tpacf import TPACFKernel, TPACFWorkload
+
+#: Benchmark name -> workload class, in the paper's table row order.
+WORKLOADS: dict[str, type[Workload]] = {
+    "tmm": TMMWorkload,
+    "tpacf": TPACFWorkload,
+    "mri-gridding": MRIGriddingWorkload,
+    "spmv": SPMVWorkload,
+    "sad": SADWorkload,
+    "histo": HISTOWorkload,
+    "cutcp": CUTCPWorkload,
+    "mri-q": MRIQWorkload,
+}
+
+
+def make_workload(name: str, scale: str = "small", seed: int = 0) -> Workload:
+    """Instantiate a workload by its paper name."""
+    try:
+        cls = WORKLOADS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; known: {sorted(WORKLOADS)}"
+        ) from None
+    return cls(scale=scale, seed=seed)
+
+
+__all__ = [
+    "CUTCPKernel",
+    "CUTCPWorkload",
+    "HISTOKernel",
+    "HISTOWorkload",
+    "MRIGriddingKernel",
+    "MRIGriddingWorkload",
+    "MRIQKernel",
+    "MRIQWorkload",
+    "SADKernel",
+    "SADWorkload",
+    "SCALES",
+    "SPMVKernel",
+    "SPMVWorkload",
+    "TMMWorkload",
+    "TPACFKernel",
+    "TPACFWorkload",
+    "TiledMatMulKernel",
+    "WORKLOADS",
+    "Workload",
+    "make_workload",
+]

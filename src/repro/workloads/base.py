@@ -1,0 +1,95 @@
+"""Workload abstraction: inputs + kernel + reference output.
+
+A :class:`Workload` packages everything a benchmark needs:
+
+* deterministic, seeded input generation;
+* device buffer setup (:meth:`setup` allocates inputs/outputs and
+  returns the kernel to launch);
+* a pure-numpy :meth:`reference` against which outputs are checked;
+* scale presets, so tests run tiny instances while the paper-scale
+  shapes live in :mod:`repro.bench.profiles`.
+
+Every workload is written so each thread block owns a **disjoint slice
+of the output** — the structural property that makes thread blocks
+associative LP regions (Section IV-A) and re-execution idempotent.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.errors import LaunchError
+from repro.gpu.device import Device
+from repro.gpu.kernel import Kernel
+
+#: Named instance sizes. "tiny" suits property tests; "small" is the
+#: default functional test size; "medium" gives benchmarks more signal.
+SCALES = ("tiny", "small", "medium")
+
+
+class Workload(abc.ABC):
+    """One benchmark program: inputs, kernel, and expected outputs."""
+
+    name: str = "workload"
+    #: Whether outputs must match the reference exactly (integer
+    #: kernels) or within floating-point tolerance.
+    exact: bool = False
+
+    def __init__(self, scale: str = "small", seed: int = 0) -> None:
+        if scale not in SCALES:
+            raise LaunchError(f"unknown scale {scale!r}; pick from {SCALES}")
+        self.scale = scale
+        self.seed = seed
+        self.rng = np.random.default_rng(seed)
+
+    @abc.abstractmethod
+    def setup(self, device: Device) -> Kernel:
+        """Allocate device buffers and return the kernel to launch."""
+
+    @abc.abstractmethod
+    def reference(self) -> dict[str, np.ndarray]:
+        """Expected contents of each protected output buffer."""
+
+    # ------------------------------------------------------------------
+    # Verification helpers
+    # ------------------------------------------------------------------
+
+    def verify(self, device: Device, persisted: bool = False) -> None:
+        """Assert outputs match the reference; raises ``AssertionError``.
+
+        ``persisted=True`` checks the NVM image instead of the volatile
+        one (e.g. after a drain).
+        """
+        for name, expect in self.reference().items():
+            buf = device.memory[name]
+            got = buf.nvm_array if persisted else buf.array
+            if self.exact:
+                if not np.array_equal(got, expect.reshape(got.shape)):
+                    bad = np.flatnonzero(
+                        got.reshape(-1) != expect.reshape(-1)
+                    )
+                    raise AssertionError(
+                        f"{self.name}: buffer {name!r} mismatches at "
+                        f"{bad.size} elements (first: {bad[:5]})"
+                    )
+            else:
+                if not np.allclose(got, expect.reshape(got.shape),
+                                   rtol=1e-4, atol=1e-5):
+                    err = np.abs(
+                        got.astype(np.float64)
+                        - expect.reshape(got.shape).astype(np.float64)
+                    )
+                    raise AssertionError(
+                        f"{self.name}: buffer {name!r} max abs error "
+                        f"{err.max():.3g}"
+                    )
+
+    def matches(self, device: Device, persisted: bool = False) -> bool:
+        """Boolean form of :meth:`verify`."""
+        try:
+            self.verify(device, persisted=persisted)
+        except AssertionError:
+            return False
+        return True

@@ -1,0 +1,58 @@
+"""Seeded input generators shared by the workloads.
+
+Everything is deterministic in (shape, seed) so functional runs,
+recovery replays and benchmarks all see identical data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def small_ints(rng: np.random.Generator, shape, lo: int = -8, hi: int = 8) -> np.ndarray:
+    """Small int32 values whose products/sums never overflow int32."""
+    return rng.integers(lo, hi + 1, size=shape).astype(np.int32)
+
+
+def unit_floats(rng: np.random.Generator, shape) -> np.ndarray:
+    """float32 uniform in [-1, 1): well-conditioned for accumulation."""
+    return (rng.random(shape, dtype=np.float32) * 2.0 - 1.0).astype(np.float32)
+
+
+def positions_3d(rng: np.random.Generator, n: int, box: float) -> np.ndarray:
+    """``(n, 3)`` float32 positions uniform in a cubic box."""
+    return (rng.random((n, 3), dtype=np.float32) * box).astype(np.float32)
+
+
+def sparse_csr(
+    rng: np.random.Generator, n_rows: int, n_cols: int, nnz_per_row: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """A CSR matrix with exactly ``nnz_per_row`` entries per row.
+
+    Returns ``(row_ptr, col_idx, values)`` with int32 indices and
+    float32 values — the layout the SPMV kernel consumes.
+    """
+    row_ptr = (np.arange(n_rows + 1) * nnz_per_row).astype(np.int32)
+    col_idx = np.empty(n_rows * nnz_per_row, dtype=np.int32)
+    for r in range(n_rows):
+        col_idx[r * nnz_per_row:(r + 1) * nnz_per_row] = rng.choice(
+            n_cols, size=nnz_per_row, replace=False
+        )
+    values = unit_floats(rng, n_rows * nnz_per_row)
+    return row_ptr, col_idx, values
+
+
+def byte_frames(
+    rng: np.random.Generator, n_frames: int, height: int, width: int
+) -> np.ndarray:
+    """Video-like uint8 frames for SAD (sum of absolute differences)."""
+    return rng.integers(0, 256, size=(n_frames, height, width)).astype(np.uint8)
+
+
+def key_value_records(
+    rng: np.random.Generator, n: int, key_space: int = 1 << 48
+) -> tuple[np.ndarray, np.ndarray]:
+    """Unique uint64 keys plus uint64 values for the MEGA-KV store."""
+    keys = rng.choice(key_space, size=n, replace=False).astype(np.uint64) + np.uint64(1)
+    values = rng.integers(1, 1 << 62, size=n).astype(np.uint64)
+    return keys, values

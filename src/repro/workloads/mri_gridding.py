@@ -1,0 +1,129 @@
+"""MRI-GRIDDING — gridding scattered k-space samples (Parboil).
+
+Resamples non-uniform k-space measurements onto a Cartesian grid,
+weighting each sample by a (Gaussian-window) gridding kernel of its
+distance to the cell. Parboil's implementation scatters; ours *gathers*
+per output cell, which preserves the computation while giving every
+thread block a disjoint output tile — the associativity LP regions
+need. At paper scale this kernel launches 65 536 thread blocks, second
+only to SAD (Table III), which is why it is the other benchmark the
+hash-table checksums crumble on.
+
+LP structure: each block owns one tile of grid cells; all samples are
+shared read-only input.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import LaunchError
+from repro.gpu.device import Device
+from repro.gpu.kernel import BlockContext, Kernel, LaunchConfig
+from repro.workloads.base import Workload
+
+#: (grid_edge, tile_edge, n_samples, kernel_width) per scale.
+_SCALE_SHAPES = {
+    "tiny": (16, 4, 64, 1.5),
+    "small": (32, 4, 256, 1.5),
+    "medium": (64, 8, 1024, 2.0),
+}
+
+#: Samples are consumed in chunks of this size.
+_CHUNK = 64
+
+
+class MRIGriddingKernel(Kernel):
+    """One block grids all samples onto its tile of cells (gather)."""
+
+    name = "mri-gridding"
+    protected_buffers = ("mrig_grid",)
+    idempotent = True
+
+    def __init__(self, grid: int, tile: int, n_samples: int,
+                 width: float) -> None:
+        if grid % tile:
+            raise LaunchError("grid edge must be a tile multiple")
+        self.grid = grid
+        self.tile = tile
+        self.n_samples = n_samples
+        self.width = np.float32(width)
+
+    def launch_config(self) -> LaunchConfig:
+        blocks = self.grid // self.tile
+        return LaunchConfig(grid=(blocks, blocks),
+                            block=(self.tile, self.tile))
+
+    def block_output_map(self, block_id):
+        grid, tile = self.grid, self.tile
+        bx, by = self.launch_config().block_coords(block_id)
+        rows = (by * tile + np.arange(tile)) * grid
+        cols = bx * tile + np.arange(tile)
+        return {"mrig_grid": np.add.outer(rows, cols).ravel()}
+
+    def run_block(self, ctx: BlockContext) -> None:
+        tile, grid = self.tile, self.grid
+        bx, by = ctx.block_xy
+        tx, ty = ctx.thread_xy()
+        cx = (bx * tile + tx).astype(np.float32)
+        cy = (by * tile + ty).astype(np.float32)
+
+        acc = np.zeros(ctx.n_threads, dtype=np.float32)
+        inv_w2 = np.float32(1.0) / (self.width * self.width)
+        support2 = np.float32((2.0 * float(self.width)) ** 2)
+        for s0 in range(0, self.n_samples, _CHUNK):
+            s_idx = np.arange(s0, min(s0 + _CHUNK, self.n_samples))
+            sx = ctx.ld("mrig_samples", s_idx * 3 + 0)
+            sy = ctx.ld("mrig_samples", s_idx * 3 + 1)
+            sv = ctx.ld("mrig_samples", s_idx * 3 + 2)
+            dx = cx[:, None] - sx[None, :]
+            dy = cy[:, None] - sy[None, :]
+            r2 = dx * dx + dy * dy
+            w = np.where(r2 < support2,
+                         np.exp(-r2 * inv_w2), np.float32(0.0))
+            acc += (w * sv[None, :]).sum(axis=1, dtype=np.float32)
+            ctx.flops(9 * s_idx.size)  # dist + exp window + MAC
+
+        out_idx = (by * tile + ty) * grid + (bx * tile + tx)
+        ctx.st("mrig_grid", out_idx, acc, slots=ctx.tid)
+
+
+class MRIGriddingWorkload(Workload):
+    """Gridding of scattered samples onto a Cartesian lattice."""
+
+    name = "mri-gridding"
+    exact = False
+
+    def __init__(self, scale: str = "small", seed: int = 0) -> None:
+        super().__init__(scale, seed)
+        self.grid, self.tile, self.n_samples, width = _SCALE_SHAPES[scale]
+        self.width = np.float32(width)
+        samples = np.empty((self.n_samples, 3), dtype=np.float32)
+        samples[:, 0] = self.rng.random(self.n_samples,
+                                        dtype=np.float32) * self.grid
+        samples[:, 1] = self.rng.random(self.n_samples,
+                                        dtype=np.float32) * self.grid
+        samples[:, 2] = (self.rng.random(self.n_samples, dtype=np.float32)
+                         * 2.0 - 1.0)
+        self._samples = samples
+
+    def setup(self, device: Device) -> MRIGriddingKernel:
+        device.alloc("mrig_samples", (self.n_samples * 3,), np.float32,
+                     persistent=True, init=self._samples.reshape(-1))
+        device.alloc("mrig_grid", (self.grid * self.grid,), np.float32,
+                     persistent=True)
+        return MRIGriddingKernel(self.grid, self.tile, self.n_samples,
+                                 float(self.width))
+
+    def reference(self) -> dict[str, np.ndarray]:
+        gx, gy = np.meshgrid(np.arange(self.grid, dtype=np.float64),
+                             np.arange(self.grid, dtype=np.float64))
+        cx, cy = gx.ravel(), gy.ravel()
+        out = np.zeros(self.grid * self.grid, dtype=np.float64)
+        inv_w2 = 1.0 / float(self.width) ** 2
+        support2 = (2.0 * float(self.width)) ** 2
+        for x, y, v in self._samples.astype(np.float64):
+            r2 = (cx - x) ** 2 + (cy - y) ** 2
+            mask = r2 < support2
+            out[mask] += np.exp(-r2[mask] * inv_w2) * v
+        return {"mrig_grid": out.astype(np.float32)}

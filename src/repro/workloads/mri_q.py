@@ -1,0 +1,119 @@
+"""MRI-Q — Q-matrix computation for MRI reconstruction (Parboil).
+
+For every voxel ``x``, accumulates ``Q(x) = Σ_k |φ(k)|² · e^{2πi k·x}``
+over all k-space sample points, split into real (cos) and imaginary
+(sin) parts. Instruction-throughput bound: trigonometry dominates.
+
+LP structure: one thread per voxel, blocks own disjoint voxel ranges;
+both output buffers (``Qr``, ``Qi``) are protected, demonstrating LP
+over multiple protected stores per region.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import LaunchError
+from repro.gpu.device import Device
+from repro.gpu.kernel import BlockContext, Kernel, LaunchConfig
+from repro.workloads.base import Workload
+from repro.workloads.generators import unit_floats
+
+#: (n_voxels, n_ksamples, threads_per_block) per scale.
+_SCALE_SHAPES = {
+    "tiny": (64, 32, 16),
+    "small": (512, 128, 64),
+    "medium": (2048, 512, 128),
+}
+
+#: k-space samples are consumed in chunks of this size.
+_CHUNK = 32
+
+_TWO_PI = np.float32(2.0 * np.pi)
+
+
+class MRIQKernel(Kernel):
+    """One thread accumulates one voxel's Q value over all k samples."""
+
+    name = "mri-q"
+    protected_buffers = ("mriq_qr", "mriq_qi")
+    idempotent = True
+
+    def __init__(self, n_voxels: int, n_k: int, threads: int) -> None:
+        if n_voxels % threads:
+            raise LaunchError("n_voxels must be a multiple of block size")
+        self.n_voxels = n_voxels
+        self.n_k = n_k
+        self.threads = threads
+
+    def launch_config(self) -> LaunchConfig:
+        return LaunchConfig.linear(self.n_voxels // self.threads, self.threads)
+
+    def block_output_map(self, block_id):
+        vox = block_id * self.threads + np.arange(self.threads)
+        return {"mriq_qr": vox, "mriq_qi": vox.copy()}
+
+    def run_block(self, ctx: BlockContext) -> None:
+        vox = ctx.block_id * self.threads + ctx.tid
+        vx = ctx.ld("mriq_x", vox * 3 + 0)
+        vy = ctx.ld("mriq_x", vox * 3 + 1)
+        vz = ctx.ld("mriq_x", vox * 3 + 2)
+
+        qr = np.zeros(ctx.n_threads, dtype=np.float32)
+        qi = np.zeros(ctx.n_threads, dtype=np.float32)
+        for k0 in range(0, self.n_k, _CHUNK):
+            k_idx = np.arange(k0, min(k0 + _CHUNK, self.n_k))
+            kx = ctx.ld("mriq_k", k_idx * 4 + 0)
+            ky = ctx.ld("mriq_k", k_idx * 4 + 1)
+            kz = ctx.ld("mriq_k", k_idx * 4 + 2)
+            mag = ctx.ld("mriq_k", k_idx * 4 + 3)
+            phase = _TWO_PI * (
+                vx[:, None] * kx[None, :]
+                + vy[:, None] * ky[None, :]
+                + vz[:, None] * kz[None, :]
+            )
+            qr += (mag[None, :] * np.cos(phase)).sum(axis=1,
+                                                     dtype=np.float32)
+            qi += (mag[None, :] * np.sin(phase)).sum(axis=1,
+                                                     dtype=np.float32)
+            ctx.flops(14 * k_idx.size)  # 3 MACs + 2 trig + 2 MACs per k
+
+        ctx.st("mriq_qr", vox, qr, slots=ctx.tid)
+        ctx.st("mriq_qi", vox, qi, slots=ctx.tid)
+
+
+class MRIQWorkload(Workload):
+    """Q-matrix accumulation over k-space samples."""
+
+    name = "mri-q"
+    exact = False
+
+    def __init__(self, scale: str = "small", seed: int = 0) -> None:
+        super().__init__(scale, seed)
+        self.n_voxels, self.n_k, self.threads = _SCALE_SHAPES[scale]
+        self._x = unit_floats(self.rng, self.n_voxels * 3)
+        k = np.empty((self.n_k, 4), dtype=np.float32)
+        k[:, :3] = unit_floats(self.rng, (self.n_k, 3))
+        # |phi|^2 magnitudes are non-negative.
+        k[:, 3] = self.rng.random(self.n_k, dtype=np.float32)
+        self._k = k
+
+    def setup(self, device: Device) -> MRIQKernel:
+        device.alloc("mriq_x", (self.n_voxels * 3,), np.float32,
+                     persistent=True, init=self._x)
+        device.alloc("mriq_k", (self.n_k * 4,), np.float32,
+                     persistent=True, init=self._k.reshape(-1))
+        device.alloc("mriq_qr", (self.n_voxels,), np.float32, persistent=True)
+        device.alloc("mriq_qi", (self.n_voxels,), np.float32, persistent=True)
+        return MRIQKernel(self.n_voxels, self.n_k, self.threads)
+
+    def reference(self) -> dict[str, np.ndarray]:
+        x = self._x.reshape(self.n_voxels, 3).astype(np.float64)
+        k = self._k.astype(np.float64)
+        phase = 2.0 * np.pi * (x @ k[:, :3].T)
+        qr = (k[:, 3] * np.cos(phase)).sum(axis=1)
+        qi = (k[:, 3] * np.sin(phase)).sum(axis=1)
+        return {
+            "mriq_qr": qr.astype(np.float32),
+            "mriq_qi": qi.astype(np.float32),
+        }

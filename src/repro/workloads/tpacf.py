@@ -1,0 +1,134 @@
+"""TPACF — two-point angular correlation function (Parboil).
+
+Counts pairs of sky points by angular separation: every pair's dot
+product is binned into a histogram. Instruction-throughput bound
+(Table I): the kernel is a dense O(n²) dot-product sweep with almost no
+output traffic.
+
+LP structure: each thread block owns one *privatized partial
+histogram*, written to a block-disjoint slice of the output — the
+standard Parboil privatization pattern, which is exactly what makes the
+blocks associative LP regions. (The final cross-block merge is a
+host-side helper; the paper instruments the main kernel.)
+
+Integer bin counts make this workload exact.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import LaunchError
+from repro.gpu.device import Device
+from repro.gpu.kernel import BlockContext, Kernel, LaunchConfig
+from repro.workloads.base import Workload
+
+#: (n_points, threads_per_block, n_bins) per scale.
+_SCALE_SHAPES = {
+    "tiny": (64, 16, 8),
+    "small": (256, 32, 8),
+    "medium": (1024, 64, 16),
+}
+
+#: Points are compared in chunks of this many partners per step.
+_CHUNK = 64
+
+
+def _unit_sphere_points(rng: np.random.Generator, n: int) -> np.ndarray:
+    """Random float32 unit vectors (sky directions)."""
+    v = rng.normal(size=(n, 3)).astype(np.float32)
+    v /= np.linalg.norm(v, axis=1, keepdims=True).astype(np.float32)
+    return v.astype(np.float32)
+
+
+def _bin_edges(n_bins: int) -> np.ndarray:
+    """Interior bin edges over the dot-product range [-1, 1]."""
+    return np.linspace(-1.0, 1.0, n_bins + 1, dtype=np.float32)[1:-1]
+
+
+class TPACFKernel(Kernel):
+    """One block histograms all pairs (i in block-chunk, j in all)."""
+
+    name = "tpacf"
+    protected_buffers = ("tpacf_hist",)
+    idempotent = True
+
+    def __init__(self, n_points: int, threads: int, n_bins: int) -> None:
+        if n_points % threads:
+            raise LaunchError("n_points must be a multiple of block size")
+        self.n_points = n_points
+        self.threads = threads
+        self.n_bins = n_bins
+        self._edges = _bin_edges(n_bins)
+
+    def launch_config(self) -> LaunchConfig:
+        return LaunchConfig.linear(self.n_points // self.threads, self.threads)
+
+    def block_output_map(self, block_id):
+        base = block_id * self.n_bins
+        return {"tpacf_hist": base + np.arange(self.n_bins)}
+
+    def run_block(self, ctx: BlockContext) -> None:
+        n, t, nb = self.n_points, self.threads, self.n_bins
+        b = ctx.block_id
+        my_idx = b * t + ctx.tid  # each thread owns one "i" point
+
+        # Fetch this block's points (x, y, z are separate strided loads).
+        mine = np.stack(
+            [ctx.ld("tpacf_pts", my_idx * 3 + c) for c in range(3)], axis=1
+        )
+
+        hist = np.zeros(nb, dtype=np.int64)
+        for j0 in range(0, n, _CHUNK):
+            j_idx = np.arange(j0, min(j0 + _CHUNK, n))
+            partners = np.stack(
+                [ctx.ld("tpacf_pts", j_idx * 3 + c) for c in range(3)], axis=1
+            )
+            dots = mine @ partners.T  # (t, chunk) float32
+            bins = np.digitize(dots.ravel(), self._edges)
+            hist += np.bincount(bins, minlength=nb)
+            # 2*3 flops per pair (dot) + compare/bin work.
+            ctx.flops((2 * 3 + 2) * j_idx.size)
+
+        ctx.st("tpacf_hist", b * nb + np.arange(nb), hist.astype(np.int64),
+               slots=np.arange(nb) % ctx.n_threads)
+
+
+class TPACFWorkload(Workload):
+    """Angular correlation histogram with per-block privatization."""
+
+    name = "tpacf"
+    exact = True
+
+    def __init__(self, scale: str = "small", seed: int = 0) -> None:
+        super().__init__(scale, seed)
+        self.n_points, self.threads, self.n_bins = _SCALE_SHAPES[scale]
+        self._pts = _unit_sphere_points(self.rng, self.n_points)
+
+    def setup(self, device: Device) -> TPACFKernel:
+        device.alloc("tpacf_pts", (self.n_points * 3,), np.float32,
+                     persistent=True, init=self._pts.reshape(-1))
+        n_blocks = self.n_points // self.threads
+        device.alloc("tpacf_hist", (n_blocks * self.n_bins,), np.int64,
+                     persistent=True)
+        return TPACFKernel(self.n_points, self.threads, self.n_bins)
+
+    def reference(self) -> dict[str, np.ndarray]:
+        edges = _bin_edges(self.n_bins)
+        n_blocks = self.n_points // self.threads
+        out = np.zeros(n_blocks * self.n_bins, dtype=np.int64)
+        for b in range(n_blocks):
+            mine = self._pts[b * self.threads:(b + 1) * self.threads]
+            hist = np.zeros(self.n_bins, dtype=np.int64)
+            for j0 in range(0, self.n_points, _CHUNK):
+                partners = self._pts[j0:j0 + _CHUNK]
+                dots = mine @ partners.T
+                bins = np.digitize(dots.ravel(), edges)
+                hist += np.bincount(bins, minlength=self.n_bins)
+            out[b * self.n_bins:(b + 1) * self.n_bins] = hist
+        return {"tpacf_hist": out}
+
+    def merged_histogram(self, device: Device) -> np.ndarray:
+        """Host-side merge of the per-block partial histograms."""
+        partials = device.memory["tpacf_hist"].array
+        return partials.reshape(-1, self.n_bins).sum(axis=0)

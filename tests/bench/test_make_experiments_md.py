@@ -1,0 +1,21 @@
+"""Tests for the EXPERIMENTS.md generator."""
+
+from repro.bench.make_experiments_md import generate, main
+
+
+def test_generate_contains_every_experiment():
+    text = generate()
+    from repro.bench.experiments import EXPERIMENTS
+
+    for exp_id in EXPERIMENTS:
+        assert f"## `{exp_id}`" in text
+    assert "Known deviations" in text
+    assert "FAIL" not in text  # every fidelity check passes
+
+
+def test_main_writes_given_path(tmp_path, capsys):
+    out = tmp_path / "X.md"
+    main(str(out))
+    assert out.exists()
+    assert "paper vs. measured" in out.read_text()
+    assert str(out) in capsys.readouterr().out

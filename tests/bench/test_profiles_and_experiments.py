@@ -1,0 +1,89 @@
+"""Tests for the paper-scale profiles and the experiment registry."""
+
+import pytest
+
+from repro.bench import paper_data
+from repro.bench.experiments import EXPERIMENTS
+from repro.bench.harness import estimate
+from repro.bench.profiles import PROFILES
+from repro.core.config import LPConfig
+
+
+def test_profiles_cover_all_paper_benchmarks():
+    assert set(PROFILES) == set(paper_data.BENCHES)
+
+
+def test_block_counts_match_table3():
+    for name, profile in PROFILES.items():
+        assert profile.n_blocks == paper_data.TABLE3_SLOWDOWN[name]["blocks"]
+
+
+def test_bottlenecks_match_table1():
+    for name, profile in PROFILES.items():
+        assert profile.bottleneck == paper_data.TABLE1_BOTTLENECK[name]
+
+
+def test_table5_anchor_is_reproduced():
+    """The calibration must land the final design on Table V's numbers."""
+    for name, profile in PROFILES.items():
+        target = paper_data.TABLE5_ARRAY_SHUFFLE[name]["time"]
+        measured = estimate(profile, LPConfig.paper_best()).overhead
+        assert measured == pytest.approx(target, abs=0.002)
+
+
+def test_registry_covers_every_table_and_figure():
+    expected = {
+        "fig5", "table2", "collision_ablation", "atomic_ablation",
+        "table3", "table4", "table5", "multi_checksum", "write_amp",
+        "megakv", "fig1", "fnr",
+        # extensions beyond the paper's tables
+        "ep_vs_lp", "fusion", "recovery_cost", "scaling",
+    }
+    assert set(EXPERIMENTS) == expected
+
+
+FAST_EXPERIMENTS = [
+    "fig5", "table2", "collision_ablation", "atomic_ablation",
+    "table3", "table4", "table5", "multi_checksum", "fig1",
+]
+
+
+@pytest.mark.parametrize("exp_id", FAST_EXPERIMENTS)
+def test_fast_experiments_pass_fidelity(exp_id):
+    result = EXPERIMENTS[exp_id]()
+    assert result.fidelity, f"{exp_id} defines no fidelity checks"
+    failing = [k for k, ok in result.fidelity.items() if not ok]
+    assert not failing, f"{exp_id} fidelity failed: {failing}"
+    assert result.rendered
+    assert result.rows
+
+
+def test_fnr_experiment_small():
+    result = EXPERIMENTS["fnr"](n_trials=60)
+    assert result.fidelity_ok, result.fidelity
+
+
+def test_write_amp_experiment_small_scale():
+    result = EXPERIMENTS["write_amp"](scale="medium")
+    assert result.fidelity_ok, result.fidelity
+    for row in result.rows:
+        assert row["lp_lines"] > row["baseline_lines"]
+
+
+def test_megakv_experiment_small_batch():
+    result = EXPERIMENTS["megakv"](n_records=4096, threads_per_block=64)
+    assert result.fidelity_ok, result.fidelity
+
+
+def test_extension_experiments_pass_fidelity():
+    for exp_id in ("ep_vs_lp", "fusion", "recovery_cost",
+                   "scaling"):
+        result = EXPERIMENTS[exp_id]()
+        failing = [k for k, ok in result.fidelity.items() if not ok]
+        assert not failing, f"{exp_id}: {failing}"
+
+
+def test_rendered_tables_include_paper_columns():
+    result = EXPERIMENTS["table5"]()
+    assert "paper" in result.rendered
+    assert "geomean" in result.rendered

@@ -1,0 +1,82 @@
+"""Unit tests for paper-style report formatting."""
+
+from repro.bench.report import (
+    fmt_count,
+    fmt_pct,
+    fmt_slowdown,
+    paired_columns,
+    render_table,
+)
+
+
+def test_fmt_pct():
+    assert fmt_pct(0.021) == "2.1%"
+    assert fmt_pct(2.166) == "216.6%"
+    assert fmt_pct(44.9187) == "4,492%"
+    assert fmt_pct(0.0002) == "0.020%"
+
+
+def test_fmt_slowdown():
+    assert fmt_slowdown(1.07) == "1.07x"
+    assert fmt_slowdown(4491.87) == "4,492x"
+
+
+def test_fmt_count():
+    assert fmt_count(60443) == "60,443"
+    assert fmt_count(26.0) == "26"
+
+
+def test_render_table_alignment():
+    out = render_table(
+        "Demo",
+        ["bench", "value"],
+        [["tmm", "8.1%"], ["mri-gridding", "216.6%"]],
+        note="shape only",
+    )
+    lines = out.splitlines()
+    assert lines[0] == "Demo"
+    assert lines[1] == "===="
+    assert "note: shape only" in out
+    # First column left-aligned, second right-aligned.
+    assert lines[4].startswith("tmm")
+    assert lines[4].endswith("8.1%")
+
+
+def test_paired_columns():
+    rows = paired_columns({"a": 0.1, "b": 0.2}, {"a": 0.15})
+    assert rows == [["a", "10.0%", "15.0%"], ["b", "20.0%", "-"]]
+
+
+def test_render_bars_basic():
+    from repro.bench.report import render_bars
+
+    out = render_bars(
+        "Chart",
+        {"a": {"x": 0.10, "y": 0.20}, "b": {"x": 0.40, "y": 0.05}},
+    )
+    lines = out.splitlines()
+    assert lines[0] == "Chart"
+    assert "10.0%" in out and "40.0%" in out
+    # The largest value owns the longest bar.
+    bar_lens = {
+        line.split("|")[1].split()[0]: line for line in lines[2:] if "|" in line
+    }
+    longest = max(bar_lens, key=len)
+    assert "40.0%" in bar_lens[longest]
+
+
+def test_render_bars_clips_outliers():
+    from repro.bench.report import render_bars
+
+    out = render_bars("C", {"a": {"v": 5.0}, "b": {"v": 0.1}}, clip=0.6)
+    assert ">" in out          # clipped marker
+    assert "500.0%" in out     # true value still printed
+
+
+def test_render_bars_rejects_empty():
+    import pytest
+
+    from repro.bench.report import render_bars
+
+    with pytest.raises(ValueError):
+        render_bars("C", {})

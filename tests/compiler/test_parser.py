@@ -1,0 +1,151 @@
+"""Unit tests for the nvm-directive parser."""
+
+import pytest
+
+from repro.compiler.model import ChecksumDirective, InitDirective
+from repro.compiler.parser import parse_pragma, parse_program, split_args
+from repro.errors import DirectiveSemanticError, DirectiveSyntaxError
+
+
+# -- split_args ---------------------------------------------------------------
+
+def test_split_args_basic():
+    assert split_args("a, b, c") == ["a", "b", "c"]
+
+
+def test_split_args_nested_parentheses():
+    assert split_args("tab, f(x, y), 1") == ["tab", "f(x, y)", "1"]
+
+
+def test_split_args_quoted_commas():
+    assert split_args('"+,^", tab') == ['"+,^"', "tab"]
+
+
+def test_split_args_expressions():
+    assert split_args("checksumMM, grid.x*grid.y, 1") == [
+        "checksumMM", "grid.x*grid.y", "1"
+    ]
+
+
+def test_split_args_unbalanced_rejected():
+    with pytest.raises(DirectiveSyntaxError):
+        split_args("f(x, y")
+    with pytest.raises(DirectiveSyntaxError):
+        split_args('"unterminated')
+
+
+# -- parse_pragma --------------------------------------------------------------
+
+def test_parse_init_directive():
+    d = parse_pragma(
+        "#pragma nvm lpcuda_init(checksumMM, grid.x*grid.y, 1)", 10
+    )
+    assert isinstance(d, InitDirective)
+    assert d.table == "checksumMM"
+    assert d.nelems_expr == "grid.x*grid.y"
+    assert d.selem_expr == "1"
+    assert d.line_no == 10
+
+
+def test_parse_checksum_directive():
+    d = parse_pragma(
+        '#pragma nvm lpcuda_checksum("+^", tab, blockIdx.x, blockIdx.y)', 5
+    )
+    assert isinstance(d, ChecksumDirective)
+    assert d.checksum_types == ("+", "^")
+    assert d.checksum_names == ("modular", "parity")
+    assert d.keys == ("blockIdx.x", "blockIdx.y")
+
+
+def test_parse_single_type_checksum():
+    d = parse_pragma('#pragma nvm lpcuda_checksum("+", tab, k)', 1)
+    assert d.checksum_types == ("+",)
+
+
+def test_non_pragma_lines_ignored():
+    assert parse_pragma("int x = 5;", 1) is None
+    assert parse_pragma("#pragma unroll", 1) is None
+
+
+def test_unknown_directive_rejected():
+    with pytest.raises(DirectiveSyntaxError):
+        parse_pragma("#pragma nvm lpcuda_frobnicate(x)", 1)
+
+
+def test_wrong_arity_rejected():
+    with pytest.raises(DirectiveSyntaxError):
+        parse_pragma("#pragma nvm lpcuda_init(tab, 1)", 1)
+    with pytest.raises(DirectiveSyntaxError):
+        parse_pragma('#pragma nvm lpcuda_checksum("+", tab)', 1)
+
+
+def test_bad_checksum_type_rejected():
+    with pytest.raises(DirectiveSemanticError):
+        parse_pragma('#pragma nvm lpcuda_checksum("*", tab, k)', 1)
+
+
+def test_bad_table_name_rejected():
+    with pytest.raises(DirectiveSemanticError):
+        parse_pragma("#pragma nvm lpcuda_init(not a name, 1, 1)", 1)
+
+
+# -- parse_program ---------------------------------------------------------------
+
+PROGRAM = """
+#pragma nvm lpcuda_init(checksumMM, grid.x*grid.y, 1)
+MatrixMulCUDA<<<grid, threads>>>(d_C, d_A, d_B, wA, wB);
+
+__global__ void MatrixMulCUDA(float *C, float *A, float *B,
+                              int wA, int wB) {
+    int bx = blockIdx.x;
+    int c = wB * BLOCK_SIZE * blockIdx.y + BLOCK_SIZE * bx;
+    float Csub = 0;
+#pragma nvm lpcuda_checksum("+^", checksumMM, blockIdx.x, blockIdx.y)
+    C[c + wB * threadIdx.y + threadIdx.x] = Csub;
+}
+"""
+
+
+def test_parse_program_finds_inits_and_kernels():
+    program = parse_program(PROGRAM)
+    assert len(program.inits) == 1
+    assert len(program.kernels) == 1
+    kernel = program.kernel("MatrixMulCUDA")
+    assert kernel.param_names == ("C", "A", "B", "wA", "wB")
+    assert len(kernel.checksums) == 1
+
+
+def test_checksum_directive_captures_target_statement():
+    program = parse_program(PROGRAM)
+    directive = program.kernels[0].checksums[0]
+    assert directive.target_statement.startswith("C[")
+    assert directive.table == "checksumMM"
+
+
+def test_multiline_parameter_lists():
+    program = parse_program(PROGRAM)
+    assert "wA" in program.kernels[0].params
+
+
+def test_unknown_kernel_lookup_raises():
+    program = parse_program(PROGRAM)
+    with pytest.raises(DirectiveSemanticError):
+        program.kernel("ghost")
+
+
+def test_init_lookup_by_table():
+    program = parse_program(PROGRAM)
+    assert program.init_for("checksumMM").nelems_expr == "grid.x*grid.y"
+    with pytest.raises(DirectiveSemanticError):
+        program.init_for("ghost")
+
+
+def test_program_with_two_kernels():
+    source = PROGRAM + """
+__global__ void other(int *p) {
+    p[threadIdx.x] = 1;
+}
+"""
+    program = parse_program(source)
+    assert [k.name for k in program.kernels] == ["MatrixMulCUDA", "other"]
+    assert program.kernels[1].checksums == []

@@ -1,0 +1,59 @@
+"""Unit tests for check-and-recovery kernel generation."""
+
+from repro.compiler.parser import parse_program
+from repro.compiler.recovery_gen import (
+    generate_recovery_function,
+    generate_recovery_kernel,
+    recovery_kernel_name,
+)
+
+SOURCE = """
+__global__ void MatrixMulCUDA(float *C, float *A, float *B, int wA, int wB) {
+    int bx = blockIdx.x;
+    int by = blockIdx.y;
+    int tx = threadIdx.x;
+    int ty = threadIdx.y;
+    float Csub = 0;
+    int c = wB * BLOCK_SIZE * by + BLOCK_SIZE * bx;
+#pragma nvm lpcuda_checksum("+^", checksumMM, blockIdx.x, blockIdx.y)
+    C[c + wB * ty + tx] = Csub;
+}
+"""
+
+
+def parsed():
+    kernel = parse_program(SOURCE).kernels[0]
+    return kernel, kernel.checksums[0]
+
+
+def test_recovery_kernel_name():
+    assert recovery_kernel_name("MatrixMulCUDA") == "crMatrixMulCUDA"
+    assert recovery_kernel_name("foo") == "crFoo"
+
+
+def test_recovery_kernel_has_same_signature():
+    kernel, directive = parsed()
+    out = generate_recovery_kernel(kernel, directive)
+    assert "crMatrixMulCUDA(float *C, float *A, float *B, int wA, int wB)" in out
+
+
+def test_recovery_kernel_validates_and_recovers():
+    kernel, directive = parsed()
+    out = generate_recovery_kernel(kernel, directive)
+    assert "if (!lpcuda_validate(" in out
+    assert "recovery_MatrixMulCUDA(C, A, B, wA, wB);" in out
+
+
+def test_recovery_kernel_contains_only_the_address_slice():
+    kernel, directive = parsed()
+    out = generate_recovery_kernel(kernel, directive)
+    assert "int c = " in out
+    assert "float Csub = 0" not in out  # value computation sliced away
+
+
+def test_recovery_function_reexecutes_body():
+    kernel, _ = parsed()
+    out = generate_recovery_function(kernel)
+    assert out.startswith("__device__ void recovery_MatrixMulCUDA(")
+    assert "C[c + wB * ty + tx] = Csub;" in out
+    assert "#pragma nvm" not in out

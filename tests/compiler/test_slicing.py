@@ -1,0 +1,91 @@
+"""Unit tests for store-address program slicing."""
+
+import pytest
+
+from repro.compiler.parser import parse_program
+from repro.compiler.slicing import (
+    identifiers,
+    parse_store_target,
+    slice_for_index,
+    statement_definition,
+)
+from repro.errors import SliceError
+
+KERNEL_SRC = """
+__global__ void MatrixMulCUDA(float *C, float *A, float *B, int wA, int wB) {
+    int bx = blockIdx.x;
+    int by = blockIdx.y;
+    int tx = threadIdx.x;
+    int ty = threadIdx.y;
+    float Csub = 0;
+    int c = wB * BLOCK_SIZE * by + BLOCK_SIZE * bx;
+    C[c + wB * ty + tx] = Csub;
+}
+"""
+
+
+def kernel():
+    return parse_program(KERNEL_SRC).kernels[0]
+
+
+def test_parse_store_target():
+    t = parse_store_target("C[c + wB * ty + tx] = Csub;")
+    assert t.array == "C"
+    assert t.index_expr == "c + wB * ty + tx"
+    assert t.value_expr == "Csub"
+    assert t.lhs == "C[c + wB * ty + tx]"
+
+
+def test_parse_store_target_rejects_non_store():
+    with pytest.raises(SliceError):
+        parse_store_target("x = y + 1;")
+
+
+def test_identifiers():
+    assert identifiers("a + b*2 + foo(bar)") == {"a", "b", "foo", "bar"}
+
+
+def test_statement_definition():
+    assert statement_definition("int c = wB * by;") == ("c", "wB * by")
+    assert statement_definition("c = 5;") == ("c", "5")
+    assert statement_definition("if (x) y = 1;") is None
+    assert statement_definition("#pragma nvm foo(1)") is None
+    assert statement_definition("// comment") is None
+
+
+def test_slice_collects_address_chain():
+    target = parse_store_target("C[c + wB * ty + tx] = Csub;")
+    stmts = slice_for_index(kernel(), target)
+    joined = "\n".join(stmts)
+    # The address depends on c, ty, tx (and transitively bx, by).
+    assert "int c = wB * BLOCK_SIZE * by + BLOCK_SIZE * bx;" in joined
+    assert "int tx = threadIdx.x;" in joined
+    assert "int by = blockIdx.y;" in joined
+    # The *value* computation is not part of the address slice.
+    assert "Csub" not in joined
+
+
+def test_slice_is_in_execution_order():
+    target = parse_store_target("C[c + wB * ty + tx] = Csub;")
+    stmts = slice_for_index(kernel(), target)
+    assert stmts.index("int bx = blockIdx.x;") < stmts.index(
+        "int c = wB * BLOCK_SIZE * by + BLOCK_SIZE * bx;"
+    )
+
+
+def test_macros_and_params_are_free_variables():
+    # BLOCK_SIZE (macro) and wB (parameter) need no defining statement.
+    target = parse_store_target("C[c + wB * ty + tx] = Csub;")
+    slice_for_index(kernel(), target)  # must not raise
+
+
+def test_unresolvable_identifier_raises():
+    source = """
+__global__ void k(float *C) {
+    C[mystery + 1] = 0;
+}
+"""
+    k = parse_program(source).kernels[0]
+    target = parse_store_target("C[mystery + 1] = 0;")
+    with pytest.raises(SliceError):
+        slice_for_index(k, target)

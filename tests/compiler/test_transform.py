@@ -1,0 +1,132 @@
+"""Unit tests for directive-driven source instrumentation."""
+
+import pytest
+
+from repro.compiler.transform import (
+    compile_program,
+    emit_host_code,
+    emit_instrumented_kernel,
+)
+from repro.compiler.parser import parse_program
+from repro.errors import DirectiveSemanticError
+
+SOURCE = """
+#pragma nvm lpcuda_init(checksumMM, grid.x*grid.y, 1)
+MatrixMulCUDA<<<grid, threads, 0, stream>>>(d_C, d_A, d_B, wA, wB);
+
+__global__ void MatrixMulCUDA(float *C, float *A, float *B, int wA, int wB) {
+    int bx = blockIdx.x;
+    int by = blockIdx.y;
+    int tx = threadIdx.x;
+    int ty = threadIdx.y;
+    float Csub = 0;
+    int c = wB * BLOCK_SIZE * by + BLOCK_SIZE * bx;
+#pragma nvm lpcuda_checksum("+^", checksumMM, blockIdx.x, blockIdx.y)
+    C[c + wB * ty + tx] = Csub;
+}
+"""
+
+
+def test_host_code_lowers_init_pragma():
+    program = parse_program(SOURCE)
+    host = emit_host_code(program)
+    assert ("lpcuda_table_t checksumMM = "
+            "lpcuda_runtime_init(grid.x*grid.y, 1);") in host
+    assert "#pragma nvm lpcuda_init" not in host
+    # The launch statement passes through untouched.
+    assert "MatrixMulCUDA<<<grid, threads, 0, stream>>>" in host
+
+
+def test_kernel_gains_checksum_registers_and_updates():
+    out = compile_program(SOURCE)
+    k = out.kernel_code
+    assert "unsigned long long __lp_cs[2]" in k
+    assert "__lp_cs[0] += __lp_ordered_bits(Csub);" in k
+    assert "__lp_cs[1] ^= __lp_ordered_bits(Csub);" in k
+    # Updates come immediately before the protected store.
+    assert k.index("__lp_cs[0] +=") < k.index("C[c + wB * ty + tx] = Csub;")
+
+
+def test_kernel_gains_reduce_and_insert_epilogue():
+    out = compile_program(SOURCE)
+    k = out.kernel_code
+    assert "__lp_block_reduce_add(__lp_cs[0])" in k
+    assert "__lp_block_reduce_xor(__lp_cs[1])" in k
+    assert ("lpcuda_table_insert(&checksumMM, blockIdx.x, blockIdx.y, "
+            "__lp_cs);") in k
+    assert "threadIdx.x == 0 && threadIdx.y == 0" in k
+
+
+def test_pragma_lines_removed_from_kernel():
+    out = compile_program(SOURCE)
+    assert "#pragma nvm" not in out.kernel_code
+
+
+def test_recovery_kernel_matches_listing7_shape():
+    out = compile_program(SOURCE)
+    r = out.recovery_code
+    assert r.startswith("__global__ void crMatrixMulCUDA(")
+    assert "int c = wB * BLOCK_SIZE * by + BLOCK_SIZE * bx;" in r
+    assert ("lpcuda_validate(C[c + wB * ty + tx], checksumMM, "
+            "blockIdx.x, blockIdx.y)") in r
+    assert "recovery_MatrixMulCUDA(C, A, B, wA, wB);" in r
+
+
+def test_undeclared_table_rejected():
+    bad = SOURCE.replace("lpcuda_init(checksumMM", "lpcuda_init(otherTab")
+    with pytest.raises(DirectiveSemanticError):
+        compile_program(bad)
+
+
+def test_kernel_without_directives_passes_through():
+    source = """
+__global__ void plain(int *p) {
+    p[threadIdx.x] = 1;
+}
+"""
+    program = parse_program(source)
+    out = emit_instrumented_kernel(program.kernels[0])
+    assert "__lp_cs" not in out
+    assert "p[threadIdx.x] = 1;" in out
+
+
+def test_single_checksum_type_emits_one_lane():
+    source = SOURCE.replace('"+^"', '"+"')
+    out = compile_program(source)
+    assert "unsigned long long __lp_cs[1]" in out.kernel_code
+    assert "__lp_cs[0] +=" in out.kernel_code
+    assert "^=" not in out.kernel_code
+
+
+def test_compiled_program_carries_directives():
+    out = compile_program(SOURCE)
+    assert len(out.inits) == 1
+    assert len(out.checksums) == 1
+    assert out.checksums[0].keys == ("blockIdx.x", "blockIdx.y")
+
+
+def test_two_protected_stores_in_one_kernel():
+    """A kernel may annotate several stores (e.g. MRI-Q's Qr and Qi)."""
+    source = """
+#pragma nvm lpcuda_init(csQ, grid.x, 2)
+computeQ<<<grid, threads>>>(d);
+
+__global__ void computeQ(float *Qr, float *Qi, int n) {
+    int i = blockIdx.x;
+    float re = 1.0f;
+    float im = 2.0f;
+#pragma nvm lpcuda_checksum("+^", csQ, blockIdx.x)
+    Qr[i] = re;
+#pragma nvm lpcuda_checksum("+^", csQ, blockIdx.x)
+    Qi[i] = im;
+}
+"""
+    out = compile_program(source)
+    k = out.kernel_code
+    assert k.count("__lp_cs[0] +=") == 2
+    assert k.count("__lp_cs[1] ^=") == 2
+    assert "__lp_ordered_bits(re)" in k and "__lp_ordered_bits(im)" in k
+    # One recovery kernel per protected store.
+    assert out.recovery_code.count("__global__ void crComputeQ") == 2
+    assert "lpcuda_validate(Qr[i]" in out.recovery_code
+    assert "lpcuda_validate(Qi[i]" in out.recovery_code

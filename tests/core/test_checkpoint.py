@@ -1,0 +1,92 @@
+"""Unit tests for checkpointing and the interval policy."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.checkpoint import (
+    CheckpointManager,
+    optimal_checkpoint_interval,
+)
+from repro.core.runtime import LPRuntime
+from repro.workloads.histo import HISTOWorkload
+from repro.workloads.tmm import TMMWorkload
+
+
+def test_checkpoint_closes_epoch():
+    device = repro.Device(cache_capacity_lines=1024)
+    cm = CheckpointManager(device)
+    work = TMMWorkload(scale="tiny")
+    kernel = LPRuntime(device).instrument(work.setup(device))
+    cm.launch(kernel)
+    assert cm.epoch_kernels == [kernel]
+    lines = cm.checkpoint()
+    assert lines > 0
+    assert cm.epoch_kernels == []
+    assert cm.checkpoints_taken == 1
+    assert cm.checkpoint_lines == lines
+
+
+def test_recover_only_touches_open_epoch():
+    device = repro.Device(cache_capacity_lines=1024)
+    cm = CheckpointManager(device)
+
+    tmm = TMMWorkload(scale="tiny")
+    k1 = LPRuntime(device).instrument(tmm.setup(device), table_name="e1")
+    cm.launch(k1)
+    cm.checkpoint()
+
+    histo = HISTOWorkload(scale="tiny")
+    k2 = LPRuntime(device).instrument(histo.setup(device),
+                                      table_name="e2")
+    cm.launch(k2, crash_plan=repro.CrashPlan(after_blocks=1))
+    records = cm.recover()
+    assert [r.kernel_name for r in records] == [k2.name]
+    tmm.verify(device)
+    histo.verify(device)
+
+
+def test_recover_epoch_in_launch_order():
+    device = repro.Device(cache_capacity_lines=64)
+    cm = CheckpointManager(device)
+    tmm = TMMWorkload(scale="tiny")
+    k1 = LPRuntime(device).instrument(tmm.setup(device), table_name="a")
+    histo = HISTOWorkload(scale="tiny")
+    cm.launch(k1)
+    k2 = LPRuntime(device).instrument(histo.setup(device), table_name="b")
+    cm.launch(k2, crash_plan=repro.CrashPlan(after_blocks=2))
+    records = cm.recover()
+    assert [r.kernel_name for r in records] == [k1.name, k2.name]
+    tmm.verify(device)
+    histo.verify(device)
+
+
+def test_recover_with_no_epoch_is_empty():
+    device = repro.Device()
+    cm = CheckpointManager(device)
+    assert cm.recover() == []
+
+
+def test_young_daly_optimum():
+    policy = optimal_checkpoint_interval(1e5, 1e12)
+    assert policy.interval_cycles == pytest.approx((2 * 1e5 * 1e12) ** 0.5)
+    # At the optimum, the two overhead components are equal.
+    amortized = policy.checkpoint_cost_cycles / policy.interval_cycles
+    loss = policy.interval_cycles / (2 * policy.mtbf_cycles)
+    assert amortized == pytest.approx(loss)
+    assert 0 < policy.expected_overhead < 0.01
+    assert 0.99 < policy.availability < 1.0
+
+
+def test_young_daly_validation():
+    with pytest.raises(ValueError):
+        optimal_checkpoint_interval(0, 1e9)
+    with pytest.raises(ValueError):
+        optimal_checkpoint_interval(1e3, -1)
+
+
+def test_more_frequent_crashes_need_shorter_intervals():
+    stable = optimal_checkpoint_interval(1e5, 1e13)
+    flaky = optimal_checkpoint_interval(1e5, 1e9)
+    assert flaky.interval_cycles < stable.interval_cycles
+    assert flaky.expected_overhead > stable.expected_overhead

@@ -1,0 +1,105 @@
+"""Unit tests for the LP design-space configuration."""
+
+import pytest
+
+from repro.core.config import (
+    AtomicMode,
+    ChecksumKind,
+    LockMode,
+    LPConfig,
+    ReductionMode,
+    TableKind,
+)
+from repro.errors import ConfigError
+
+
+def test_paper_best_defaults():
+    cfg = LPConfig.paper_best()
+    assert cfg.table is TableKind.GLOBAL_ARRAY
+    assert cfg.locks is LockMode.LOCK_FREE
+    assert cfg.reduction is ReductionMode.PARALLEL_SHUFFLE
+    assert set(cfg.checksums) == {ChecksumKind.MODULAR, ChecksumKind.PARITY}
+    assert cfg.n_lanes == 2
+
+
+def test_naive_variants():
+    assert LPConfig.naive_quadratic().table is TableKind.QUADRATIC
+    assert LPConfig.naive_cuckoo().table is TableKind.CUCKOO
+
+
+def test_empty_checksums_rejected():
+    with pytest.raises(ConfigError):
+        LPConfig(checksums=())
+
+
+def test_duplicate_checksums_rejected():
+    with pytest.raises(ConfigError):
+        LPConfig(checksums=(ChecksumKind.MODULAR, ChecksumKind.MODULAR))
+
+
+def test_adler_forbidden_with_shuffle_reduction():
+    with pytest.raises(ConfigError):
+        LPConfig(checksums=(ChecksumKind.ADLER32,))
+    # ... but allowed sequentially.
+    cfg = LPConfig(
+        checksums=(ChecksumKind.ADLER32,),
+        reduction=ReductionMode.SEQUENTIAL_MEMORY,
+        table=TableKind.QUADRATIC,
+    )
+    assert not cfg.checksums[0].commutative
+
+
+def test_global_array_has_no_lock_or_emulated_variants():
+    with pytest.raises(ConfigError):
+        LPConfig(table=TableKind.GLOBAL_ARRAY, locks=LockMode.LOCK_BASED)
+    with pytest.raises(ConfigError):
+        LPConfig(table=TableKind.GLOBAL_ARRAY, atomics=AtomicMode.EMULATED)
+
+
+def test_load_factor_bounds():
+    with pytest.raises(ConfigError):
+        LPConfig(quad_target_load_factor=0.0)
+    with pytest.raises(ConfigError):
+        LPConfig(cuckoo_target_load_factor=1.5)
+
+
+def test_with_replaces_fields():
+    cfg = LPConfig.naive_quadratic().with_(locks=LockMode.LOCK_BASED)
+    assert cfg.locks is LockMode.LOCK_BASED
+    assert cfg.table is TableKind.QUADRATIC
+
+
+def test_with_revalidates():
+    cfg = LPConfig.naive_quadratic()
+    with pytest.raises(ConfigError):
+        cfg.with_(checksums=())
+
+
+def test_design_space_enumerates_valid_corners():
+    corners = list(LPConfig.design_space())
+    # 2 hash tables x 2 locks x 2 atomics x 2 reductions + 2 global array.
+    assert len(corners) == 18
+    assert all(isinstance(c, LPConfig) for c in corners)
+    ga = [c for c in corners if c.table is TableKind.GLOBAL_ARRAY]
+    assert len(ga) == 2
+
+
+def test_describe_labels():
+    assert LPConfig.paper_best().describe() == "global_array+shfl"
+    label = LPConfig.naive_quadratic().with_(
+        locks=LockMode.LOCK_BASED, atomics=AtomicMode.EMULATED
+    ).describe()
+    assert label == "quadratic+shfl+lock+noatomic"
+
+
+def test_uses_float_conversion():
+    assert LPConfig.paper_best().uses_float_conversion
+    cfg = LPConfig(checksums=(ChecksumKind.MODULAR,))
+    assert not cfg.uses_float_conversion
+
+
+def test_table_kind_helpers():
+    assert TableKind.QUADRATIC.is_hash_table
+    assert not TableKind.GLOBAL_ARRAY.is_hash_table
+    assert ChecksumKind.MODULAR.commutative
+    assert not ChecksumKind.ADLER32.commutative

@@ -1,0 +1,297 @@
+"""Unit tests for the three checksum-table organizations."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import AtomicMode, LockMode, LPConfig, TableKind
+from repro.core.tables import (
+    EMPTY_KEY,
+    CuckooTable,
+    GlobalArrayTable,
+    QuadraticTable,
+    make_table,
+    mix64,
+    mix64_array,
+    pow2_ceil,
+)
+from repro.errors import TableError
+from repro.gpu.atomics import AtomicUnit
+from repro.gpu.costs import CostModel
+from repro.gpu.kernel import BlockContext, LaunchConfig
+from repro.gpu.memory import GlobalMemory
+
+
+def make_env(n_blocks=16, threads=32):
+    mem = GlobalMemory(cache_capacity_lines=512)
+    cfg = LaunchConfig.linear(n_blocks, threads)
+    ctx = BlockContext(mem, AtomicUnit(mem), cfg, 0)
+    return mem, ctx
+
+
+def lanes_for(key, n_lanes=2):
+    return np.array([key * 3 + 1, key * 7 + 2], dtype=np.uint64)[:n_lanes]
+
+
+# -- helpers -------------------------------------------------------------------
+
+def test_pow2_ceil():
+    assert pow2_ceil(0) == 1
+    assert pow2_ceil(1) == 1
+    assert pow2_ceil(5) == 8
+    assert pow2_ceil(64) == 64
+
+
+def test_mix64_is_deterministic_and_spread():
+    a = mix64(1, 0)
+    assert a == mix64(1, 0)
+    assert mix64(1, 0) != mix64(2, 0)
+    assert mix64(1, 0) != mix64(1, 1)
+
+
+def test_mix64_array_matches_scalar():
+    keys = np.arange(100, dtype=np.uint64)
+    vec = mix64_array(keys, 12345)
+    scalars = [mix64(int(k), 12345) for k in keys]
+    assert np.array_equal(vec, np.array(scalars, dtype=np.uint64))
+
+
+# -- factory -------------------------------------------------------------------
+
+def test_make_table_dispatch():
+    for config, cls in (
+        (LPConfig.naive_quadratic(), QuadraticTable),
+        (LPConfig.naive_cuckoo(), CuckooTable),
+        (LPConfig.paper_best(), GlobalArrayTable),
+    ):
+        mem, _ = make_env()
+        table = make_table(mem, "t", 16, 2, config)
+        assert isinstance(table, cls)
+
+
+def test_make_table_rejects_perfect_global_array():
+    mem, _ = make_env()
+    with pytest.raises(TableError):
+        make_table(mem, "t", 16, 2, LPConfig.paper_best(),
+                   perfect_hash=True)
+
+
+def test_table_validates_arguments():
+    mem, _ = make_env()
+    with pytest.raises(TableError):
+        QuadraticTable(mem, "t", 0, 2, LPConfig.naive_quadratic())
+    with pytest.raises(TableError):
+        QuadraticTable(mem, "t", 4, 0, LPConfig.naive_quadratic())
+
+
+# -- shared behaviour across kinds -----------------------------------------------
+
+@pytest.mark.parametrize("config", [
+    LPConfig.naive_quadratic(),
+    LPConfig.naive_cuckoo(),
+    LPConfig.paper_best(),
+])
+def test_insert_then_lookup_roundtrip(config):
+    mem, ctx = make_env()
+    table = make_table(mem, "t", 16, 2, config)
+    for key in range(16):
+        table.insert(ctx, key, lanes_for(key))
+    for key in range(16):
+        assert np.array_equal(table.lookup(key), lanes_for(key))
+    assert table.stats.inserts == 16
+
+
+@pytest.mark.parametrize("config", [
+    LPConfig.naive_quadratic(),
+    LPConfig.naive_cuckoo(),
+    LPConfig.paper_best(),
+])
+def test_reinsert_overwrites_lanes(config):
+    """Recovery re-execution must refresh an existing entry in place."""
+    mem, ctx = make_env()
+    table = make_table(mem, "t", 16, 2, config)
+    table.insert(ctx, 3, lanes_for(3))
+    fresh = np.array([111, 222], dtype=np.uint64)
+    table.insert(ctx, 3, fresh)
+    assert np.array_equal(table.lookup(3), fresh)
+
+
+@pytest.mark.parametrize("config", [
+    LPConfig.naive_quadratic(),
+    LPConfig.naive_cuckoo(),
+])
+def test_missing_key_lookup_returns_none(config):
+    mem, _ = make_env()
+    table = make_table(mem, "t", 16, 2, config)
+    assert table.lookup(7) is None
+    assert table.stats.failed_lookups == 1
+
+
+@pytest.mark.parametrize("config", [
+    LPConfig.naive_quadratic(),
+    LPConfig.naive_cuckoo(),
+    LPConfig.paper_best(),
+])
+def test_table_buffers_are_persistent_and_prefixed(config):
+    mem, _ = make_env()
+    table = make_table(mem, "t", 16, 2, config)
+    assert table.buffer_names
+    for name in table.buffer_names:
+        assert name.startswith("__lp_")
+        assert mem[name].persistent
+    assert table.space_bytes == sum(
+        mem[name].nbytes for name in table.buffer_names
+    )
+
+
+def test_table_free_releases_buffers():
+    mem, _ = make_env()
+    table = make_table(mem, "t", 16, 2, LPConfig.paper_best())
+    names = list(table.buffer_names)
+    table.free()
+    for name in names:
+        assert name not in mem
+
+
+# -- quadratic specifics ---------------------------------------------------------
+
+def test_quadratic_counts_collisions():
+    mem, ctx = make_env()
+    # Tiny load factor target forces a small table and collisions.
+    config = LPConfig.naive_quadratic().with_(quad_target_load_factor=1.0)
+    table = QuadraticTable(mem, "t", 8, 2, config)
+    assert table.capacity == 8
+    for key in range(8):
+        table.insert(ctx, key, lanes_for(key))
+    assert table.stats.collisions > 0
+    assert table.stats.probes == 8 + table.stats.collisions
+    for key in range(8):
+        assert table.lookup(key) is not None
+
+
+def test_quadratic_capacity_targets_load_factor():
+    mem, _ = make_env()
+    table = QuadraticTable(mem, "t", 100, 2, LPConfig.naive_quadratic())
+    assert table.capacity >= 100 / 0.7
+    assert table.capacity & (table.capacity - 1) == 0
+
+
+def test_quadratic_perfect_hash_has_no_collisions():
+    mem, ctx = make_env()
+    table = QuadraticTable(mem, "t", 64, 2, LPConfig.naive_quadratic(),
+                           perfect_hash=True)
+    for key in range(64):
+        table.insert(ctx, key, lanes_for(key))
+    assert table.stats.collisions == 0
+    assert table.lookup(13) is not None
+
+
+def test_quadratic_lock_based_charges_serial_cycles():
+    mem, ctx = make_env()
+    config = LPConfig.naive_quadratic().with_(locks=LockMode.LOCK_BASED)
+    table = QuadraticTable(mem, "t", 16, 2, config,
+                           cost_model=CostModel())
+    table.insert(ctx, 0, lanes_for(0))
+    assert ctx.tally.serial_cycles > 0
+
+
+def test_quadratic_emulated_atomics_work_functionally():
+    mem, ctx = make_env()
+    config = LPConfig.naive_quadratic().with_(atomics=AtomicMode.EMULATED)
+    table = QuadraticTable(mem, "t", 16, 2, config)
+    for key in range(16):
+        table.insert(ctx, key, lanes_for(key))
+    for key in range(16):
+        assert np.array_equal(table.lookup(key), lanes_for(key))
+    assert ctx.tally.serial_cycles > 0  # the emulation penalty
+    assert ctx.atomics.total_ops == 0   # no hardware atomics used
+
+
+# -- cuckoo specifics -------------------------------------------------------------
+
+def test_cuckoo_two_tables_sizing():
+    mem, _ = make_env()
+    table = CuckooTable(mem, "t", 100, 2, LPConfig.naive_cuckoo())
+    assert table.capacity == 2 * table.per_table_capacity
+    # Combined load factor at most the configured target.
+    assert 100 / table.capacity <= 0.45
+
+
+def test_cuckoo_eviction_chain_displaces_and_preserves():
+    mem, ctx = make_env()
+    # Force a crowded table (per-table capacity close to n).
+    config = LPConfig.naive_cuckoo().with_(cuckoo_target_load_factor=0.5)
+    table = CuckooTable(mem, "t", 32, 2, config)
+    for key in range(32):
+        table.insert(ctx, key, lanes_for(key))
+    assert table.stats.collisions > 0
+    for key in range(32):
+        assert np.array_equal(table.lookup(key), lanes_for(key))
+
+
+def test_cuckoo_rehash_preserves_entries():
+    mem, ctx = make_env()
+    config = LPConfig.naive_cuckoo().with_(cuckoo_target_load_factor=0.5)
+    # A minuscule chain bound forces rehashes quickly.
+    table = CuckooTable(mem, "t", 24, 2, config, max_chain=2)
+    for key in range(24):
+        table.insert(ctx, key, lanes_for(key))
+    assert table.stats.rehashes > 0
+    for key in range(24):
+        assert np.array_equal(table.lookup(key), lanes_for(key))
+
+
+def test_cuckoo_lookup_is_two_probes():
+    mem, ctx = make_env()
+    table = CuckooTable(mem, "t", 16, 2, LPConfig.naive_cuckoo())
+    table.insert(ctx, 5, lanes_for(5))
+    assert table.lookup(5) is not None
+    assert table.lookup(6) is None  # exactly checks both slots
+
+
+def test_cuckoo_emulated_swap_functional():
+    mem, ctx = make_env()
+    config = LPConfig.naive_cuckoo().with_(atomics=AtomicMode.EMULATED)
+    table = CuckooTable(mem, "t", 16, 2, config)
+    for key in range(16):
+        table.insert(ctx, key, lanes_for(key))
+    for key in range(16):
+        assert np.array_equal(table.lookup(key), lanes_for(key))
+    assert ctx.atomics.total_ops == 0
+
+
+# -- global array specifics --------------------------------------------------------
+
+def test_global_array_is_exact_size():
+    mem, _ = make_env()
+    table = GlobalArrayTable(mem, "t", 100, 2, LPConfig.paper_best())
+    assert table.capacity == 100
+    assert table.space_bytes == 100 * 2 * 8
+
+
+def test_global_array_never_collides_or_uses_atomics():
+    mem, ctx = make_env()
+    table = GlobalArrayTable(mem, "t", 64, 2, LPConfig.paper_best())
+    for key in range(64):
+        table.insert(ctx, key, lanes_for(key))
+    assert table.stats.collisions == 0
+    assert ctx.atomics.total_ops == 0
+    assert ctx.tally.serial_cycles == 0
+
+
+def test_global_array_missing_entry_is_sentinel():
+    mem, _ = make_env()
+    table = GlobalArrayTable(mem, "t", 8, 2, LPConfig.paper_best())
+    assert table.lookup(5) is None
+
+
+def test_global_array_rejects_foreign_keys():
+    mem, ctx = make_env()
+    table = GlobalArrayTable(mem, "t", 8, 2, LPConfig.paper_best())
+    with pytest.raises(TableError):
+        table.insert(ctx, 8, lanes_for(8))
+    with pytest.raises(TableError):
+        table.lookup(-1)
+
+
+def test_empty_key_sentinel():
+    assert int(EMPTY_KEY) == (1 << 64) - 1

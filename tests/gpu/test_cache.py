@@ -1,0 +1,78 @@
+"""Unit tests for the write-back cache model."""
+
+import pytest
+
+from repro.gpu.cache import WriteBackCache
+
+
+def test_writes_become_dirty():
+    cache = WriteBackCache(capacity_lines=8)
+    assert cache.touch_write([1, 2, 3]) == []
+    assert cache.n_dirty == 3
+    assert cache.is_dirty(2)
+    assert not cache.is_dirty(7)
+
+
+def test_capacity_evicts_oldest_first():
+    cache = WriteBackCache(capacity_lines=3)
+    cache.touch_write([10])
+    cache.touch_write([11])
+    cache.touch_write([12])
+    evicted = cache.touch_write([13, 14])
+    assert evicted == [10, 11]
+    assert cache.n_dirty == 3
+    assert cache.evictions == 2
+
+
+def test_rewrite_refreshes_recency():
+    cache = WriteBackCache(capacity_lines=3)
+    cache.touch_write([1, 2, 3])
+    cache.touch_write([1])  # 1 becomes youngest
+    evicted = cache.touch_write([4])
+    assert evicted == [2]
+
+
+def test_zero_capacity_is_write_through():
+    cache = WriteBackCache(capacity_lines=0)
+    assert cache.touch_write([5, 6]) == [5, 6]
+    assert cache.n_dirty == 0
+
+
+def test_drain_returns_everything_in_age_order():
+    cache = WriteBackCache(capacity_lines=10)
+    cache.touch_write([3, 1, 2])
+    assert cache.drain() == [3, 1, 2]
+    assert cache.n_dirty == 0
+    assert cache.evictions == 3
+
+
+def test_drop_all_loses_without_eviction_count():
+    cache = WriteBackCache(capacity_lines=10)
+    cache.touch_write([1, 2])
+    lost = cache.drop_all()
+    assert lost == [1, 2]
+    assert cache.evictions == 0
+    assert cache.n_dirty == 0
+
+
+def test_evict_specific_only_hits_dirty_lines():
+    cache = WriteBackCache(capacity_lines=10)
+    cache.touch_write([1, 2, 3])
+    out = cache.evict_specific([2, 9])
+    assert out == [2]
+    assert cache.dirty_lines == [1, 3]
+    assert cache.evictions == 1
+
+
+def test_discard_drops_without_counting():
+    cache = WriteBackCache(capacity_lines=10)
+    cache.touch_write([1, 2, 3])
+    dropped = cache.discard([3, 4])
+    assert dropped == [3]
+    assert cache.evictions == 0
+    assert cache.dirty_lines == [1, 2]
+
+
+def test_negative_capacity_rejected():
+    with pytest.raises(ValueError):
+        WriteBackCache(capacity_lines=-1)

@@ -1,0 +1,138 @@
+"""Unit tests for the analytic cost model."""
+
+import pytest
+
+from repro.gpu.costs import CostCoefficients, CostModel, Tally, TimeBreakdown
+
+
+def make_tally(**kw) -> Tally:
+    base = dict(n_blocks=100, threads_per_block=128)
+    base.update(kw)
+    return Tally(**base)
+
+
+def test_tally_merge_accumulates():
+    a = make_tally(alu_ops=10, global_read_bytes=100, atomic_hot_max=3)
+    b = make_tally(alu_ops=5, global_write_bytes=50, atomic_hot_max=7)
+    a.merge(b)
+    assert a.alu_ops == 15
+    assert a.global_bytes == 150
+    assert a.atomic_hot_max == 7  # max, not sum
+
+
+def test_tally_copy_is_independent():
+    a = make_tally(alu_ops=10)
+    b = a.copy()
+    b.alu_ops += 1
+    assert a.alu_ops == 10
+
+
+def test_compute_bound_time():
+    model = CostModel()
+    lanes = model.spec.total_lanes
+    t = model.time_of(make_tally(alu_ops=lanes * 1000.0))
+    assert t.compute_cycles == pytest.approx(1000.0)
+    assert t.bottleneck == "compute"
+
+
+def test_memory_bound_time():
+    model = CostModel()
+    bpc = model.nvm.bytes_per_cycle(model.spec)
+    t = model.time_of(make_tally(global_read_bytes=bpc * 500.0))
+    assert t.memory_cycles == pytest.approx(500.0)
+    assert t.bottleneck == "memory"
+
+
+def test_overlap_takes_max_not_sum():
+    model = CostModel()
+    lanes = model.spec.total_lanes
+    bpc = model.nvm.bytes_per_cycle(model.spec)
+    t = model.time_of(
+        make_tally(alu_ops=lanes * 100.0, global_read_bytes=bpc * 400.0)
+    )
+    assert t.total_cycles == pytest.approx(400.0)
+
+
+def test_serial_and_atomic_cycles_add_on_top():
+    model = CostModel()
+    t = model.time_of(make_tally(serial_cycles=100.0, atomic_ops=80.0))
+    assert t.total_cycles >= 100.0 + 80.0 / model.spec.atomic_throughput_per_cycle
+
+
+def test_hot_address_serializes():
+    model = CostModel()
+    quiet = model.time_of(make_tally(atomic_ops=1000.0, atomic_hot_max=1.0))
+    hot = model.time_of(make_tally(atomic_ops=1000.0, atomic_hot_max=500.0))
+    assert hot.total_cycles > quiet.total_cycles
+
+
+def test_more_work_never_faster():
+    model = CostModel()
+    small = make_tally(alu_ops=1e6, global_read_bytes=1e6)
+    big = make_tally(alu_ops=2e6, global_read_bytes=3e6,
+                     serial_cycles=10.0)
+    assert model.time_of(big).total_cycles >= model.time_of(small).total_cycles
+
+
+def test_low_occupancy_limits_lanes():
+    model = CostModel()
+    # One block of 64 threads cannot use the whole machine.
+    t = model.time_of(Tally(n_blocks=1, threads_per_block=64, alu_ops=6400.0))
+    assert t.compute_cycles == pytest.approx(100.0)
+
+
+def test_overhead_and_slowdown():
+    a = TimeBreakdown(100, 0, 0, 0, 0, 0)
+    b = TimeBreakdown(121, 0, 0, 0, 0, 0)
+    assert b.overhead_vs(a) == pytest.approx(0.21)
+    assert b.slowdown_vs(a) == pytest.approx(1.21)
+    with pytest.raises(ValueError):
+        a.overhead_vs(TimeBreakdown(0, 0, 0, 0, 0, 0))
+
+
+def test_lock_convoy_grows_with_population():
+    model = CostModel()
+    small = model.lock_convoy_cycles(100, population=100,
+                                     threads_per_block=64)
+    big = model.lock_convoy_cycles(100, population=100000,
+                                   threads_per_block=64)
+    assert big > small
+
+
+def test_lock_convoy_small_blocks_contend_more():
+    """1024-thread blocks cap residency at 160; 64-thread at 2560."""
+    model = CostModel()
+    fat = model.lock_convoy_cycles(10000, population=10000,
+                                   threads_per_block=1024)
+    thin = model.lock_convoy_cycles(10000, population=10000,
+                                    threads_per_block=64)
+    assert thin > 3 * fat
+
+
+def test_lock_convoy_zero_inserts_free():
+    assert CostModel().lock_convoy_cycles(0) == 0.0
+
+
+def test_emulated_cas_storms_with_population():
+    model = CostModel()
+    calm = model.emulated_cas_cycles(1000, population=100,
+                                     threads_per_block=64)
+    storm = model.emulated_cas_cycles(1000, population=100000,
+                                      threads_per_block=64)
+    assert storm > 5 * calm
+
+
+def test_emulated_models_respect_slack():
+    model = CostModel()
+    demand = model.emulated_swap_cycles(1000, population=1000)
+    assert model.emulated_swap_cycles(1000, population=1000,
+                                      slack_cycles=demand * 2) == 0.0
+    assert model.emulated_cas_cycles(0, population=10) == 0.0
+    assert model.emulated_swap_cycles(0, population=10) == 0.0
+
+
+def test_coefficients_are_the_documented_defaults():
+    c = CostCoefficients()
+    assert c.table_region_interval_cycles == 128.0
+    assert c.lock_cs_base_cycles == 300.0
+    assert c.lock_contention_coeff == 0.25

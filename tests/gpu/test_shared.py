@@ -1,0 +1,55 @@
+"""Unit tests for per-block shared memory."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AllocationError
+from repro.gpu.shared import SharedMemory
+
+
+def test_alloc_and_rw():
+    shm = SharedMemory()
+    arr = shm.alloc("a", (8,), np.int32)
+    shm.write("a", slice(0, 4), np.arange(4))
+    assert np.array_equal(arr[:4], np.arange(4))
+    out = shm.read("a", slice(0, 4))
+    assert np.array_equal(out, np.arange(4))
+
+
+def test_traffic_counts_reads_and_writes():
+    shm = SharedMemory()
+    shm.alloc("a", (8,), np.int32)
+    shm.write("a", slice(0, 8), np.zeros(8, np.int32))
+    shm.read("a", slice(0, 8))
+    assert shm.traffic_bytes == 8 * 4 * 2
+
+
+def test_alloc_is_idempotent_per_name():
+    shm = SharedMemory()
+    a1 = shm.alloc("a", (8,), np.int32)
+    a1[0] = 7
+    a2 = shm.alloc("a", (8,), np.int32)
+    assert a2[0] == 7
+    assert a1 is a2
+
+
+def test_capacity_overflow_rejected():
+    shm = SharedMemory(capacity_bytes=64)
+    shm.alloc("a", (8,), np.int32)  # 32 bytes
+    with pytest.raises(AllocationError):
+        shm.alloc("b", (16,), np.int32)  # 64 more bytes
+    assert shm.used_bytes == 32
+
+
+def test_int_shape_accepted():
+    shm = SharedMemory()
+    arr = shm.alloc("a", 4, np.float32)
+    assert arr.shape == (4,)
+
+
+def test_unknown_name_rejected():
+    shm = SharedMemory()
+    with pytest.raises(AllocationError):
+        shm.read("ghost", slice(0, 1))
+    with pytest.raises(AllocationError):
+        shm.raw("ghost")

@@ -1,0 +1,71 @@
+"""Unit tests for GPU and NVM hardware specs."""
+
+import pytest
+
+from repro.gpu.spec import GPUSpec, NVMSpec
+
+
+def test_v100_preset_is_default():
+    spec = GPUSpec.v100()
+    assert spec.sm_count == 80
+    assert spec.total_lanes == 80 * 64
+    assert spec.warp_size == 32
+
+
+def test_bandwidth_per_cycle_conversion():
+    spec = GPUSpec.v100()
+    assert spec.mem_bytes_per_cycle == pytest.approx(900.0 / 1.38)
+
+
+def test_concurrent_blocks_limited_by_threads():
+    spec = GPUSpec.v100()
+    # 1024-thread blocks: 2 per SM (2048-thread cap).
+    assert spec.concurrent_blocks(1024) == 160
+    # 64-thread blocks: block cap of 32 per SM dominates.
+    assert spec.concurrent_blocks(64) == 2560
+    # Unspecified: the raw block cap.
+    assert spec.concurrent_blocks() == 2560
+    assert spec.max_concurrent_blocks == 2560
+
+
+def test_concurrent_blocks_never_zero():
+    spec = GPUSpec.v100()
+    assert spec.concurrent_blocks(4096) >= spec.sm_count
+
+
+def test_cycles_to_us():
+    spec = GPUSpec.v100()
+    assert spec.cycles_to_us(1380) == pytest.approx(1.0)
+
+
+def test_bad_line_size_rejected():
+    with pytest.raises(ValueError):
+        GPUSpec(line_size=100)
+    with pytest.raises(ValueError):
+        GPUSpec(sm_count=0)
+
+
+def test_nvm_dram_like_inherits_bandwidth():
+    spec = GPUSpec.v100()
+    nvm = NVMSpec.dram_like()
+    assert nvm.bytes_per_cycle(spec) == pytest.approx(spec.mem_bytes_per_cycle)
+
+
+def test_paper_nvm_throttles_bandwidth():
+    spec = GPUSpec.v100()
+    nvm = NVMSpec.paper_nvm()
+    assert nvm.bw_gbps == pytest.approx(326.4)
+    assert nvm.bytes_per_cycle(spec) < spec.mem_bytes_per_cycle
+    assert nvm.write_latency_cycles(spec) == pytest.approx(480 * 1.38)
+    assert nvm.read_latency_cycles(spec) == pytest.approx(160 * 1.38)
+
+
+def test_nvm_validation():
+    with pytest.raises(ValueError):
+        NVMSpec(bw_gbps=-1.0)
+    with pytest.raises(ValueError):
+        NVMSpec(read_ns=-5.0)
+
+
+def test_titan_v_preset():
+    assert GPUSpec.titan_v().name == "TitanV"

@@ -1,0 +1,58 @@
+"""Integration matrix: crash recovery across workloads, tables, orders."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.recovery import RecoveryManager
+from repro.core.runtime import LPRuntime
+from repro.workloads import WORKLOADS, make_workload
+
+TABLES = {
+    "global_array": repro.LPConfig.paper_best(),
+    "quadratic": repro.LPConfig.naive_quadratic(),
+    "cuckoo": repro.LPConfig.naive_cuckoo(),
+}
+
+
+@pytest.mark.parametrize("table_name", sorted(TABLES))
+@pytest.mark.parametrize("workload_name", sorted(WORKLOADS))
+def test_crash_recovery(workload_name, table_name):
+    device = repro.Device(cache_capacity_lines=16,
+                          block_order="shuffled", seed=13)
+    work = make_workload(workload_name, scale="tiny")
+    kernel = work.setup(device)
+    lp_kernel = LPRuntime(device, TABLES[table_name]).instrument(kernel)
+    n_blocks = kernel.launch_config().n_blocks
+    device.launch(
+        lp_kernel,
+        crash_plan=repro.CrashPlan(after_blocks=max(1, n_blocks // 3),
+                                   persist_fraction=0.35, seed=21),
+    )
+    report = RecoveryManager(device, lp_kernel).recover()
+    assert report.recovered
+    work.verify(device)
+
+
+@pytest.mark.parametrize("workload_name", sorted(WORKLOADS))
+def test_block_order_invariance(workload_name):
+    """LP regions are associative: any block order, same output and a
+    fully valid checksum table."""
+    outputs = []
+    for order, seed in (("sequential", 0), ("shuffled", 7),
+                        ("shuffled", 23)):
+        device = repro.Device(block_order=order, seed=seed)
+        work = make_workload(workload_name, scale="tiny")
+        kernel = work.setup(device)
+        lp_kernel = LPRuntime(device).instrument(kernel)
+        device.launch(lp_kernel)
+        device.drain()
+        report = RecoveryManager(device, lp_kernel).validate()
+        assert report.all_passed
+        outputs.append({
+            b: device.memory[b].array.copy()
+            for b in kernel.protected_buffers
+        })
+    for buf in outputs[0]:
+        assert np.array_equal(outputs[0][buf], outputs[1][buf])
+        assert np.array_equal(outputs[0][buf], outputs[2][buf])

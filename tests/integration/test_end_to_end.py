@@ -1,0 +1,107 @@
+"""End-to-end scenarios: the README quickstart, multi-kernel chains,
+write amplification and the NVM-timed device."""
+
+import numpy as np
+
+import repro
+from repro.core.recovery import RecoveryManager
+from repro.core.runtime import LPRuntime
+from repro.nvm.model import write_amplification
+from repro.workloads.histo import HISTOWorkload
+from repro.workloads.tmm import TMMWorkload
+
+
+def test_readme_quickstart_flow():
+    device = repro.Device()
+    work = repro.workloads.TMMWorkload(scale="tiny")
+    kernel = work.setup(device)
+    lp = repro.LPRuntime(device, repro.LPConfig.paper_best())
+    lp_kernel = lp.instrument(kernel)
+    result = device.launch(lp_kernel)
+    assert not result.crashed
+    work.verify(device)
+
+
+def test_two_kernels_chained_with_independent_tables():
+    """Two LP-protected kernels in sequence; a crash in the second must
+    not disturb the first's (already persisted) results."""
+    device = repro.Device(cache_capacity_lines=16)
+    tmm = TMMWorkload(scale="tiny")
+    tmm_kernel = tmm.setup(device)
+    lp_tmm = LPRuntime(device).instrument(tmm_kernel, table_name="t1")
+    device.launch(lp_tmm)
+    device.drain()
+
+    histo = HISTOWorkload(scale="tiny")
+    histo_kernel = histo.setup(device)
+    lp_histo = LPRuntime(device).instrument(histo_kernel, table_name="t2")
+    device.launch(lp_histo, crash_plan=repro.CrashPlan(after_blocks=2))
+    report = RecoveryManager(device, lp_histo).recover()
+    assert report.recovered
+    tmm.verify(device)
+    histo.verify(device)
+
+
+def test_lp_on_nvm_timed_device():
+    device = repro.Device(nvm=repro.NVMSpec.paper_nvm())
+    work = TMMWorkload(scale="tiny")
+    lp_kernel = LPRuntime(device).instrument(work.setup(device))
+    result = device.launch(lp_kernel)
+    work.verify(device)
+    # The throttled NVM bandwidth makes memory slower than on DRAM.
+    dram = repro.Device()
+    work2 = TMMWorkload(scale="tiny")
+    lp2 = LPRuntime(dram).instrument(work2.setup(dram))
+    dram_result = dram.launch(lp2)
+    assert result.time.memory_cycles > dram_result.time.memory_cycles
+
+
+def test_write_amplification_is_only_checksums():
+    def run(with_lp):
+        device = repro.Device()
+        work = TMMWorkload(scale="small")
+        kernel = work.setup(device)
+        if with_lp:
+            kernel = LPRuntime(device).instrument(kernel)
+        device.launch(kernel)
+        device.drain()
+        return device
+
+    base = run(False)
+    lp = run(True)
+    amp = write_amplification(lp.memory.write_stats,
+                              base.memory.write_stats)
+    assert amp > 0
+    # Every extra line is attributable to the __lp_ table buffers.
+    extra = (lp.memory.write_stats.total_lines
+             - base.memory.write_stats.total_lines)
+    assert extra == lp.memory.write_stats.lines_for_buffers("__lp_")
+
+
+def test_checkpoint_style_periodic_drain():
+    """The paper combines LP with periodic flushing so validation only
+    covers regions newer than the last flush; a drain mid-stream must
+    bound what a crash can lose."""
+    device = repro.Device(cache_capacity_lines=1024)
+    work = TMMWorkload(scale="tiny")
+    kernel = work.setup(device)
+    lp_kernel = LPRuntime(device).instrument(kernel)
+
+    n_blocks = kernel.launch_config().n_blocks
+    half = list(range(n_blocks // 2))
+    rest = list(range(n_blocks // 2, n_blocks))
+    device.launch(lp_kernel, block_ids=half)
+    device.drain()  # checkpoint
+    device.launch(lp_kernel, block_ids=rest,
+                  crash_plan=repro.CrashPlan(after_blocks=len(rest)))
+    # Everything before the drain survived the crash verbatim.
+    ref = work.reference()["tmm_C"].reshape(-1)
+    out = device.memory["tmm_C"].array.reshape(-1)
+    tile = work.tile
+    first_block_elems = out.reshape(work.n, work.n)[:tile, :tile]
+    ref_block_elems = ref.reshape(work.n, work.n)[:tile, :tile]
+    assert np.array_equal(first_block_elems, ref_block_elems)
+    # And full recovery restores the rest.
+    report = RecoveryManager(device, lp_kernel).recover()
+    assert report.recovered
+    work.verify(device)

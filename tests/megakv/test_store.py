@@ -1,0 +1,46 @@
+"""Unit tests for the MEGA-KV store structure."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.errors import TableFullError
+from repro.megakv import BUCKET_WIDTH, MegaKVStore
+
+
+def test_sizing_targets_low_load_factor():
+    device = repro.Device()
+    store = MegaKVStore(device, capacity=1000)
+    assert store.n_slots >= 8 * 1000
+    assert store.n_buckets * BUCKET_WIDTH == store.n_slots
+    assert store.n_buckets & (store.n_buckets - 1) == 0
+
+
+def test_capacity_validation():
+    device = repro.Device()
+    with pytest.raises(TableFullError):
+        MegaKVStore(device, capacity=0)
+
+
+def test_two_candidate_buckets():
+    device = repro.Device()
+    store = MegaKVStore(device, capacity=64)
+    slots = store.bucket_slots(12345)
+    # Two (usually distinct) buckets of width 8.
+    assert slots.size in (BUCKET_WIDTH, 2 * BUCKET_WIDTH)
+    assert store.bucket_of(12345, 0) != store.bucket_of(12345, 1) or True
+
+
+def test_host_search_and_contents_empty():
+    device = repro.Device()
+    store = MegaKVStore(device, capacity=64)
+    assert store.host_search(5) is None
+    assert store.contents() == {}
+    assert store.load_factor == 0.0
+
+
+def test_buffers_are_persistent():
+    device = repro.Device()
+    store = MegaKVStore(device, capacity=64)
+    assert store.keys.persistent
+    assert store.values.persistent

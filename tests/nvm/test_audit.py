@@ -1,0 +1,88 @@
+"""Tests for the crash-consistency auditor."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.nvm.audit import (
+    AuditFailure,
+    CrashSchedule,
+    audit_crash_consistency,
+    generate_schedules,
+)
+
+
+def tmm_scenario():
+    device = repro.Device(cache_capacity_lines=16)
+    work = repro.workloads.TMMWorkload(scale="tiny")
+    kernel = work.setup(device)
+    lp_kernel = repro.LPRuntime(device).instrument(kernel)
+    return device, lp_kernel, work.verify
+
+
+def test_schedules_cover_boundaries():
+    schedules = generate_schedules(16, 10, seed=1)
+    assert len(schedules) == 10
+    assert schedules[0] == CrashSchedule(0, 0.0, 1)
+    assert schedules[1].after_blocks == 16
+    assert schedules[2].persist_fraction == 1.0
+    # Deterministic in the seed.
+    assert generate_schedules(16, 10, seed=1) == schedules
+
+
+def test_audit_passes_for_correct_lp_deployment():
+    report = audit_crash_consistency(tmm_scenario, n_schedules=8, seed=3)
+    assert report.all_passed
+    assert report.n_schedules == 8
+    assert report.total_regions_recovered > 0
+    assert "all recovered" in report.summary()
+
+
+def test_audit_catches_broken_protection():
+    """Leave one output buffer unprotected: some schedule must fail."""
+
+    def broken_scenario():
+        device = repro.Device(cache_capacity_lines=4)
+        work = repro.workloads.MRIQWorkload(scale="tiny")
+        kernel = work.setup(device)
+        kernel.protected_buffers = ("mriq_qr",)  # qi left unprotected!
+        lp_kernel = repro.LPRuntime(device).instrument(kernel)
+        return device, lp_kernel, work.verify
+
+    report = audit_crash_consistency(broken_scenario, n_schedules=12,
+                                     seed=1)
+    assert not report.all_passed
+    assert any(f.stage == "verification" for f in report.failures)
+    assert "FAILED" in report.summary()
+
+
+def test_audit_with_ep_recovery_adapter():
+    from repro.ep import EPRecoveryManager, EPRuntime
+
+    def ep_scenario():
+        device = repro.Device(cache_capacity_lines=16)
+        work = repro.workloads.TMMWorkload(scale="tiny")
+        kernel = work.setup(device)
+        ep_kernel = EPRuntime(device).instrument(kernel)
+        return device, ep_kernel, work.verify
+
+    def ep_recover(device, kernel):
+        return EPRecoveryManager(device, kernel).recover()
+
+    report = audit_crash_consistency(ep_scenario, n_schedules=6, seed=5,
+                                     recover=ep_recover)
+    assert report.all_passed
+
+
+def test_audit_records_recovery_exceptions():
+    def scenario():
+        return tmm_scenario()
+
+    def exploding_recover(device, kernel):
+        raise RuntimeError("recovery machinery broke")
+
+    report = audit_crash_consistency(scenario, n_schedules=4,
+                                     recover=exploding_recover)
+    assert len(report.failures) >= 1
+    assert all(isinstance(f, AuditFailure) for f in report.failures)
+    assert report.failures[0].stage == "recovery"

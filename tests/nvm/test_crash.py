@@ -1,0 +1,80 @@
+"""Unit tests for crash plans and fault injection."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.memory import GlobalMemory
+from repro.nvm.crash import CrashPlan, FaultInjector
+
+
+def test_crash_plan_validation():
+    with pytest.raises(ValueError):
+        CrashPlan(after_blocks=-1)
+    with pytest.raises(ValueError):
+        CrashPlan(persist_fraction=1.5)
+
+
+def test_crash_plan_rng_is_deterministic():
+    a = CrashPlan(after_blocks=1, seed=9).rng().integers(0, 100, 5)
+    b = CrashPlan(after_blocks=1, seed=9).rng().integers(0, 100, 5)
+    assert np.array_equal(a, b)
+
+
+def make_memory():
+    mem = GlobalMemory(cache_capacity_lines=64)
+    mem.alloc("a", (64,), np.float32,
+              init=np.arange(64, dtype=np.float32))
+    return mem
+
+
+def test_flip_bit_changes_one_element():
+    mem = make_memory()
+    FaultInjector().flip_bit(mem, "a", flat_index=3, bit=0)
+    arr = mem["a"].array
+    assert arr[3] != 3.0
+    assert arr[2] == 2.0
+    # Volatile re-synced with NVM after "reboot".
+    assert np.array_equal(arr, mem["a"].nvm_array)
+
+
+def test_flip_bit_is_its_own_inverse():
+    mem = make_memory()
+    inj = FaultInjector()
+    inj.flip_bit(mem, "a", 5, 17)
+    inj.flip_bit(mem, "a", 5, 17)
+    assert mem["a"].array[5] == 5.0
+
+
+def test_flip_bit_bounds():
+    mem = make_memory()
+    inj = FaultInjector()
+    with pytest.raises(ValueError):
+        inj.flip_bit(mem, "a", 3, 32)   # float32 has 32 bits
+    with pytest.raises(ValueError):
+        inj.flip_bit(mem, "a", 64, 0)
+
+
+def test_flip_random_bits_seeded():
+    def run(seed):
+        mem = make_memory()
+        return FaultInjector(seed=seed).flip_random_bits(mem, "a", 5)
+
+    assert run(3) == run(3)
+    assert len(run(3)) == 5
+
+
+def test_overwrite_elements():
+    mem = make_memory()
+    FaultInjector().overwrite_elements(
+        mem, "a", np.array([0, 1]), np.array([100.0, 200.0])
+    )
+    assert mem["a"].array[0] == 100.0
+    assert mem["a"].nvm_array[1] == 200.0
+
+
+def test_overwrite_bounds():
+    mem = make_memory()
+    with pytest.raises(ValueError):
+        FaultInjector().overwrite_elements(
+            mem, "a", np.array([64]), np.array([1.0])
+        )

@@ -1,0 +1,51 @@
+"""Unit tests for NVM write statistics."""
+
+import pytest
+
+from repro.nvm.model import WritebackReason, WriteStats, write_amplification
+
+
+def test_record_and_totals():
+    stats = WriteStats(line_size=128)
+    stats.record(WritebackReason.EVICTION, "a", 3)
+    stats.record(WritebackReason.DRAIN, "b", 2)
+    assert stats.total_lines == 5
+    assert stats.total_bytes == 5 * 128
+    assert stats.by_reason[WritebackReason.EVICTION] == 3
+
+
+def test_per_buffer_attribution():
+    stats = WriteStats()
+    stats.record(WritebackReason.EVICTION, "data", 10)
+    stats.record(WritebackReason.EVICTION, "__lp_t_keys", 2)
+    stats.record(WritebackReason.DRAIN, "__lp_t_lanes", 1)
+    assert stats.lines_for_buffer("data") == 10
+    assert stats.lines_for_buffers("__lp_") == 3
+    assert stats.lines_for_buffer("ghost") == 0
+
+
+def test_negative_count_rejected():
+    stats = WriteStats()
+    with pytest.raises(ValueError):
+        stats.record(WritebackReason.EVICTION, "a", -1)
+
+
+def test_reset():
+    stats = WriteStats()
+    stats.record(WritebackReason.EVICTION, "a", 3)
+    stats.reset()
+    assert stats.total_lines == 0
+
+
+def test_write_amplification():
+    base = WriteStats()
+    base.record(WritebackReason.EVICTION, "data", 1000)
+    lp = WriteStats()
+    lp.record(WritebackReason.EVICTION, "data", 1000)
+    lp.record(WritebackReason.EVICTION, "__lp_t", 22)
+    assert write_amplification(lp, base) == pytest.approx(0.022)
+
+
+def test_write_amplification_needs_baseline():
+    with pytest.raises(ValueError):
+        write_amplification(WriteStats(), WriteStats())

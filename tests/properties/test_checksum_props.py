@@ -1,0 +1,120 @@
+"""Property-based tests for checksum algebra (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.checksum import (
+    ChecksumSet,
+    ModularChecksum,
+    ParityChecksum,
+    float_bits,
+    float_to_ordered_int,
+    to_lane_words,
+)
+from repro.core.config import PAPER_CHECKSUM_PAIR
+
+words = hnp.arrays(
+    np.uint64,
+    st.integers(1, 64),
+    elements=st.integers(0, (1 << 64) - 1),
+)
+
+floats32 = hnp.arrays(
+    np.float32,
+    st.integers(1, 64),
+    elements=st.floats(-(2.0 ** 100), 2.0 ** 100, width=32, allow_nan=False,
+                       allow_subnormal=False),
+)
+
+
+@given(words)
+def test_modular_fold_is_order_invariant(ws):
+    f = ModularChecksum()
+    shuffled = ws.copy()
+    np.random.default_rng(0).shuffle(shuffled)
+    assert f.fold_all(ws) == f.fold_all(shuffled)
+
+
+@given(words)
+def test_parity_fold_is_order_invariant(ws):
+    f = ParityChecksum()
+    assert f.fold_all(ws) == f.fold_all(ws[::-1].copy())
+
+
+@given(words, words)
+def test_combine_is_commutative_and_merges_folds(a, b):
+    for f in (ModularChecksum(), ParityChecksum()):
+        fa, fb = f.fold_all(a), f.fold_all(b)
+        assert f.combine(np.uint64(fa), np.uint64(fb)) == f.combine(
+            np.uint64(fb), np.uint64(fa)
+        )
+        joint = f.fold_all(np.concatenate([a, b]))
+        assert f.combine(np.uint64(fa), np.uint64(fb)) == joint
+
+
+@given(words)
+def test_parity_self_inverse(ws):
+    f = ParityChecksum()
+    doubled = np.concatenate([ws, ws])
+    assert f.fold_all(doubled) == 0
+
+
+@given(floats32)
+def test_float_bits_injective_on_distinct_bit_patterns(vals):
+    ws = float_bits(vals)
+    raw = vals.view(np.uint32)
+    # Equal words iff equal bit patterns.
+    assert np.array_equal(ws[:, None] == ws[None, :],
+                          raw[:, None] == raw[None, :])
+
+
+@given(st.floats(-(2.0 ** 100), 2.0 ** 100, width=32, allow_nan=False,
+                 allow_subnormal=False),
+       st.floats(-(2.0 ** 100), 2.0 ** 100, width=32, allow_nan=False,
+                 allow_subnormal=False))
+def test_ordered_int_preserves_order(a, b):
+    fa, fb = np.float32([a]), np.float32([b])
+    oa = int(float_to_ordered_int(fa)[0])
+    ob = int(float_to_ordered_int(fb)[0])
+    if a < b:
+        assert oa < ob
+    elif a > b:
+        assert oa > ob
+
+
+@given(floats32, st.integers(1, 16))
+@settings(max_examples=50)
+def test_block_state_any_slotting_same_checksum(vals, n_threads):
+    """Per-thread accumulation must not depend on which thread folded
+    which value — the property that makes the reduction correct."""
+    cset = ChecksumSet(PAPER_CHECKSUM_PAIR)
+    rng = np.random.default_rng(42)
+
+    s1 = cset.new_block_state(n_threads)
+    s1.update(vals, np.arange(vals.size) % n_threads)
+    s2 = cset.new_block_state(n_threads)
+    s2.update(vals, rng.integers(0, n_threads, vals.size))
+    assert np.array_equal(
+        s1.lane_values_reference(), s2.lane_values_reference()
+    )
+
+
+@given(floats32)
+def test_checksum_detects_single_element_change(vals):
+    """Changing one element to a different bit pattern flips at least
+    one lane (no false negative for single-point corruption)."""
+    cset = ChecksumSet(PAPER_CHECKSUM_PAIR)
+    before = cset.checksum_of(vals)
+    mutated = vals.copy().view(np.uint32)
+    mutated[0] ^= 1
+    after = cset.checksum_of(mutated.view(np.float32))
+    assert not np.array_equal(before, after)
+
+
+@given(words)
+def test_to_lane_words_is_stable(ws):
+    assert np.array_equal(
+        to_lane_words(ws.view(np.float64)), to_lane_words(ws.view(np.float64))
+    )

@@ -1,0 +1,75 @@
+"""Property-based tests for the directive compiler."""
+
+import re
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compiler.parser import parse_pragma, split_args
+from repro.compiler.transform import compile_program
+
+identifiers = st.from_regex(r"[A-Za-z_][A-Za-z0-9_]{0,12}", fullmatch=True)
+exprs = st.from_regex(r"[A-Za-z0-9_.*+ ]{1,20}", fullmatch=True).map(
+    str.strip
+).filter(lambda s: s and "," not in s and "(" not in s and ")" not in s)
+
+
+@given(st.lists(exprs, min_size=1, max_size=6))
+def test_split_args_roundtrip(args):
+    joined = ", ".join(args)
+    assert split_args(joined) == [a for a in args]
+
+
+@given(identifiers, exprs, exprs)
+def test_init_pragma_roundtrip(table, nelems, selem):
+    line = f"#pragma nvm lpcuda_init({table}, {nelems}, {selem})"
+    d = parse_pragma(line, 1)
+    assert d.table == table
+    assert d.nelems_expr == nelems
+    assert d.selem_expr == selem
+
+
+@given(
+    table=identifiers,
+    keys=st.lists(identifiers, min_size=1, max_size=4),
+    types=st.sampled_from(['"+"', '"^"', '"+^"', '"^+"']),
+)
+def test_checksum_pragma_roundtrip(table, keys, types):
+    line = (f"#pragma nvm lpcuda_checksum({types}, {table}, "
+            f"{', '.join(keys)})")
+    d = parse_pragma(line, 1)
+    assert d.table == table
+    assert d.keys == tuple(keys)
+    assert len(d.checksum_types) == len(types) - 2  # minus quotes
+
+
+@given(
+    kernel_name=identifiers,
+    array=identifiers,
+    value_var=identifiers,
+    table=identifiers,
+)
+@settings(max_examples=40)
+def test_compile_arbitrary_single_store_kernel(kernel_name, array,
+                                               value_var, table):
+    """Any well-formed single-store kernel compiles into the full
+    triple (host, instrumented kernel, recovery kernel)."""
+    names = {kernel_name, array, value_var, table}
+    if len(names) < 4 or names & {"i", "grid", "threads", "d", "void",
+                                  "float", "int"}:
+        return  # identifiers must be distinct and non-reserved
+    source = f"""
+#pragma nvm lpcuda_init({table}, grid.x, 1)
+{kernel_name}<<<grid, threads>>>(d);
+
+__global__ void {kernel_name}(float *{array}) {{
+    int i = blockIdx.x;
+    float {value_var} = 1.0f;
+#pragma nvm lpcuda_checksum("+^", {table}, blockIdx.x)
+    {array}[i] = {value_var};
+}}
+"""
+    out = compile_program(source)
+    assert f"cr{kernel_name[0].upper()}{kernel_name[1:]}" in out.recovery_code
+    assert "__lp_cs[0] +=" in out.kernel_code
+    assert re.search(rf"lpcuda_table_insert\(&{table},", out.kernel_code)

@@ -1,0 +1,59 @@
+"""Property-based end-to-end for Eager Persistency."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro.ep import EPRecoveryManager, EPRuntime
+from repro.workloads.tmm import TMMWorkload
+
+
+@given(
+    after_blocks=st.integers(0, 16),
+    cache_lines=st.integers(1, 64),
+    seed=st.integers(0, 100),
+)
+@settings(max_examples=25, deadline=None)
+def test_ep_recovers_from_any_crash_point(after_blocks, cache_lines, seed):
+    device = repro.Device(cache_capacity_lines=cache_lines)
+    work = TMMWorkload(scale="tiny")
+    kernel = work.setup(device)
+    ep_kernel = EPRuntime(device).instrument(kernel)
+    device.launch(
+        ep_kernel,
+        crash_plan=repro.CrashPlan(after_blocks=after_blocks, seed=seed),
+    )
+    report = EPRecoveryManager(device, ep_kernel).recover()
+    assert report.recovered
+    work.verify(device)
+    # Every region ends committed after recovery.
+    n_blocks = kernel.launch_config().n_blocks
+    assert all(ep_kernel.log.is_committed(b) for b in range(n_blocks))
+
+
+@given(after_blocks=st.integers(0, 16), seed=st.integers(0, 50))
+@settings(max_examples=20, deadline=None)
+def test_ep_committed_data_survives_without_drain(after_blocks, seed):
+    """EP's guarantee: commit implies durable, eviction or not."""
+    device = repro.Device(cache_capacity_lines=2)
+    work = TMMWorkload(scale="tiny")
+    kernel = work.setup(device)
+    ep_kernel = EPRuntime(device).instrument(kernel)
+    result = device.launch(
+        ep_kernel,
+        crash_plan=repro.CrashPlan(after_blocks=after_blocks, seed=seed),
+    )
+    ref = work.reference()["tmm_C"].reshape(-1)
+    out = device.memory["tmm_C"].array.reshape(-1)
+    tile = work.tile
+    n = work.n
+    for block in result.completed_blocks:
+        if not ep_kernel.log.is_committed(block):
+            continue
+        by, bx = divmod(block, n // tile)
+        rows = slice(by * tile, (by + 1) * tile)
+        cols = slice(bx * tile, (bx + 1) * tile)
+        assert np.array_equal(
+            out.reshape(n, n)[rows, cols], ref.reshape(n, n)[rows, cols]
+        )

@@ -1,0 +1,92 @@
+"""Model-based testing: the MEGA-KV store vs a Python dict.
+
+A hypothesis rule-based state machine drives the LP-protected batch
+session with arbitrary interleavings of insert / update / delete /
+search batches — some of them struck by crashes — and checks after
+every step that the store's contents equal a shadow ``dict`` model.
+"""
+
+import numpy as np
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+
+import repro
+from repro.megakv import KVBatchSession, MegaKVStore
+
+KEY_POOL = [int(k) for k in range(1, 64)]
+
+
+class MegaKVModel(RuleBasedStateMachine):
+    """Drive the store and a dict model through the same operations."""
+
+    @initialize()
+    def setup(self):
+        self.device = repro.Device(cache_capacity_lines=8)
+        self.store = MegaKVStore(self.device, capacity=128)
+        self.session = KVBatchSession(self.device, self.store,
+                                      threads_per_block=8)
+        self.model: dict[int, int] = {}
+        self.next_value = 1
+
+    def _values_for(self, keys):
+        vals = np.arange(self.next_value,
+                         self.next_value + len(keys)).astype(np.uint64)
+        self.next_value += len(keys)
+        return vals
+
+    def _crash_plan(self, crash, n_requests):
+        if not crash:
+            return None
+        n_blocks = max(1, -(-n_requests // 8))
+        return repro.CrashPlan(after_blocks=n_blocks // 2,
+                               persist_fraction=0.4,
+                               seed=self.next_value)
+
+    @rule(keys=st.lists(st.sampled_from(KEY_POOL), min_size=1,
+                        max_size=12, unique=True),
+          crash=st.booleans())
+    def insert_batch(self, keys, crash):
+        vals = self._values_for(keys)
+        arr = np.array(keys, dtype=np.uint64)
+        self.session.insert(
+            arr, vals, crash_plan=self._crash_plan(crash, len(keys))
+        )
+        self.model.update(zip(keys, map(int, vals)))
+
+    @rule(keys=st.lists(st.sampled_from(KEY_POOL), min_size=1,
+                        max_size=12, unique=True),
+          crash=st.booleans())
+    def delete_batch(self, keys, crash):
+        arr = np.array(keys, dtype=np.uint64)
+        self.session.delete(
+            arr, crash_plan=self._crash_plan(crash, len(keys))
+        )
+        for k in keys:
+            self.model.pop(k, None)
+
+    @rule(keys=st.lists(st.sampled_from(KEY_POOL), min_size=1,
+                        max_size=12, unique=True))
+    def search_batch(self, keys):
+        arr = np.array(keys, dtype=np.uint64)
+        outcome = self.session.search(arr)
+        expect = np.array([self.model.get(k, 0) for k in keys],
+                          dtype=np.uint64)
+        assert np.array_equal(outcome.results, expect)
+
+    @invariant()
+    def store_matches_model(self):
+        if not hasattr(self, "store"):
+            return
+        assert self.store.contents() == self.model
+
+
+MegaKVModelTest = MegaKVModel.TestCase
+MegaKVModelTest.settings = settings(
+    max_examples=12, stateful_step_count=10, deadline=None
+)

@@ -1,0 +1,64 @@
+"""Property-based tests for the persistence domain."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpu.memory import GlobalMemory
+
+write_sequences = st.lists(
+    st.tuples(st.integers(0, 255), st.integers(1, 16),
+              st.integers(-1000, 1000)),
+    min_size=1,
+    max_size=60,
+)
+
+
+@given(write_sequences, st.integers(1, 16))
+@settings(max_examples=50, deadline=None)
+def test_drain_then_crash_is_lossless(writes, capacity):
+    mem = GlobalMemory(cache_capacity_lines=capacity)
+    buf = mem.alloc("a", (272,), np.int32)
+    for start, length, value in writes:
+        idx = np.arange(start, min(start + length, 272))
+        mem.write(buf, idx, np.full(idx.size, value, np.int32))
+    snapshot = buf.array.copy()
+    mem.drain()
+    mem.crash()
+    assert np.array_equal(buf.array, snapshot)
+
+
+@given(write_sequences, st.integers(1, 8))
+@settings(max_examples=50, deadline=None)
+def test_crash_yields_prefix_consistent_state(writes, capacity):
+    """After a crash every element equals either its initial value or
+    some value that was actually written there — never garbage."""
+    mem = GlobalMemory(cache_capacity_lines=capacity)
+    init = np.arange(272, dtype=np.int32)
+    buf = mem.alloc("a", (272,), np.int32, init=init)
+    legal = {i: {int(init[i])} for i in range(272)}
+    for start, length, value in writes:
+        idx = np.arange(start, min(start + length, 272))
+        mem.write(buf, idx, np.full(idx.size, value, np.int32))
+        for i in idx:
+            legal[int(i)].add(int(value))
+    mem.crash()
+    for i in range(272):
+        assert int(buf.array[i]) in legal[i]
+
+
+@given(write_sequences)
+@settings(max_examples=30, deadline=None)
+def test_nvm_image_never_ahead_of_volatile_after_quiesce(writes):
+    """With no concurrent writers, after any sequence the NVM image of
+    each element equals some previously-written (or initial) value."""
+    mem = GlobalMemory(cache_capacity_lines=4)
+    buf = mem.alloc("a", (272,), np.int32)
+    seen = {i: {0} for i in range(272)}
+    for start, length, value in writes:
+        idx = np.arange(start, min(start + length, 272))
+        mem.write(buf, idx, np.full(idx.size, value, np.int32))
+        for i in idx:
+            seen[int(i)].add(int(value))
+    for i in range(272):
+        assert int(buf.nvm_array[i]) in seen[i]

@@ -1,0 +1,72 @@
+"""Property-based tests for checksum tables."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import LPConfig
+from repro.core.tables import make_table
+from repro.gpu.atomics import AtomicUnit
+from repro.gpu.kernel import BlockContext, LaunchConfig
+from repro.gpu.memory import GlobalMemory
+
+configs = st.sampled_from([
+    LPConfig.naive_quadratic(),
+    LPConfig.naive_cuckoo(),
+    LPConfig.paper_best(),
+])
+
+
+def make_ctx(mem):
+    return BlockContext(mem, AtomicUnit(mem),
+                        LaunchConfig.linear(4, 32), 0)
+
+
+@given(configs, st.integers(1, 200), st.integers(0, 2**32 - 1))
+@settings(max_examples=40, deadline=None)
+def test_insert_then_lookup_every_key(config, n_keys, salt):
+    mem = GlobalMemory(cache_capacity_lines=4096)
+    ctx = make_ctx(mem)
+    table = make_table(mem, "t", n_keys, 2, config)
+    for key in range(n_keys):
+        lanes = np.array([key ^ salt, key + salt], dtype=np.uint64)
+        table.insert(ctx, key, lanes)
+    for key in range(n_keys):
+        lanes = table.lookup(key)
+        assert lanes is not None
+        assert lanes[0] == np.uint64(key ^ salt)
+        assert lanes[1] == np.uint64(key) + np.uint64(salt)
+
+
+@given(configs, st.integers(2, 100),
+       st.lists(st.integers(0, 99), min_size=1, max_size=30))
+@settings(max_examples=40, deadline=None)
+def test_reinsertion_is_idempotent(config, n_keys, reinserts):
+    """Recovery may re-insert any subset of keys, any number of times;
+    the table must end up exactly as after a single pass."""
+    mem = GlobalMemory(cache_capacity_lines=4096)
+    ctx = make_ctx(mem)
+    table = make_table(mem, "t", n_keys, 2, config)
+
+    def lanes_of(key):
+        return np.array([key * 3 + 1, key * 5 + 2], dtype=np.uint64)
+
+    for key in range(n_keys):
+        table.insert(ctx, key, lanes_of(key))
+    for r in reinserts:
+        table.insert(ctx, r % n_keys, lanes_of(r % n_keys))
+    for key in range(n_keys):
+        assert np.array_equal(table.lookup(key), lanes_of(key))
+
+
+@given(st.integers(1, 400))
+@settings(max_examples=30, deadline=None)
+def test_quadratic_probe_accounting_invariant(n_keys):
+    """probes == inserts + collisions, always."""
+    mem = GlobalMemory(cache_capacity_lines=4096)
+    ctx = make_ctx(mem)
+    table = make_table(mem, "t", n_keys, 2, LPConfig.naive_quadratic())
+    lanes = np.zeros(2, dtype=np.uint64)
+    for key in range(n_keys):
+        table.insert(ctx, key, lanes)
+    assert table.stats.probes == n_keys + table.stats.collisions

@@ -1,0 +1,60 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+def test_workloads_lists_all(capsys):
+    assert main(["workloads"]) == 0
+    out = capsys.readouterr().out
+    for name in ("tmm", "tpacf", "mri-gridding", "spmv", "sad", "histo",
+                 "cutcp", "mri-q", "megakv"):
+        assert name in out
+
+
+def test_run_clean(capsys):
+    assert main(["run", "histo", "--scale", "tiny"]) == 0
+    out = capsys.readouterr().out
+    assert "output verified" in out
+
+
+def test_run_with_crash_recovers(capsys):
+    code = main(["run", "tmm", "--scale", "tiny", "--crash-after", "4",
+                 "--cache-lines", "8"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "CRASHED" in out
+    assert "recovered" in out
+    assert "output verified" in out
+
+
+def test_run_with_table_choice(capsys):
+    assert main(["run", "spmv", "--scale", "tiny",
+                 "--config", "cuckoo"]) == 0
+    assert "cuckoo" in capsys.readouterr().out
+
+
+def test_experiments_single(capsys):
+    assert main(["experiments", "fig1"]) == 0
+    out = capsys.readouterr().out
+    assert "PASS" in out
+    assert "shuffle" in out
+
+
+def test_experiments_unknown_id(capsys):
+    assert main(["experiments", "fig99"]) == 2
+    assert "unknown experiments" in capsys.readouterr().err
+
+
+def test_report_writes_file(tmp_path, capsys):
+    out_file = tmp_path / "EXP.md"
+    assert main(["report", str(out_file)]) == 0
+    text = out_file.read_text()
+    assert "paper vs. measured" in text
+    assert "fig5" in text
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])

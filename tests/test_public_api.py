@@ -1,0 +1,52 @@
+"""The public package surface: exports, version, docstring examples."""
+
+import repro
+
+
+def test_all_exports_resolve():
+    for name in repro.__all__:
+        assert getattr(repro, name) is not None, name
+
+
+def test_version():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_subpackage_surfaces():
+    import repro.bench.experiments as experiments
+    import repro.compiler as compiler
+    import repro.ep as ep
+    import repro.megakv as megakv
+    import repro.nvm as nvm
+    import repro.workloads as workloads
+
+    for module in (compiler, ep, megakv, workloads):
+        for name in module.__all__:
+            assert getattr(module, name) is not None, (module, name)
+    for name in nvm.__all__:
+        assert getattr(nvm, name) is not None, name
+    assert len(experiments.EXPERIMENTS) == 16
+
+
+def test_package_docstring_quick_tour_runs():
+    """The __init__ docstring's tour must actually work."""
+    device = repro.Device()
+    work = repro.workloads.TMMWorkload(scale="tiny")
+    kernel = work.setup(device)
+    lp = repro.LPRuntime(device, repro.LPConfig.paper_best())
+    lp_kernel = lp.instrument(kernel)
+    result = device.launch(lp_kernel)
+    work.verify(device)
+    assert result.n_completed == kernel.launch_config().n_blocks
+
+
+def test_audit_docstring_example_runs():
+    def scenario():
+        device = repro.Device(cache_capacity_lines=16)
+        work = repro.workloads.TMMWorkload(scale="tiny")
+        kernel = work.setup(device)
+        lp_kernel = repro.LPRuntime(device).instrument(kernel)
+        return device, lp_kernel, work.verify
+
+    report = repro.audit_crash_consistency(scenario, n_schedules=5)
+    assert report.all_passed

@@ -1,0 +1,120 @@
+"""Tests for the store-address slices (fast Listing-7 validation)."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.fusion import fuse_blocks
+from repro.core.recovery import RecoveryManager
+from repro.core.runtime import LPRuntime
+from repro.gpu.kernel import ExecMode
+from repro.workloads import WORKLOADS, make_workload
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+def test_output_map_matches_actual_stores(name):
+    """The address slice must cover exactly the elements each block
+    stores — the correctness contract of the fast validation path."""
+    device = repro.Device()
+    work = make_workload(name, scale="tiny")
+    kernel = work.setup(device)
+    sentinel_before = {
+        b: device.memory[b].array.copy() for b in kernel.protected_buffers
+    }
+    for block in range(kernel.launch_config().n_blocks):
+        output_map = kernel.block_output_map(block)
+        assert output_map is not None, f"{name} lacks an output map"
+        assert set(output_map) == set(kernel.protected_buffers)
+        dev = repro.Device()
+        w = make_workload(name, scale="tiny")
+        k = w.setup(dev)
+        dev.launch(k, block_ids=[block])
+        for buf_name, idx in output_map.items():
+            now = dev.memory[buf_name].array.reshape(-1)
+            before = sentinel_before[buf_name].reshape(-1)
+            changed = np.flatnonzero(now != before)
+            # Every changed element is inside the declared slice. (The
+            # reverse need not hold bitwise: a store may write a value
+            # equal to the initial contents.)
+            assert set(changed.tolist()) <= set(np.asarray(idx).tolist())
+            assert len(set(np.asarray(idx).tolist())) == np.asarray(idx).size
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+def test_fast_validation_agrees_with_replay(name):
+    """Slice-based validation must reach the same verdicts as replay."""
+    device = repro.Device()
+    work = make_workload(name, scale="tiny")
+    kernel = work.setup(device)
+    lp_kernel = LPRuntime(device).instrument(kernel)
+    device.launch(lp_kernel)
+    device.drain()
+
+    # Clean state: both paths pass.
+    lp_kernel.reset_validation()
+    device.launch(lp_kernel, mode=ExecMode.VALIDATE)
+    assert lp_kernel.validation_failures == []
+
+    # Corrupt one element; both paths must flag exactly its block.
+    buf = kernel.protected_buffers[0]
+    repro.FaultInjector().flip_bit(device.memory, buf, 0, 2)
+    lp_kernel.reset_validation()
+    device.launch(lp_kernel, mode=ExecMode.VALIDATE)
+    fast_verdict = list(lp_kernel.validation_failures)
+
+    original_map = kernel.block_output_map
+    kernel.block_output_map = lambda block_id: None  # force replay
+    try:
+        lp_kernel.reset_validation()
+        device.launch(lp_kernel, mode=ExecMode.VALIDATE)
+        replay_verdict = list(lp_kernel.validation_failures)
+    finally:
+        kernel.block_output_map = original_map
+    assert fast_verdict == replay_verdict
+    assert len(fast_verdict) == 1
+
+
+def test_fast_validation_is_cheaper_than_replay():
+    device = repro.Device()
+    work = make_workload("tmm", scale="small")
+    kernel = work.setup(device)
+    lp_kernel = LPRuntime(device).instrument(kernel)
+    device.launch(lp_kernel)
+    device.drain()
+
+    lp_kernel.reset_validation()
+    fast = device.launch(lp_kernel, mode=ExecMode.VALIDATE)
+
+    original_map = kernel.block_output_map
+    kernel.block_output_map = lambda block_id: None
+    try:
+        lp_kernel.reset_validation()
+        replay = device.launch(lp_kernel, mode=ExecMode.VALIDATE)
+    finally:
+        kernel.block_output_map = original_map
+    # The slice path skips the matmul entirely.
+    assert fast.tally.alu_ops < 0.25 * replay.tally.alu_ops
+    assert fast.total_cycles < replay.total_cycles
+
+
+def test_fused_kernel_composes_output_maps():
+    device = repro.Device()
+    work = make_workload("tmm", scale="tiny")
+    kernel = work.setup(device)
+    fused = fuse_blocks(kernel, 4)
+    fused_map = fused.block_output_map(0)
+    singles = [kernel.block_output_map(i)["tmm_C"] for i in range(4)]
+    assert np.array_equal(fused_map["tmm_C"], np.concatenate(singles))
+
+
+def test_fast_validation_through_full_recovery():
+    device = repro.Device(cache_capacity_lines=8)
+    work = make_workload("cutcp", scale="tiny")
+    kernel = work.setup(device)
+    lp_kernel = LPRuntime(device).instrument(kernel)
+    device.launch(lp_kernel,
+                  crash_plan=repro.CrashPlan(after_blocks=7,
+                                             persist_fraction=0.4, seed=2))
+    report = RecoveryManager(device, lp_kernel).recover()
+    assert report.recovered
+    work.verify(device)

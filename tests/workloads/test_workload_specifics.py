@@ -1,0 +1,179 @@
+"""Per-workload behaviours beyond the generic reference checks."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.workloads.generators import (
+    byte_frames,
+    key_value_records,
+    small_ints,
+    sparse_csr,
+    unit_floats,
+)
+from repro.workloads.histo import SATURATION, HISTOWorkload
+from repro.workloads.sad import MB, SADKernel
+from repro.workloads.tmm import TiledMatMulKernel, TMMWorkload
+from repro.workloads.tpacf import TPACFWorkload
+
+
+# -- generators ---------------------------------------------------------------
+
+def test_small_ints_bounds():
+    vals = small_ints(np.random.default_rng(0), (100,))
+    assert vals.dtype == np.int32
+    assert vals.min() >= -8 and vals.max() <= 8
+
+
+def test_unit_floats_range():
+    vals = unit_floats(np.random.default_rng(0), 1000)
+    assert vals.dtype == np.float32
+    assert np.all(np.abs(vals) <= 1.0)
+
+
+def test_sparse_csr_structure():
+    row_ptr, cols, vals = sparse_csr(np.random.default_rng(0), 10, 20, 4)
+    assert row_ptr[-1] == 40
+    assert cols.max() < 20
+    # No duplicate columns within a row.
+    for r in range(10):
+        row_cols = cols[row_ptr[r]:row_ptr[r + 1]]
+        assert len(set(row_cols.tolist())) == 4
+
+
+def test_byte_frames_shape():
+    frames = byte_frames(np.random.default_rng(0), 2, 16, 16)
+    assert frames.shape == (2, 16, 16)
+    assert frames.dtype == np.uint8
+
+
+def test_key_value_records_nonzero_unique():
+    keys, vals = key_value_records(np.random.default_rng(0), 500)
+    assert np.all(keys != 0)
+    assert np.all(vals != 0)
+    assert len(set(keys.tolist())) == 500
+
+
+# -- TMM -----------------------------------------------------------------------
+
+def test_tmm_rejects_non_tile_multiple():
+    from repro.errors import LaunchError
+
+    with pytest.raises(LaunchError):
+        TiledMatMulKernel(n=10, tile=4)
+
+
+def test_tmm_identity_matrix():
+    device = repro.Device()
+    work = TMMWorkload(scale="tiny")
+    n = work.n
+    work._a = np.eye(n, dtype=np.int32)
+    work._b = small_ints(np.random.default_rng(1), (n, n))
+    kernel = work.setup(device)
+    device.launch(kernel)
+    assert np.array_equal(device.memory["tmm_C"].array, work._b)
+
+
+# -- TPACF ----------------------------------------------------------------------
+
+def test_tpacf_histogram_totals_all_pairs():
+    device = repro.Device()
+    work = TPACFWorkload(scale="tiny")
+    device.launch(work.setup(device))
+    merged = work.merged_histogram(device)
+    assert merged.sum() == work.n_points * work.n_points
+
+
+# -- SAD ---------------------------------------------------------------------------
+
+def test_sad_zero_displacement_of_identical_frames():
+    device = repro.Device()
+    from repro.workloads.sad import SADWorkload
+
+    work = SADWorkload(scale="tiny")
+    work._ref = work._cur.copy()
+    kernel = work.setup(device)
+    device.launch(kernel)
+    out = device.memory["sad_out"].array.reshape(-1, kernel.n_disp)
+    center = kernel.n_disp // 2  # displacement (0, 0)
+    assert np.all(out[:, center] == 0)
+
+
+def test_sad_displacement_grid():
+    kernel = SADKernel(32, 32, radius=1)
+    disps = kernel._displacements()
+    assert disps.shape == (9, 2)
+    assert (disps == 0).all(axis=1).any()
+    assert kernel.launch_config().threads_per_block == 9
+    assert MB == 8
+
+
+# -- HISTO ----------------------------------------------------------------------------
+
+def test_histo_partials_sum_to_full_histogram():
+    device = repro.Device()
+    work = HISTOWorkload(scale="tiny")
+    device.launch(work.setup(device))
+    partials = device.memory["histo_partial"].array
+    total = partials.reshape(-1, work.n_bins).sum(axis=0)
+    direct = np.bincount(work._samples, minlength=work.n_bins)
+    assert np.array_equal(total, direct)
+
+
+def test_histo_merge_saturates():
+    device = repro.Device()
+    # "small" has enough samples for the Zipf head bin to saturate.
+    work = HISTOWorkload(scale="small")
+    device.launch(work.setup(device))
+    merged = work.merged_histogram(device)
+    assert merged.dtype == np.uint8
+    assert merged.max() <= SATURATION
+    # The Zipf skew guarantees bin 1 saturates at this scale.
+    direct = np.bincount(work._samples, minlength=work.n_bins)
+    assert np.any(direct > SATURATION)
+    assert merged[np.argmax(direct)] == SATURATION
+
+
+# -- reference invariances ---------------------------------------------------------------
+
+def test_cutcp_potential_is_finite():
+    device = repro.Device()
+    from repro.workloads.cutcp import CUTCPWorkload
+
+    work = CUTCPWorkload(scale="tiny")
+    device.launch(work.setup(device))
+    pot = device.memory["cutcp_pot"].array
+    assert np.all(np.isfinite(pot))
+    assert np.any(pot != 0)
+
+
+def test_mriq_outputs_bounded_by_total_magnitude():
+    device = repro.Device()
+    from repro.workloads.mri_q import MRIQWorkload
+
+    work = MRIQWorkload(scale="tiny")
+    device.launch(work.setup(device))
+    bound = work._k[:, 3].sum() + 1e-3
+    assert np.all(np.abs(device.memory["mriq_qr"].array) <= bound)
+    assert np.all(np.abs(device.memory["mriq_qi"].array) <= bound)
+
+
+def test_spmv_zero_vector_gives_zero():
+    device = repro.Device()
+    from repro.workloads.spmv import SPMVWorkload
+
+    work = SPMVWorkload(scale="tiny")
+    work._x[:] = 0
+    device.launch(work.setup(device))
+    assert np.all(device.memory["spmv_y"].array == 0)
+
+
+def test_mri_gridding_total_mass_conserved_within_window():
+    device = repro.Device()
+    from repro.workloads.mri_gridding import MRIGriddingWorkload
+
+    work = MRIGriddingWorkload(scale="tiny")
+    device.launch(work.setup(device))
+    grid = device.memory["mrig_grid"].array
+    assert np.all(np.isfinite(grid))
+    assert np.any(grid != 0)

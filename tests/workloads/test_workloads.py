@@ -1,0 +1,127 @@
+"""Cross-workload correctness tests (all eight paper benchmarks)."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.recovery import RecoveryManager
+from repro.core.runtime import LPRuntime
+from repro.workloads import WORKLOADS, make_workload
+
+ALL = sorted(WORKLOADS)
+
+
+@pytest.mark.parametrize("name", ALL)
+def test_baseline_matches_reference_tiny(name):
+    device = repro.Device()
+    work = make_workload(name, scale="tiny")
+    device.launch(work.setup(device))
+    work.verify(device)
+
+
+@pytest.mark.parametrize("name", ALL)
+def test_baseline_matches_reference_small(name):
+    device = repro.Device()
+    work = make_workload(name, scale="small")
+    device.launch(work.setup(device))
+    work.verify(device)
+
+
+@pytest.mark.parametrize("name", ALL)
+def test_lp_instrumentation_preserves_output(name):
+    device = repro.Device()
+    work = make_workload(name, scale="tiny")
+    kernel = work.setup(device)
+    lp_kernel = LPRuntime(device).instrument(kernel)
+    device.launch(lp_kernel)
+    work.verify(device)
+
+
+@pytest.mark.parametrize("name", ALL)
+def test_lp_validation_passes_after_clean_run(name):
+    device = repro.Device()
+    work = make_workload(name, scale="tiny")
+    lp_kernel = LPRuntime(device).instrument(work.setup(device))
+    device.launch(lp_kernel)
+    device.drain()
+    report = RecoveryManager(device, lp_kernel).validate()
+    assert report.all_passed
+
+
+@pytest.mark.parametrize("name", ALL)
+def test_lp_crash_recovery_restores_output(name):
+    device = repro.Device(cache_capacity_lines=16)
+    work = make_workload(name, scale="tiny")
+    kernel = work.setup(device)
+    lp_kernel = LPRuntime(device).instrument(kernel)
+    n_blocks = kernel.launch_config().n_blocks
+    device.launch(
+        lp_kernel,
+        crash_plan=repro.CrashPlan(after_blocks=max(1, n_blocks // 2),
+                                   persist_fraction=0.3, seed=5),
+    )
+    report = RecoveryManager(device, lp_kernel).recover()
+    assert report.recovered
+    work.verify(device)
+
+
+@pytest.mark.parametrize("name", ALL)
+def test_workload_is_seed_deterministic(name):
+    outs = []
+    for _ in range(2):
+        device = repro.Device()
+        work = make_workload(name, scale="tiny", seed=9)
+        kernel = work.setup(device)
+        device.launch(kernel)
+        outs.append({
+            b: device.memory[b].array.copy()
+            for b in kernel.protected_buffers
+        })
+    for buf in outs[0]:
+        assert np.array_equal(outs[0][buf], outs[1][buf])
+
+
+@pytest.mark.parametrize("name", ALL)
+def test_blocks_write_disjoint_outputs(name):
+    """The associativity precondition: no two blocks share an output.
+
+    Run each block alone and check the union of touched elements is
+    disjoint (touched = differs from a sentinel prefill).
+    """
+    work = make_workload(name, scale="tiny")
+    device = repro.Device()
+    kernel = work.setup(device)
+    touched = {}
+    for buf_name in kernel.protected_buffers:
+        touched[buf_name] = np.zeros(device.memory[buf_name].size, bool)
+
+    n_blocks = kernel.launch_config().n_blocks
+    for block in range(n_blocks):
+        dev = repro.Device()
+        w = make_workload(name, scale="tiny")
+        k = w.setup(dev)
+        before = {b: dev.memory[b].array.copy()
+                  for b in k.protected_buffers}
+        dev.launch(k, block_ids=[block])
+        for b in k.protected_buffers:
+            now = dev.memory[b].array
+            wrote = (now.reshape(-1) != before[b].reshape(-1))
+            # HISTO-like kernels may legitimately write zeros over
+            # zeros; treat "could have written" conservatively by using
+            # inequality only — overlap of *changed* cells must be nil.
+            assert not np.any(touched[b] & wrote), (
+                f"block {block} overlaps earlier writes in {b}"
+            )
+            touched[b] |= wrote
+
+
+def test_unknown_workload_name():
+    with pytest.raises(KeyError):
+        make_workload("nonesuch")
+
+
+def test_scales_are_validated():
+    from repro.errors import LaunchError
+
+    with pytest.raises(LaunchError):
+        make_workload("tmm", scale="huge")
