@@ -1,0 +1,204 @@
+"""Launch-engine throughput smoke: blocks/sec per engine, per workload.
+
+Times the three launch engines (serial, parallel, batched) on the two
+reference hot paths the engines were built for:
+
+* LP-instrumented SPMV at 1024 blocks (the paper-shape streaming
+  kernel: disjoint row ranges, pure store traffic), and
+* an LP-instrumented MEGA-KV search batch (hash probes, dedup'd bucket
+  reads, host-side stat accounting).
+
+Every engine run gets a fresh device and buffers; only the launch is
+timed. Results are asserted bit-identical across engines before any
+number is reported — a fast wrong engine is worthless. The measurements
+land in ``BENCH_sim.json`` at the repo root; ``--check`` re-measures
+and fails if any engine regressed more than 30 % in blocks/sec against
+that committed baseline (the tier-2 CI gate).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf_smoke.py            # write baseline
+    PYTHONPATH=src python benchmarks/perf_smoke.py --check    # CI gate
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+import repro
+from repro.megakv.kernels import KVInsertKernel, KVSearchKernel, alloc_results
+from repro.megakv.store import MegaKVStore
+from repro.workloads.generators import sparse_csr, unit_floats
+from repro.workloads.spmv import SPMVKernel
+
+BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_sim.json"
+
+#: Regression tolerance for ``--check``: fail below 70 % of baseline.
+TOLERANCE = 0.30
+
+ENGINES = {
+    "serial": lambda: repro.make_engine("serial"),
+    "parallel": lambda: repro.make_engine("parallel", jobs=4),
+    "batched": lambda: repro.make_engine("batched"),
+}
+
+
+def setup_spmv(engine):
+    """LP-instrumented SPMV, 1024 blocks x 64 threads, 8 nnz/row."""
+    n_blocks, threads, nnz = 1024, 64, 8
+    n_rows = n_blocks * threads
+    rng = np.random.default_rng(3)
+    _, cols, vals = sparse_csr(rng, n_rows, n_rows, nnz)
+    x = unit_floats(rng, n_rows)
+
+    device = repro.Device(engine=engine)
+    device.alloc("spmv_vals", (vals.size,), np.float32,
+                 persistent=True, init=vals)
+    device.alloc("spmv_cols", (cols.size,), np.int32,
+                 persistent=True, init=cols)
+    device.alloc("spmv_x", (n_rows,), np.float32, persistent=True, init=x)
+    device.alloc("spmv_y", (n_rows,), np.float32, persistent=True)
+    kernel = SPMVKernel(n_rows, nnz, threads)
+    lp_kernel = repro.LPRuntime(
+        device, repro.LPConfig.paper_best()
+    ).instrument(kernel)
+    return device, lp_kernel, ("spmv_y",)
+
+
+def setup_megakv(engine):
+    """LP-instrumented MEGA-KV search batch, 128 blocks x 64 threads."""
+    n_blocks, threads = 128, 64
+    device = repro.Device(engine=engine)
+    store = MegaKVStore(device, capacity=16384)
+    rng = np.random.default_rng(11)
+    keys = np.unique(
+        rng.integers(1, 2 ** 40, size=8000, dtype=np.uint64)
+    )
+    values = rng.integers(1, 2 ** 40, size=keys.size, dtype=np.uint64)
+    device.launch(KVInsertKernel(store, keys, values))
+
+    n_requests = n_blocks * threads
+    hits = rng.choice(keys, size=n_requests // 2)
+    misses = rng.integers(2 ** 41, 2 ** 42, size=n_requests - hits.size,
+                          dtype=np.uint64)
+    queries = rng.permutation(np.concatenate([hits, misses]))
+    alloc_results(device, "results", queries.size)
+    search = KVSearchKernel(store, queries, "results",
+                            threads_per_block=threads)
+    lp_kernel = repro.LPRuntime(
+        device, repro.LPConfig.paper_best()
+    ).instrument(search)
+    return device, lp_kernel, ("results",)
+
+
+WORKLOADS = {"spmv": setup_spmv, "megakv": setup_megakv}
+
+
+def measure(setup_fn, engine_name: str) -> dict:
+    """Blocks/sec of one engine on one workload (fresh state, best of 3)."""
+    best = float("inf")
+    n_blocks = 0
+    outputs = None
+    for _ in range(3):
+        device, lp_kernel, check_buffers = setup_fn(ENGINES[engine_name]())
+        start = time.perf_counter()
+        result = device.launch(lp_kernel)
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+        n_blocks = result.n_completed
+        outputs = {name: device.memory[name].array.copy()
+                   for name in check_buffers}
+    return {
+        "n_blocks": n_blocks,
+        "seconds": round(best, 6),
+        "blocks_per_sec": round(n_blocks / best, 2),
+        "_outputs": outputs,
+    }
+
+
+def run_suite() -> dict:
+    suite = {}
+    for workload, setup_fn in WORKLOADS.items():
+        rows = {}
+        reference = None
+        for engine_name in ENGINES:
+            row = measure(setup_fn, engine_name)
+            outputs = row.pop("_outputs")
+            if reference is None:
+                reference = outputs
+            else:
+                for name, array in outputs.items():
+                    assert np.array_equal(reference[name], array), (
+                        f"{workload}/{engine_name}: buffer {name!r} "
+                        "diverged from the serial engine"
+                    )
+            rows[engine_name] = row
+            print(f"{workload:8s} {engine_name:9s} "
+                  f"{row['blocks_per_sec']:12,.1f} blocks/sec "
+                  f"({row['seconds'] * 1e3:8.1f} ms)")
+        serial = rows["serial"]["blocks_per_sec"]
+        for engine_name, row in rows.items():
+            row["speedup_vs_serial"] = round(
+                row["blocks_per_sec"] / serial, 3
+            )
+        suite[workload] = rows
+    return suite
+
+
+def check_against_baseline(suite: dict) -> int:
+    if not BASELINE_PATH.exists():
+        print(f"no baseline at {BASELINE_PATH}; run without --check first",
+              file=sys.stderr)
+        return 2
+    baseline = json.loads(BASELINE_PATH.read_text())["workloads"]
+    failures = []
+    for workload, rows in suite.items():
+        for engine_name, row in rows.items():
+            base = baseline.get(workload, {}).get(engine_name)
+            if base is None:
+                continue
+            floor = base["blocks_per_sec"] * (1.0 - TOLERANCE)
+            if row["blocks_per_sec"] < floor:
+                failures.append(
+                    f"{workload}/{engine_name}: "
+                    f"{row['blocks_per_sec']:,.1f} blocks/sec < "
+                    f"{floor:,.1f} (baseline "
+                    f"{base['blocks_per_sec']:,.1f} - {TOLERANCE:.0%})"
+                )
+    if failures:
+        print("PERF REGRESSION:\n  " + "\n  ".join(failures),
+              file=sys.stderr)
+        return 1
+    print(f"perf check OK (within {TOLERANCE:.0%} of baseline)")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--check", action="store_true",
+                        help="compare against the committed baseline "
+                             "instead of rewriting it")
+    args = parser.parse_args(argv)
+
+    suite = run_suite()
+    if args.check:
+        return check_against_baseline(suite)
+
+    BASELINE_PATH.write_text(json.dumps({
+        "benchmark": "launch-engine throughput smoke",
+        "command": "PYTHONPATH=src python benchmarks/perf_smoke.py",
+        "tolerance": TOLERANCE,
+        "workloads": suite,
+    }, indent=2) + "\n")
+    print(f"wrote {BASELINE_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,33 @@
+"""Tier-2 gate: launch-engine throughput vs the committed baseline.
+
+Re-measures :mod:`perf_smoke` and fails on a >30 % blocks/sec
+regression against ``BENCH_sim.json``. Also pins the headline claim of
+the engine work: the batched engine is at least 3x faster than serial
+on both reference workloads (with bit-identical results — parity is
+asserted inside the measurement itself).
+"""
+
+import pytest
+
+import perf_smoke
+
+
+@pytest.fixture(scope="module")
+def suite():
+    if not perf_smoke.BASELINE_PATH.exists():
+        pytest.skip(f"no baseline at {perf_smoke.BASELINE_PATH}")
+    return perf_smoke.run_suite()
+
+
+@pytest.mark.tier2
+def test_no_regression_vs_baseline(suite):
+    assert perf_smoke.check_against_baseline(suite) == 0
+
+
+@pytest.mark.tier2
+@pytest.mark.parametrize("workload", list(perf_smoke.WORKLOADS))
+def test_batched_engine_speedup(suite, workload):
+    speedup = suite[workload]["batched"]["speedup_vs_serial"]
+    assert speedup >= 3.0, (
+        f"{workload}: batched engine only {speedup:.2f}x vs serial"
+    )

@@ -56,6 +56,13 @@ from repro.ep import EagerPersistentKernel, EPRecoveryManager, EPRuntime
 from repro.core.tables import make_table
 from repro.errors import ReproError
 from repro.gpu.device import Device, LaunchResult
+from repro.gpu.engine import (
+    BatchedEngine,
+    LaunchEngine,
+    ParallelEngine,
+    SerialEngine,
+    make_engine,
+)
 from repro.gpu.kernel import BlockContext, ExecMode, Kernel, LaunchConfig
 from repro.gpu.spec import GPUSpec, NVMSpec
 from repro.nvm.audit import AuditReport, audit_crash_consistency
@@ -68,6 +75,7 @@ __version__ = "1.0.0"
 __all__ = [
     "AtomicMode",
     "AuditReport",
+    "BatchedEngine",
     "BlockContext",
     "CheckpointManager",
     "CheckpointPolicy",
@@ -84,16 +92,19 @@ __all__ = [
     "GPUSpec",
     "Kernel",
     "LaunchConfig",
+    "LaunchEngine",
     "LaunchResult",
     "LazyPersistentKernel",
     "LockMode",
     "LPConfig",
     "LPRuntime",
     "NVMSpec",
+    "ParallelEngine",
     "RecoveryManager",
     "RecoveryReport",
     "ReductionMode",
     "ReproError",
+    "SerialEngine",
     "TableKind",
     "ValidationReport",
     "__version__",
@@ -101,6 +112,7 @@ __all__ = [
     "float_bits",
     "float_to_ordered_int",
     "fuse_blocks",
+    "make_engine",
     "make_table",
     "optimal_checkpoint_interval",
     "workloads",

@@ -65,7 +65,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
         "quadratic": repro.LPConfig.naive_quadratic(),
         "cuckoo": repro.LPConfig.naive_cuckoo(),
     }
-    device = repro.Device(cache_capacity_lines=args.cache_lines)
+    engine = repro.make_engine(args.engine, jobs=args.jobs)
+    device = repro.Device(cache_capacity_lines=args.cache_lines,
+                          engine=engine)
     work = make_workload(args.workload, scale=args.scale, seed=args.seed)
     kernel = work.setup(device)
     lp_kernel = repro.LPRuntime(device,
@@ -126,6 +128,11 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="N", help="crash after N blocks")
     p_run.add_argument("--cache-lines", type=int, default=64)
     p_run.add_argument("--seed", type=int, default=0)
+    p_run.add_argument("--engine", default="serial",
+                       choices=("serial", "parallel", "batched"),
+                       help="launch engine (all are bit-identical)")
+    p_run.add_argument("--jobs", type=int, default=None, metavar="N",
+                       help="worker count (parallel) / group size (batched)")
     p_run.set_defaults(fn=_cmd_run)
 
     p_rep = sub.add_parser("report", help="regenerate EXPERIMENTS.md")

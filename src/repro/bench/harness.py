@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import lru_cache
 
 from repro.bench.insertsim import InsertSim, simulate_insertions
 from repro.core.checksum import ChecksumSet
@@ -40,6 +41,18 @@ from repro.gpu.costs import CostModel, Tally, TimeBreakdown
 _WORD = 8
 
 
+@lru_cache(maxsize=None)
+def cached_checksum_set(kinds) -> ChecksumSet:
+    """One :class:`ChecksumSet` per checksum-kind tuple.
+
+    ``estimate`` runs per (profile, config) pair across whole design
+    spaces; the lane functions are stateless, so rebuilding the set on
+    every call was pure allocation churn. ``LPConfig.checksums`` tuples
+    hash by value, making them ideal cache keys.
+    """
+    return ChecksumSet(kinds)
+
+
 def lp_update_and_reduction_tally(
     n_blocks: int,
     threads_per_block: int,
@@ -52,7 +65,7 @@ def lp_update_and_reduction_tally(
     using the same per-operation counts as the functional runtime
     (pinned by tests against :mod:`repro.core.reduction`).
     """
-    cset = ChecksumSet(config.checksums)
+    cset = cached_checksum_set(config.checksums)
     tally = Tally(n_blocks=n_blocks, threads_per_block=threads_per_block)
     total_stores = n_blocks * threads_per_block * stores_per_thread
     tally.alu_ops += total_stores * cset.ops_per_update
@@ -219,7 +232,7 @@ def dilation_weight(config: LPConfig) -> float:
     dilute substantially more ("significantly more expensive",
     Section IV-B).
     """
-    cset = ChecksumSet(config.checksums)
+    cset = cached_checksum_set(config.checksums)
     return 0.5 + 0.125 * cset.n_lanes + (0.25 / 3.0) * cset.ops_per_update
 
 

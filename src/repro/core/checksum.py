@@ -48,20 +48,32 @@ def float_bits(values: np.ndarray) -> np.ndarray:
     mantissa bits of a float are concatenated into an integer
     (``3.5`` → ``1080033280``), so corruption of *any* field is visible
     to the parity checksum.
+
+    The result may be a *view* of ``values`` (64-bit inputs take a
+    zero-copy path): callers fold it immediately and must not mutate it.
+    This function sits on the store-interception hot path — every
+    protected store of every block passes through it — so it allocates
+    only when a width or signedness conversion forces it to.
     """
     values = np.asarray(values)
-    kind = values.dtype.kind
+    dtype = values.dtype
+    if dtype == np.uint64:
+        return values
+    kind = dtype.kind
     if kind == "f":
-        if values.dtype.itemsize == 4:
+        if dtype.itemsize == 4:
             return values.view(np.uint32).astype(np.uint64)
-        if values.dtype.itemsize == 8:
-            return values.view(np.uint64).copy()
-        raise ConfigError(f"unsupported float width: {values.dtype}")
+        if dtype.itemsize == 8:
+            return values.view(np.uint64)
+        raise ConfigError(f"unsupported float width: {dtype}")
     if kind in "iu":
-        return values.astype(np.int64).view(np.uint64).copy()
+        if dtype.itemsize == 8:
+            return values.view(np.uint64)
+        # astype already allocates; view reinterprets in place.
+        return values.astype(np.int64).view(np.uint64)
     if kind == "b":
         return values.astype(np.uint64)
-    raise ConfigError(f"cannot checksum dtype {values.dtype}")
+    raise ConfigError(f"cannot checksum dtype {dtype}")
 
 
 def float_to_ordered_int(values: np.ndarray) -> np.ndarray:
@@ -120,6 +132,15 @@ class ChecksumFunction(abc.ABC):
     def combine(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         """Commutative combiner used by reductions (elementwise)."""
 
+    def fold_axis(self, acc: np.ndarray, axis: int = -1) -> np.ndarray:
+        """Fold an accumulator array along one axis (batched reduce).
+
+        Only meaningful for commutative lanes; the result is bit-identical
+        to running :meth:`fold_all` over each slice (the folds are exact
+        integer operations, so order cannot matter).
+        """
+        raise ConfigError(f"{self.kind.value} has no axis fold")
+
     @property
     def reduce_op(self) -> str:
         """Warp-reduction op name (``"add"`` / ``"xor"``)."""
@@ -145,6 +166,10 @@ class ModularChecksum(ChecksumFunction):
         with np.errstate(over="ignore"):
             return a + b
 
+    def fold_axis(self, acc, axis=-1):
+        with np.errstate(over="ignore"):
+            return acc.sum(axis=axis, dtype=np.uint64)
+
     @property
     def reduce_op(self) -> str:
         return "add"
@@ -168,6 +193,9 @@ class ParityChecksum(ChecksumFunction):
 
     def combine(self, a, b):
         return np.bitwise_xor(a, b)
+
+    def fold_axis(self, acc, axis=-1):
+        return np.bitwise_xor.reduce(acc, axis=axis)
 
     @property
     def reduce_op(self) -> str:
@@ -323,4 +351,85 @@ class BlockChecksumState:
             )
         for pos, state in self._seq_states.items():
             out[pos] = state
+        return out
+
+
+class BatchChecksumState:
+    """Per-thread accumulators for a *group* of LP regions at once.
+
+    The vectorized counterpart of :class:`BlockChecksumState`: one extra
+    leading axis indexes the thread block within the group, so a batched
+    store covering many blocks folds with a single scatter per lane
+    instead of one Python call per block. Because every commutative lane
+    is an exact integer fold (modular ``+`` / ``^``), the resulting lane
+    values are bit-identical to folding each block separately — which is
+    what lets the batched launch engine share checksum semantics with
+    the serial one.
+
+    Order-sensitive lanes (Adler-32) cannot batch; constructing a batch
+    state over a non-commutative :class:`ChecksumSet` is an error.
+    """
+
+    def __init__(self, cset: ChecksumSet, n_threads: int, n_blocks: int) -> None:
+        if not cset.commutative:
+            raise ConfigError(
+                "batched checksum state requires commutative lanes only"
+            )
+        self.cset = cset
+        self.n_threads = n_threads
+        self.n_blocks = n_blocks
+        # Flat (block*thread, lane) layout so a batched update is one
+        # scatter with block-offset slots per lane.
+        self._flat = np.zeros((n_blocks * n_threads, cset.n_lanes),
+                              dtype=np.uint64)
+        #: Store values folded so far across the whole group.
+        self.n_values = 0
+
+    def update(
+        self,
+        values: np.ndarray,
+        slots: np.ndarray,
+        mask: np.ndarray | None = None,
+    ) -> None:
+        """Fold a batched store into the group's accumulators.
+
+        ``values`` is shaped ``(n_blocks, ...)`` (leading axis = block
+        within the group); ``slots`` broadcasts against it and assigns
+        each element to its issuing thread. ``mask`` (same shape)
+        silences elements of partially-filled blocks.
+        """
+        values = np.asarray(values)
+        if values.shape[0] != self.n_blocks:
+            raise ConfigError(
+                f"batched values lead with {values.shape[0]} blocks, "
+                f"state holds {self.n_blocks}"
+            )
+        words = to_lane_words(values)
+        slots = np.broadcast_to(np.asarray(slots), words.shape)
+        block_base = np.arange(self.n_blocks, dtype=np.intp) * self.n_threads
+        flat_slots = block_base.reshape(
+            (self.n_blocks,) + (1,) * (words.ndim - 1)
+        ) + slots
+        if mask is not None:
+            mask = np.broadcast_to(np.asarray(mask, dtype=bool), words.shape)
+            words = words[mask]
+            flat_slots = flat_slots[mask]
+        else:
+            words = words.reshape(-1)
+            flat_slots = flat_slots.reshape(-1)
+        for lane, func in enumerate(self.cset.functions):
+            func.fold_at(self._flat[:, lane], flat_slots, words)
+        self.n_values += words.size
+
+    def reduce_lanes(self) -> np.ndarray:
+        """Final per-block lane values, shape ``(n_blocks, n_lanes)``.
+
+        Bit-identical to running the serial block reduction on each
+        block's :class:`BlockChecksumState` (exact commutative folds).
+        """
+        acc = self._flat.reshape(self.n_blocks, self.n_threads,
+                                 self.cset.n_lanes)
+        out = np.empty((self.n_blocks, self.cset.n_lanes), dtype=np.uint64)
+        for lane, func in enumerate(self.cset.functions):
+            out[:, lane] = func.fold_axis(acc[:, :, lane], axis=1)
         return out

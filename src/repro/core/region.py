@@ -16,7 +16,11 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.checksum import BlockChecksumState, ChecksumSet
+from repro.core.checksum import (
+    BatchChecksumState,
+    BlockChecksumState,
+    ChecksumSet,
+)
 from repro.gpu.kernel import BlockContext
 
 
@@ -62,4 +66,55 @@ class LPRegionObserver:
     @property
     def n_values(self) -> int:
         """Store values folded so far in this region."""
+        return self.state.n_values
+
+
+class BatchRegionObserver:
+    """Checksum accumulation for a *group* of regions at once.
+
+    The vectorized counterpart of :class:`LPRegionObserver`, attached to
+    a :class:`~repro.gpu.batch.BatchBlockContext` by the LP wrapper's
+    batched path: one :class:`~repro.core.checksum.BatchChecksumState`
+    holds every block's per-thread accumulators, and a single batched
+    store folds all of them with one scatter per lane. The checksum
+    work charged per folded value is identical to the serial observer's,
+    so group totals match per-block accumulation exactly.
+    """
+
+    def __init__(
+        self,
+        cset: ChecksumSet,
+        bctx,
+        protected: frozenset[str],
+        charge_float_conversion: bool = True,
+    ) -> None:
+        self._ctx = bctx
+        self.protected = protected
+        self.state: BatchChecksumState = BatchChecksumState(
+            cset, bctx.n_threads, bctx.n_blocks_in_batch
+        )
+        self._ops_per_update = cset.ops_per_update
+        if not charge_float_conversion:
+            self._ops_per_update = max(1, self._ops_per_update - 1)
+
+    def on_store(
+        self,
+        values: np.ndarray,
+        slots: np.ndarray,
+        mask: np.ndarray | None = None,
+    ) -> None:
+        """Fold one batched store into every covered region's checksums."""
+        values = np.asarray(values)
+        if mask is not None:
+            n = int(np.count_nonzero(
+                np.broadcast_to(np.asarray(mask, dtype=bool), values.shape)
+            ))
+        else:
+            n = values.size
+        self._ctx.alu(n * self._ops_per_update)
+        self.state.update(values, slots, mask)
+
+    @property
+    def n_values(self) -> int:
+        """Store values folded so far across the group."""
         return self.state.n_values

@@ -22,8 +22,12 @@ import numpy as np
 
 from repro.core.checksum import ChecksumSet
 from repro.core.config import LPConfig
-from repro.core.reduction import reduce_block
-from repro.core.region import LPRegionObserver
+from repro.core.reduction import (
+    apply_reduction_tally,
+    reduce_block,
+    reduction_tally,
+)
+from repro.core.region import BatchRegionObserver, LPRegionObserver
 from repro.core.tables import ChecksumTable, make_table
 from repro.errors import ConfigError
 from repro.gpu.device import Device
@@ -78,6 +82,57 @@ class LazyPersistentKernel(Kernel):
         observer = self._attach_observer(ctx)
         self.inner.run_block(ctx)
         self._seal_region(ctx, observer)
+
+    # -- launch-engine integration --------------------------------------
+
+    @property
+    def parallel_safe(self) -> bool:
+        """Safe iff the inner kernel is; table insertion is deferred to
+        the parent process, so the table never runs in a worker."""
+        return getattr(self.inner, "parallel_safe", False)
+
+    @property
+    def batchable(self) -> bool:
+        """Batchable iff the inner kernel is and every checksum lane is
+        commutative (the batched fold reorders value accumulation)."""
+        return (
+            getattr(self.inner, "batchable", False) and self.cset.commutative
+        )
+
+    def run_block_batch(self, bctx) -> None:
+        """Vectorized LP protocol over a whole group of regions.
+
+        The inner kernel's batched stores fold into one
+        :class:`~repro.core.region.BatchRegionObserver`; the reduction
+        is charged analytically via :func:`reduction_tally` (pinned by
+        tests to equal the functional reduction's charges) and produces
+        per-block lane values bit-identical to :func:`reduce_block`
+        (exact commutative folds). Table insertions are deferred so the
+        engine applies them in launch order — hash-table probe
+        sequences depend on insertion history, so order matters there
+        even though the checksums themselves commute.
+        """
+        observer = BatchRegionObserver(
+            self.cset, bctx, self._protected,
+            charge_float_conversion=self._charge_conv,
+        )
+        bctx.lp_observer = observer
+        self.inner.run_block_batch(bctx)
+        lanes = observer.state.reduce_lanes()
+        n_comm = len(
+            [f for f in self.cset.functions if not f.order_sensitive]
+        )
+        cost = reduction_tally(self.config.reduction, bctx.n_threads, n_comm)
+        apply_reduction_tally(
+            bctx.tally, cost, n_blocks=bctx.n_blocks_in_batch
+        )
+        for row, block_id in enumerate(bctx.block_ids):
+            bctx.defer_table_insert(int(block_id), lanes[row])
+
+    def apply_table_insert(self, ctx: BlockContext, key: int,
+                           lanes: np.ndarray) -> None:
+        """Engine callback: apply one deferred checksum-table insert."""
+        self.table.insert(ctx, key, lanes)
 
     def validate_block(self, ctx: BlockContext) -> None:
         """Check one block's region checksum against the table.
@@ -143,7 +198,13 @@ class LazyPersistentKernel(Kernel):
 
     def _seal_region(self, ctx: BlockContext, observer: LPRegionObserver) -> None:
         lanes = reduce_block(observer.state, self.config.reduction, ctx)
-        self.table.insert(ctx, ctx.block_id, lanes)
+        deferral = getattr(ctx, "table_insert_deferral", None)
+        if deferral is not None:
+            # A launch engine applies insertions later, in block order
+            # (hash-table probe sequences depend on insertion history).
+            deferral(ctx.block_id, lanes)
+        else:
+            self.table.insert(ctx, ctx.block_id, lanes)
 
 
 class LPRuntime:

@@ -1,1 +1,24 @@
-"""Simulated SIMT GPU substrate: memory, cache, warps, kernels, device."""
+"""Simulated SIMT GPU substrate: memory, cache, warps, kernels, device.
+
+Block execution is pluggable: :mod:`repro.gpu.engine` provides the
+serial, process-parallel and batched (vectorized-group) launch engines,
+all bit-identical in results.
+"""
+
+from repro.gpu.engine import (
+    BatchedEngine,
+    LaunchEngine,
+    LaunchPlan,
+    ParallelEngine,
+    SerialEngine,
+    make_engine,
+)
+
+__all__ = [
+    "BatchedEngine",
+    "LaunchEngine",
+    "LaunchPlan",
+    "ParallelEngine",
+    "SerialEngine",
+    "make_engine",
+]

@@ -1,0 +1,184 @@
+"""Vectorized execution context for a *group* of thread blocks.
+
+:class:`BatchBlockContext` is the batched counterpart of
+:class:`~repro.gpu.kernel.BlockContext`: one extra leading numpy axis
+indexes the thread block within the group, so a kernel whose
+``run_block`` is already array-shaped across threads can compute an
+entire group of blocks in a handful of whole-array operations instead
+of one Python call chain per block.
+
+Semantics contract (what lets the batched engine stay bit-identical to
+serial execution):
+
+* **Loads** read device memory directly. A batchable kernel must not
+  load locations written during the same launch — the block-disjoint
+  output property LP regions require anyway — so every block observes
+  exactly the pre-launch image it would observe under any serial order.
+* **Stores are deferred.** ``st`` records the store (and folds it into
+  the attached LP observer, charging checksum work) but does not touch
+  memory; the engine applies the recorded rows per block, in launch
+  order, through :meth:`~repro.gpu.memory.GlobalMemory.write`. Cache
+  recency, evictions and NVM write statistics therefore match the
+  serial engine exactly.
+* **Charges are totals.** ``flops``/``alu`` charge whole-group counts;
+  all tally fields are integer-valued, so grouped summation is exact
+  and the final tally is bit-identical to per-block accumulation.
+
+``mask`` arguments silence the trailing ragged rows of a partial block
+(a grid whose last block covers fewer requests), both for accounting
+and for store application.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import LaunchError
+from repro.gpu.costs import Tally
+from repro.gpu.kernel import LaunchConfig
+from repro.gpu.memory import Buffer, GlobalMemory
+
+
+class BatchBlockContext:
+    """Execution context covering a group of blocks at once."""
+
+    def __init__(
+        self,
+        memory: GlobalMemory,
+        config: LaunchConfig,
+        block_ids,
+        fence_latency_cycles: float = 660.0,
+        fence_concurrency: int = 1,
+    ) -> None:
+        self.memory = memory
+        self.config = config
+        self.block_ids = np.asarray(list(block_ids), dtype=np.int64)
+        if self.block_ids.size == 0:
+            raise LaunchError("a batch needs at least one block")
+        self.tally = Tally(
+            n_blocks=config.n_blocks,
+            threads_per_block=config.threads_per_block,
+        )
+        #: Optional batched LP hook (``BatchRegionObserver``); set by the
+        #: LP kernel wrapper. Must expose ``protected`` and
+        #: ``on_store(values, slots, mask)``.
+        self.lp_observer = None
+        #: Deferred stores, in issue order:
+        #: ``(buffer_name, idx, values, mask)`` with leading axis = block.
+        self.store_records: list[tuple] = []
+        #: Deferred checksum-table insertions: block id -> [lane arrays].
+        self.table_inserts: dict[int, list[np.ndarray]] = {}
+        self._fence_latency = fence_latency_cycles
+        self._fence_concurrency = max(1, fence_concurrency)
+
+    # ------------------------------------------------------------------
+    # Geometry
+    # ------------------------------------------------------------------
+
+    @property
+    def n_blocks_in_batch(self) -> int:
+        """Blocks covered by this context (the leading axis length)."""
+        return int(self.block_ids.size)
+
+    @property
+    def n_threads(self) -> int:
+        """Threads per block."""
+        return self.config.threads_per_block
+
+    @property
+    def tid(self) -> np.ndarray:
+        """Flat thread indices ``[0, n_threads)`` (per block)."""
+        return np.arange(self.n_threads)
+
+    # ------------------------------------------------------------------
+    # Global memory
+    # ------------------------------------------------------------------
+
+    def buffer(self, buf: Buffer | str) -> Buffer:
+        """Resolve a buffer handle or name."""
+        return self.memory[buf] if isinstance(buf, str) else buf
+
+    def ld(
+        self,
+        buf: Buffer | str,
+        idx: np.ndarray,
+        charge_elements: int | float | None = None,
+    ) -> np.ndarray:
+        """Batched global load; ``idx`` may have any shape.
+
+        ``charge_elements`` overrides the read-traffic element count
+        when the serial path would charge differently than ``idx.size``
+        (e.g. per-request deduplicated probe reads).
+        """
+        buf = self.buffer(buf)
+        idx = np.asarray(idx)
+        n = idx.size if charge_elements is None else charge_elements
+        self.tally.global_read_bytes += n * buf.dtype.itemsize
+        return self.memory.read(buf, idx)
+
+    def st(
+        self,
+        buf: Buffer | str,
+        idx: np.ndarray,
+        values: np.ndarray,
+        slots: np.ndarray | None = None,
+        mask: np.ndarray | None = None,
+    ) -> None:
+        """Batched global store (leading axis of ``idx`` = block).
+
+        The store is recorded for deferred per-block application and —
+        when the buffer is LP-protected — folded into the batch
+        observer. ``slots`` broadcasts against ``idx`` and names the
+        issuing thread of each element (defaults to position order
+        within the block); ``mask`` silences ragged elements.
+        """
+        buf = self.buffer(buf)
+        idx = np.asarray(idx)
+        if idx.ndim < 2 or idx.shape[0] != self.n_blocks_in_batch:
+            raise LaunchError(
+                f"batched store index must lead with the {self.n_blocks_in_batch}"
+                f"-block axis; got shape {idx.shape}"
+            )
+        vals = np.broadcast_to(
+            np.asarray(values, dtype=buf.dtype), idx.shape
+        )
+        if mask is not None:
+            mask = np.broadcast_to(np.asarray(mask, dtype=bool), idx.shape)
+            n_elements = int(np.count_nonzero(mask))
+        else:
+            n_elements = idx.size
+        self.tally.global_write_bytes += n_elements * buf.dtype.itemsize
+        self.store_records.append(
+            (buf.name, idx, np.array(vals), mask)
+        )
+
+        observer = self.lp_observer
+        if observer is not None and buf.name in observer.protected:
+            if slots is None:
+                per_block = int(np.prod(idx.shape[1:]))
+                slots = np.arange(per_block).reshape(idx.shape[1:]) \
+                    % self.n_threads
+            observer.on_store(vals, slots, mask)
+
+    def defer_table_insert(self, block_id: int, lanes: np.ndarray) -> None:
+        """Queue a checksum-table insertion for deterministic apply."""
+        self.table_inserts.setdefault(int(block_id), []).append(
+            np.array(lanes, copy=True)
+        )
+
+    # ------------------------------------------------------------------
+    # Work accounting
+    # ------------------------------------------------------------------
+
+    def alu(self, n_ops: float) -> None:
+        """Charge ``n_ops`` thread-level ALU operations (group total)."""
+        self.tally.alu_ops += n_ops
+
+    def flops(self, per_thread: float, active_threads: int | None = None) -> None:
+        """Charge FP work: ``per_thread`` ops per thread, per block."""
+        n = self.n_threads if active_threads is None else active_threads
+        self.tally.alu_ops += per_thread * n * self.n_blocks_in_batch
+
+    def finalize_tally(self) -> Tally:
+        """Return the group's accumulated tally."""
+        return self.tally

@@ -22,7 +22,8 @@ import numpy as np
 from repro.errors import CrashedDeviceError, LaunchError
 from repro.gpu.atomics import AtomicUnit
 from repro.gpu.costs import CostModel, Tally, TimeBreakdown
-from repro.gpu.kernel import BlockContext, ExecMode, Kernel, LaunchConfig
+from repro.gpu.engine import LaunchEngine, LaunchPlan, make_engine
+from repro.gpu.kernel import ExecMode, Kernel, LaunchConfig
 from repro.gpu.memory import CrashReport, GlobalMemory
 from repro.gpu.spec import GPUSpec, NVMSpec
 from repro.nvm.crash import CrashPlan
@@ -70,6 +71,11 @@ class Device:
         execute in. The GPU guarantees neither.
     seed:
         Seed for shuffled block order and crash lotteries.
+    engine:
+        How blocks execute: a :class:`~repro.gpu.engine.LaunchEngine`
+        instance, an engine name (``"serial"`` / ``"parallel"`` /
+        ``"batched"``), or ``None`` for serial. All engines are
+        bit-identical in results; see :mod:`repro.gpu.engine`.
     """
 
     spec: GPUSpec = field(default_factory=GPUSpec.v100)
@@ -77,10 +83,12 @@ class Device:
     cache_capacity_lines: int | None = None
     block_order: str = "sequential"
     seed: int = 0
+    engine: LaunchEngine | str | None = None
 
     def __post_init__(self) -> None:
         if self.block_order not in ("sequential", "shuffled"):
             raise LaunchError(f"unknown block order {self.block_order!r}")
+        self.engine = make_engine(self.engine)
         capacity = self.cache_capacity_lines
         if capacity is None:
             capacity = self.spec.l2_bytes // self.spec.line_size
@@ -136,13 +144,13 @@ class Device:
         order = self._block_order(config, block_ids)
 
         atomics = AtomicUnit(self.memory)
-        tally = Tally(
-            n_blocks=config.n_blocks,
-            threads_per_block=config.threads_per_block,
-        )
-        completed: list[int] = []
         crash_report: CrashReport | None = None
-        crashed = False
+        # A crash plan always crashes: either mid-kernel (truncating the
+        # block list) or right at kernel completion, with the write-back
+        # cache still holding dirty lines.
+        crashed = crash_plan is not None
+        if crash_plan is not None:
+            order = order[:crash_plan.after_blocks]
 
         # Persist-barrier cost parameters for Eager Persistency kernels:
         # the stall exposes the NVM write latency, amortized over the
@@ -153,32 +161,20 @@ class Device:
             self.spec.concurrent_blocks(config.threads_per_block),
         )
 
-        for position, block_id in enumerate(order):
-            if crash_plan is not None and position >= crash_plan.after_blocks:
-                crashed = True
-                break
-            ctx = BlockContext(
-                self.memory, atomics, config, block_id, mode,
-                fence_latency_cycles=fence_latency,
-                fence_concurrency=fence_concurrency,
-            )
-            if mode is ExecMode.VALIDATE:
-                kernel.validate_block(ctx)
-            elif mode is ExecMode.RECOVER:
-                kernel.recover_block(ctx)
-            else:
-                kernel.run_block(ctx)
-            tally.merge(ctx.finalize_tally())
-            completed.append(block_id)
+        plan = LaunchPlan(
+            kernel=kernel,
+            config=config,
+            memory=self.memory,
+            atomics=atomics,
+            mode=mode,
+            block_ids=order,
+            fence_latency=fence_latency,
+            fence_concurrency=fence_concurrency,
+        )
+        completed, tally = self.engine.execute(plan)
 
         tally.atomic_ops = float(atomics.total_ops)
         tally.atomic_hot_max = float(atomics.hot_max)
-
-        if crash_plan is not None and not crashed:
-            # The plan outlived the launch: power fails right at kernel
-            # completion, with the write-back cache still holding dirty
-            # lines. A crash plan always crashes.
-            crashed = True
 
         if crashed:
             assert crash_plan is not None
@@ -216,6 +212,16 @@ class Device:
             bad = [b for b in block_ids if not 0 <= b < config.n_blocks]
             if bad:
                 raise LaunchError(f"block ids outside grid: {bad[:5]}")
+            if len(set(block_ids)) != len(block_ids):
+                seen: set[int] = set()
+                dups = sorted(
+                    {b for b in block_ids if b in seen or seen.add(b)}
+                )
+                raise LaunchError(
+                    f"duplicate block ids in launch: {dups[:5]} — a block "
+                    "is one LP region and must execute exactly once "
+                    "(re-running it would double-count tallies)"
+                )
             order = list(block_ids)
         if self.block_order == "shuffled":
             self._rng.shuffle(order)

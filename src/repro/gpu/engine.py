@@ -1,0 +1,454 @@
+"""Pluggable launch engines: how a launch's thread blocks get executed.
+
+The paper's central observation is that LP regions (= thread blocks) are
+*associative*: the GPU guarantees no inter-block ordering, so any
+schedule that applies every block's effects exactly once is legal
+(Section IV-A; Lin & Solihin make the same assumption for GPU
+persistency models generally). The simulator exploits exactly that
+property here. :class:`~repro.gpu.device.Device.launch` delegates the
+block loop to a :class:`LaunchEngine`:
+
+* :class:`SerialEngine` — the original one-block-at-a-time loop.
+* :class:`ParallelEngine` — fans blocks out across a ``multiprocessing``
+  worker pool. Workers run blocks against copy-on-write snapshots of
+  device memory (a ``fork`` start method gives read-only snapshots for
+  free) and send back per-block *operation records*: the stores,
+  atomics and deferred checksum-table insertions each block issued,
+  plus its cost tally. The parent then applies every record **in the
+  launch's block order**, so cache recency, eviction order, NVM shadow
+  state, write statistics, checksum tables and crash semantics are
+  bit-identical to the serial engine.
+* :class:`BatchedEngine` — vectorizes *groups* of homogeneous blocks
+  across an extra numpy axis in-process (see
+  :class:`~repro.gpu.batch.BatchBlockContext`), for kernels whose
+  ``run_block`` is already array-shaped. Store application and table
+  insertion again happen per block in launch order.
+
+Determinism contract (shared by all engines): given the same plan, an
+engine must produce the same ``completed_blocks``, the same tally, the
+same volatile + NVM memory images, the same write-back statistics and
+the same checksum-table contents as :class:`SerialEngine`. The parity
+test suite (``tests/gpu/test_engines.py``) pins this bit-for-bit.
+
+Engines *fall back to serial* whenever the contract cannot be kept
+cheaply: non-``NORMAL`` execution modes (validation mutates host-side
+failure lists), kernels that opt out (``parallel_safe`` /
+``batchable``), degenerate launches, or platforms without ``fork``.
+"""
+
+from __future__ import annotations
+
+import abc
+import multiprocessing
+import os
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import LaunchError
+from repro.gpu.atomics import AtomicUnit
+from repro.gpu.batch import BatchBlockContext
+from repro.gpu.costs import Tally
+from repro.gpu.kernel import BlockContext, ExecMode, Kernel, LaunchConfig
+from repro.gpu.memory import GlobalMemory
+
+
+@dataclass
+class LaunchPlan:
+    """Everything an engine needs to execute one launch's blocks.
+
+    ``block_ids`` is the final execution order, already shuffled and
+    crash-truncated by the device; engines run exactly these blocks and
+    nothing else.
+    """
+
+    kernel: Kernel
+    config: LaunchConfig
+    memory: GlobalMemory
+    atomics: AtomicUnit
+    mode: ExecMode
+    block_ids: list[int]
+    fence_latency: float = 660.0
+    fence_concurrency: int = 1
+
+    def new_tally(self) -> Tally:
+        """A zeroed launch-level tally with this plan's geometry."""
+        return Tally(
+            n_blocks=self.config.n_blocks,
+            threads_per_block=self.config.threads_per_block,
+        )
+
+    def block_context(self, block_id: int,
+                      mode: ExecMode | None = None) -> BlockContext:
+        """A fresh context for one block of this launch."""
+        return BlockContext(
+            self.memory, self.atomics, self.config, block_id,
+            self.mode if mode is None else mode,
+            fence_latency_cycles=self.fence_latency,
+            fence_concurrency=self.fence_concurrency,
+        )
+
+
+class LaunchEngine(abc.ABC):
+    """Strategy for executing a launch plan's thread blocks."""
+
+    #: Stable identifier used by :func:`make_engine` and reports.
+    name: str = "engine"
+
+    @abc.abstractmethod
+    def execute(self, plan: LaunchPlan) -> tuple[list[int], Tally]:
+        """Run every block in ``plan.block_ids``.
+
+        Returns the completed block ids (in execution order) and the
+        launch tally (atomic totals are filled in by the device
+        afterwards, from the plan's :class:`AtomicUnit`).
+        """
+
+
+# ---------------------------------------------------------------------------
+# Serial
+# ---------------------------------------------------------------------------
+
+class SerialEngine(LaunchEngine):
+    """One block at a time — the reference semantics."""
+
+    name = "serial"
+
+    def execute(self, plan: LaunchPlan) -> tuple[list[int], Tally]:
+        tally = plan.new_tally()
+        completed: list[int] = []
+        kernel = plan.kernel
+        for block_id in plan.block_ids:
+            ctx = plan.block_context(block_id)
+            if plan.mode is ExecMode.VALIDATE:
+                kernel.validate_block(ctx)
+            elif plan.mode is ExecMode.RECOVER:
+                kernel.recover_block(ctx)
+            else:
+                kernel.run_block(ctx)
+            tally.merge(ctx.finalize_tally())
+            completed.append(block_id)
+        return completed, tally
+
+
+# ---------------------------------------------------------------------------
+# Parallel (process pool + deterministic replay)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class BlockRecord:
+    """One block's externally visible effects, as logged by a worker.
+
+    ``ops`` preserves issue order; each entry is a tuple headed by an
+    op code:
+
+    * ``("st", buffer_name, idx, values)`` — a global store.
+    * ``("atomic_add" | "atomic_max", buffer_name, idx, values)``.
+    * ``("table", key, lanes)`` — a deferred checksum-table insertion
+      (applied through :meth:`Kernel.apply_table_insert`).
+    """
+
+    block_id: int
+    ops: list = field(default_factory=list)
+    tally: Tally = field(default_factory=Tally)
+
+
+class RecordingBlockContext(BlockContext):
+    """A block context that logs externally visible effects for replay.
+
+    Runs inside a worker process against a copy-on-write memory
+    snapshot: operations apply *locally* (so the block observes its own
+    writes, exactly as under serial execution) and are appended to the
+    record the parent later replays. Reads are not logged — a
+    ``parallel_safe`` kernel's loads depend only on pre-launch state
+    and the block's own stores, both of which the snapshot reproduces.
+
+    Operations whose *result* depends on other blocks' progress
+    (``atomic_cas`` / ``atomic_exch``) or on cache state shared across
+    blocks (``clwb``) cannot be replayed from a log and raise; kernels
+    using them must set ``parallel_safe = False``.
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.ops: list = []
+        self.table_insert_deferral = self._defer_table_insert
+
+    def _defer_table_insert(self, key: int, lanes: np.ndarray) -> None:
+        self.ops.append(("table", int(key), np.array(lanes, copy=True)))
+
+    def st(self, buf, idx, values, slots=None):
+        buf = self.buffer(buf)
+        idx_arr = np.atleast_1d(np.asarray(idx))
+        vals = np.array(
+            np.broadcast_to(np.asarray(values, dtype=buf.dtype),
+                            idx_arr.shape)
+        )
+        self.ops.append(("st", buf.name, idx_arr.copy(), vals))
+        super().st(buf, idx_arr, vals, slots=slots)
+
+    def atomic_add(self, buf, idx, values):
+        buf = self.buffer(buf)
+        idx_arr = np.atleast_1d(np.asarray(idx))
+        vals = np.array(np.asarray(values), copy=True)
+        self.ops.append(("atomic_add", buf.name, idx_arr.copy(), vals))
+        super().atomic_add(buf, idx_arr, values)
+
+    def atomic_max(self, buf, idx, values):
+        buf = self.buffer(buf)
+        idx_arr = np.atleast_1d(np.asarray(idx))
+        vals = np.array(np.asarray(values), copy=True)
+        self.ops.append(("atomic_max", buf.name, idx_arr.copy(), vals))
+        super().atomic_max(buf, idx_arr, values)
+
+    def atomic_cas(self, buf, index, compare, value):
+        raise LaunchError(
+            "atomic_cas result depends on other blocks and cannot be "
+            "replayed from a log; mark the kernel parallel_safe = False"
+        )
+
+    def atomic_exch(self, buf, index, value):
+        raise LaunchError(
+            "atomic_exch result depends on other blocks and cannot be "
+            "replayed from a log; mark the kernel parallel_safe = False"
+        )
+
+    def clwb(self, buf, idx):
+        raise LaunchError(
+            "clwb flush counts depend on shared cache state and cannot "
+            "be replayed from a log; mark the kernel parallel_safe = False"
+        )
+
+
+#: Plan inherited by forked pool workers (set just before the fork).
+_WORKER_PLAN: LaunchPlan | None = None
+
+
+def _run_worker_chunk(block_ids: list[int]) -> list[BlockRecord]:
+    """Worker entry: run a chunk of blocks against the forked snapshot."""
+    plan = _WORKER_PLAN
+    assert plan is not None, "worker forked without a launch plan"
+    # A private atomic unit: contention accounting happens in the
+    # parent during replay, against the launch's real AtomicUnit.
+    atomics = AtomicUnit(plan.memory)
+    records = []
+    for block_id in block_ids:
+        ctx = RecordingBlockContext(
+            plan.memory, atomics, plan.config, block_id, plan.mode,
+            fence_latency_cycles=plan.fence_latency,
+            fence_concurrency=plan.fence_concurrency,
+        )
+        plan.kernel.run_block(ctx)
+        records.append(BlockRecord(block_id, ctx.ops, ctx.finalize_tally()))
+    return records
+
+
+class ParallelEngine(LaunchEngine):
+    """Fan blocks out across a process pool; replay deterministically.
+
+    Workers are forked per launch, inheriting the pre-launch memory
+    image copy-on-write; they execute disjoint chunks of the block list
+    and ship back :class:`BlockRecord` logs. The parent applies the
+    records in the launch's block order through the real memory system
+    and atomic unit, reproducing the serial engine's cache recency,
+    evictions, write statistics and table state exactly.
+
+    Falls back to :class:`SerialEngine` when the plan cannot be
+    parallelized faithfully: non-``NORMAL`` modes, kernels with
+    ``parallel_safe = False``, launches smaller than two blocks per
+    worker, or platforms without the ``fork`` start method. A worker
+    raising :class:`~repro.errors.LaunchError` (an unreplayable
+    primitive) also falls back — worker memory is copy-on-write, so the
+    parent image is untouched and serial re-execution is safe.
+    """
+
+    name = "parallel"
+
+    def __init__(self, jobs: int = 4) -> None:
+        if jobs < 1:
+            raise LaunchError(f"ParallelEngine needs jobs >= 1, got {jobs}")
+        self.jobs = jobs
+        self._serial = SerialEngine()
+
+    def execute(self, plan: LaunchPlan) -> tuple[list[int], Tally]:
+        if not self._can_parallelize(plan):
+            return self._serial.execute(plan)
+        try:
+            records = self._run_workers(plan)
+        except LaunchError:
+            return self._serial.execute(plan)
+        return self._apply(plan, records)
+
+    # -- worker phase ---------------------------------------------------
+
+    def _can_parallelize(self, plan: LaunchPlan) -> bool:
+        if plan.mode is not ExecMode.NORMAL:
+            return False
+        if not getattr(plan.kernel, "parallel_safe", False):
+            return False
+        if self.jobs <= 1 or len(plan.block_ids) < 2 * self.jobs:
+            return False
+        if "fork" not in multiprocessing.get_all_start_methods():
+            return False
+        return True
+
+    def _run_workers(self, plan: LaunchPlan) -> dict[int, BlockRecord]:
+        global _WORKER_PLAN
+        chunks = self._chunk(plan.block_ids)
+        ctx = multiprocessing.get_context("fork")
+        _WORKER_PLAN = plan
+        try:
+            with ctx.Pool(processes=self.jobs) as pool:
+                chunk_results = pool.map(_run_worker_chunk, chunks)
+        finally:
+            _WORKER_PLAN = None
+        records: dict[int, BlockRecord] = {}
+        for chunk in chunk_results:
+            for record in chunk:
+                records[record.block_id] = record
+        return records
+
+    def _chunk(self, block_ids: list[int]) -> list[list[int]]:
+        """Contiguous chunks, a few per worker for load balance."""
+        n = len(block_ids)
+        n_chunks = min(n, self.jobs * 4)
+        size = -(-n // n_chunks)
+        return [block_ids[i:i + size] for i in range(0, n, size)]
+
+    # -- deterministic replay -------------------------------------------
+
+    def _apply(
+        self, plan: LaunchPlan, records: dict[int, BlockRecord]
+    ) -> tuple[list[int], Tally]:
+        tally = plan.new_tally()
+        completed: list[int] = []
+        memory = plan.memory
+        for block_id in plan.block_ids:
+            record = records[block_id]
+            tally.merge(record.tally)
+            for op in record.ops:
+                code = op[0]
+                if code == "st":
+                    _, name, idx, vals = op
+                    memory.write(memory[name], idx, vals)
+                elif code == "atomic_add":
+                    _, name, idx, vals = op
+                    plan.atomics.add(memory[name], idx, vals)
+                elif code == "atomic_max":
+                    _, name, idx, vals = op
+                    plan.atomics.max_(memory[name], idx, vals)
+                elif code == "table":
+                    _, key, lanes = op
+                    ctx = plan.block_context(block_id)
+                    plan.kernel.apply_table_insert(ctx, key, lanes)
+                    tally.merge(ctx.finalize_tally())
+                else:  # pragma: no cover - defensive
+                    raise LaunchError(f"unknown replay op {code!r}")
+            completed.append(block_id)
+        return completed, tally
+
+
+# ---------------------------------------------------------------------------
+# Batched (vectorized groups, in-process)
+# ---------------------------------------------------------------------------
+
+class BatchedEngine(LaunchEngine):
+    """Vectorize groups of homogeneous blocks across a numpy axis.
+
+    The engine hands the kernel a
+    :class:`~repro.gpu.batch.BatchBlockContext` covering up to
+    ``group_size`` blocks; the kernel's ``run_block_batch`` computes
+    every block's loads, stores and charges in whole-group array
+    operations. Stores (and deferred table insertions) are then applied
+    per block in launch order, so the persistence domain sees exactly
+    the serial engine's write sequence.
+
+    Requirements on batchable kernels (``batchable = True``): blocks
+    must not read locations written during the same launch (the
+    block-disjoint-output property LP regions have anyway), and any LP
+    wrapper needs commutative checksum lanes. Falls back to
+    :class:`SerialEngine` otherwise, and for non-``NORMAL`` modes.
+    """
+
+    name = "batched"
+
+    def __init__(self, group_size: int = 256) -> None:
+        if group_size < 1:
+            raise LaunchError(
+                f"BatchedEngine needs group_size >= 1, got {group_size}"
+            )
+        self.group_size = group_size
+        self._serial = SerialEngine()
+
+    def execute(self, plan: LaunchPlan) -> tuple[list[int], Tally]:
+        if plan.mode is not ExecMode.NORMAL or not getattr(
+            plan.kernel, "batchable", False
+        ):
+            return self._serial.execute(plan)
+
+        tally = plan.new_tally()
+        completed: list[int] = []
+        ids = plan.block_ids
+        for lo in range(0, len(ids), self.group_size):
+            group = ids[lo:lo + self.group_size]
+            bctx = BatchBlockContext(
+                plan.memory, plan.config, group,
+                fence_latency_cycles=plan.fence_latency,
+                fence_concurrency=plan.fence_concurrency,
+            )
+            plan.kernel.run_block_batch(bctx)
+            tally.merge(bctx.finalize_tally())
+            self._apply_group(plan, bctx, tally)
+            completed.extend(group)
+        return completed, tally
+
+    def _apply_group(
+        self, plan: LaunchPlan, bctx: BatchBlockContext, tally: Tally
+    ) -> None:
+        """Apply a group's stores + table inserts, per block in order."""
+        memory = plan.memory
+        for row, block_id in enumerate(bctx.block_ids):
+            for name, idx, vals, mask in bctx.store_records:
+                row_idx = idx[row]
+                row_vals = vals[row]
+                if mask is not None:
+                    keep = mask[row]
+                    row_idx = row_idx[keep]
+                    row_vals = row_vals[keep]
+                if row_idx.size:
+                    memory.write(memory[name], row_idx, row_vals)
+            for lanes in bctx.table_inserts.get(int(block_id), ()):
+                ctx = plan.block_context(int(block_id))
+                plan.kernel.apply_table_insert(ctx, int(block_id), lanes)
+                tally.merge(ctx.finalize_tally())
+
+
+# ---------------------------------------------------------------------------
+# Resolution
+# ---------------------------------------------------------------------------
+
+_DEFAULT_JOBS = max(1, min(4, os.cpu_count() or 1))
+
+
+def make_engine(
+    spec: LaunchEngine | str | None, jobs: int | None = None
+) -> LaunchEngine:
+    """Resolve an engine spec: instance, name, or ``None`` (serial).
+
+    ``jobs`` applies to ``"parallel"`` (worker count, default
+    ``min(4, cpu_count)``) and ``"batched"`` (group size, default 256).
+    """
+    if spec is None:
+        return SerialEngine()
+    if isinstance(spec, LaunchEngine):
+        return spec
+    if spec == "serial":
+        return SerialEngine()
+    if spec == "parallel":
+        return ParallelEngine(jobs=jobs or _DEFAULT_JOBS)
+    if spec == "batched":
+        return BatchedEngine(**({"group_size": jobs} if jobs else {}))
+    raise LaunchError(
+        f"unknown launch engine {spec!r}; "
+        "expected 'serial', 'parallel' or 'batched'"
+    )

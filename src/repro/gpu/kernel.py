@@ -136,6 +136,12 @@ class BlockContext:
         #: by the EP kernel wrapper. Must expose ``protected`` and
         #: ``before_store(ctx, buf, idx)``.
         self.ep_interceptor = None
+        #: Optional checksum-table-insert deferral hook, set by launch
+        #: engines that apply table insertions in a later deterministic
+        #: pass (see :mod:`repro.gpu.engine`). When not ``None``, LP
+        #: kernel wrappers call ``table_insert_deferral(key, lanes)`` at
+        #: region end instead of inserting into the table directly.
+        self.table_insert_deferral = None
         # Persist-barrier cost parameters (set by the device per launch).
         self._fence_latency = fence_latency_cycles
         self._fence_concurrency = max(1, fence_concurrency)
@@ -365,6 +371,15 @@ class Kernel(abc.ABC):
     name: str = "kernel"
     protected_buffers: tuple[str, ...] = ()
     idempotent: bool = True
+    #: Whether block execution is safe to replicate in a worker process
+    #: and replay from an operation log (see ``ParallelEngine``). A
+    #: kernel must opt *out* when a block's behaviour depends on state
+    #: the log cannot capture: host-side mutation (statistics objects),
+    #: or read-modify-write control flow through ``atomic_cas`` /
+    #: ``atomic_exch`` whose results depend on other blocks.
+    parallel_safe: bool = True
+    #: Whether :meth:`run_block_batch` is implemented (``BatchedEngine``).
+    batchable: bool = False
 
     @abc.abstractmethod
     def launch_config(self) -> LaunchConfig:
@@ -373,6 +388,31 @@ class Kernel(abc.ABC):
     @abc.abstractmethod
     def run_block(self, ctx: BlockContext) -> None:
         """Execute one thread block."""
+
+    def run_block_batch(self, ctx) -> None:
+        """Execute a homogeneous group of blocks in one vectorized pass.
+
+        ``ctx`` is a :class:`~repro.gpu.batch.BatchBlockContext` whose
+        leading axis indexes the block within the group. Only called by
+        the batched launch engine and only when :attr:`batchable` is
+        true; must issue exactly the loads, stores and work charges its
+        blocks would issue under :meth:`run_block`, so that the batched
+        launch is bit-identical to the serial one.
+        """
+        raise NotImplementedError(
+            f"kernel {self.name!r} does not implement batched execution"
+        )
+
+    def apply_table_insert(self, ctx: BlockContext, key: int,
+                           lanes: "np.ndarray") -> None:
+        """Apply one deferred checksum-table insertion (engine callback).
+
+        Only kernels that defer table insertions (the LP wrapper)
+        override this; a plain kernel never defers anything.
+        """
+        raise LaunchError(
+            f"kernel {self.name!r} deferred a table insert it cannot apply"
+        )
 
     def block_output_map(self, block_id: int) -> "dict[str, np.ndarray] | None":
         """Flat indices of this block's protected stores, per buffer.

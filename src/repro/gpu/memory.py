@@ -332,13 +332,53 @@ class GlobalMemory:
         return buf
 
     def _write_back(self, line_ids: list[int], reason: WritebackReason) -> None:
-        for lid in line_ids:
-            buf = self._buffer_of_line(lid)
+        if not line_ids:
+            return
+        if len(line_ids) <= 4:
+            # Scalar path for the common per-store eviction trickle.
+            for lid in line_ids:
+                buf = self._buffer_of_line(lid)
+                if buf.shadow is None:
+                    continue
+                lo, hi = buf.line_byte_range(lid)
+                if lo >= hi:
+                    continue
+                src = buf.data.view(np.uint8)[lo:hi]
+                buf.shadow.view(np.uint8)[lo:hi] = src
+                self.write_stats.record(reason, buf.name)
+            return
+
+        # Bulk path (drains, batched evictions): one searchsorted maps
+        # every line to its buffer, then consecutive lines coalesce into
+        # a handful of slice copies per buffer.
+        lines = np.asarray(line_ids, dtype=np.int64)
+        firsts = np.asarray(self._index_first_lines, dtype=np.int64)
+        pos = np.searchsorted(firsts, lines, side="right") - 1
+        if (pos < 0).any():
+            bad = int(lines[pos < 0][0])
+            raise OutOfBoundsError(f"line {bad} maps to no buffer")
+        for p in np.unique(pos):
+            buf = self._index_buffers[int(p)]
+            group = lines[pos == p]
+            beyond = group >= buf.first_line + buf.n_lines
+            if beyond.any():
+                bad = int(group[beyond][0])
+                raise OutOfBoundsError(
+                    f"line {bad} maps to no live buffer"
+                )
             if buf.shadow is None:
                 continue
-            lo, hi = buf.line_byte_range(lid)
-            if lo >= hi:
+            lo = (group - buf.first_line) * self.line_size
+            hi = np.minimum(lo + self.line_size, buf.nbytes)
+            lo = np.sort(lo[lo < hi])
+            if lo.size == 0:
                 continue
-            src = buf.data.view(np.uint8)[lo:hi]
-            buf.shadow.view(np.uint8)[lo:hi] = src
-            self.write_stats.record(reason, buf.name)
+            src = buf.data.view(np.uint8)
+            dst = buf.shadow.view(np.uint8)
+            # Runs of consecutive lines copy with one slice each.
+            breaks = np.flatnonzero(np.diff(lo) != self.line_size) + 1
+            for run in np.split(lo, breaks):
+                start = int(run[0])
+                end = min(int(run[-1]) + self.line_size, buf.nbytes)
+                dst[start:end] = src[start:end]
+            self.write_stats.record(reason, buf.name, n_lines=int(lo.size))

@@ -32,14 +32,25 @@ import math
 
 import numpy as np
 
+from repro.core.tables.base import mix64_array
 from repro.errors import TableFullError
 from repro.gpu.device import Device
 from repro.gpu.kernel import BlockContext, ExecMode, Kernel, LaunchConfig
 from repro.megakv.store import BUCKET_WIDTH, EMPTY_SLOT, MegaKVStore
 
+#: Seed perturbation selecting a key's second candidate bucket (must
+#: match :meth:`~repro.megakv.store.MegaKVStore.bucket_of`).
+_SECOND_CHOICE = 0x9E3779B97F4A7C15
+
 
 class _BatchKernel(Kernel):
     """Shared plumbing: one thread per request, contiguous block slices."""
+
+    #: Every MEGA-KV kernel mutates host-side ``store.stats`` inside
+    #: ``run_block`` (and insert claims slots via ``atomic_cas``), so a
+    #: forked worker's execution cannot be replayed faithfully. The
+    #: in-process batched engine is fine — search opts back in below.
+    parallel_safe = False
 
     def __init__(
         self,
@@ -216,6 +227,61 @@ class KVSearchKernel(_BatchKernel):
             ctx.st(self.results_buffer, i, value,
                    slots=np.asarray([i % ctx.n_threads]))
             ctx.flops(2)
+
+    # -- batched execution ----------------------------------------------
+
+    batchable = True
+
+    def run_block_batch(self, bctx) -> None:
+        """Whole-group probe: every request's two buckets in one pass.
+
+        Reproduces ``run_block`` exactly: the first matching slot in
+        bucket-candidate order wins (duplicated candidate buckets alias,
+        so the earliest index is the same slot serial probing picks),
+        read traffic counts the *deduplicated* probe width per request,
+        and the ragged tail block is masked out.
+        """
+        T = self.threads
+        req = bctx.block_ids[:, None] * T + np.arange(T)       # (B, T)
+        mask = req < self.n_requests
+        keys = self.batch_keys[np.where(mask, req, 0)]          # (B, T)
+
+        n_buckets = np.uint64(self.store.n_buckets)
+        b0 = (mix64_array(keys, self.store.seed)
+              % n_buckets).astype(np.int64)
+        b1 = (mix64_array(keys, self.store.seed ^ _SECOND_CHOICE)
+              % n_buckets).astype(np.int64)
+        offs = np.arange(BUCKET_WIDTH)
+        slots = np.concatenate(
+            [b0[..., None] * BUCKET_WIDTH + offs,
+             b1[..., None] * BUCKET_WIDTH + offs],
+            axis=-1,
+        )                                                       # (B, T, 2W)
+        # Serial probing deduplicates coinciding candidate buckets, so
+        # its per-request read charge is one bucket wide in that case.
+        probe_width = np.where(b0 == b1, BUCKET_WIDTH, 2 * BUCKET_WIDTH)
+        total_probe = int(probe_width[mask].sum())
+        self.store.stats.probe_slots += total_probe
+
+        bucket_keys = bctx.ld(self.store.keys, slots,
+                              charge_elements=total_probe)
+        match = bucket_keys == keys[..., None]
+        hit = match.any(axis=-1) & mask
+        first = np.argmax(match, axis=-1)
+        hit_slot = np.take_along_axis(
+            slots, first[..., None], axis=-1
+        )[..., 0]
+
+        n_valid = int(np.count_nonzero(mask))
+        n_hits = int(np.count_nonzero(hit))
+        self.store.stats.searches += n_valid
+        self.store.stats.hits += n_hits
+
+        result = np.full(req.shape, EMPTY_SLOT, dtype=np.uint64)
+        result[hit] = bctx.ld(self.store.values, hit_slot[hit])
+        bctx.st(self.results_buffer, req, result,
+                slots=np.arange(T), mask=mask)
+        bctx.alu(2.0 * T * n_valid)
 
 
 def alloc_results(device: Device, name: str, n_requests: int):

@@ -59,6 +59,24 @@ class SPMVKernel(Kernel):
             ctx.flops(2)
         ctx.st("spmv_y", rows, acc, slots=ctx.tid)
 
+    # -- batched execution ----------------------------------------------
+
+    #: Blocks own disjoint row ranges and never read ``spmv_y``, so a
+    #: whole group of blocks is one (blocks × threads) array program.
+    batchable = True
+
+    def run_block_batch(self, bctx) -> None:
+        rows = bctx.block_ids[:, None] * self.threads + bctx.tid  # (B, T)
+        acc = np.zeros(rows.shape, dtype=np.float32)
+        base = rows * self.nnz_per_row
+        for k in range(self.nnz_per_row):
+            vals = bctx.ld("spmv_vals", base + k)
+            cols = bctx.ld("spmv_cols", base + k)
+            xk = bctx.ld("spmv_x", cols)
+            acc += vals * xk
+            bctx.flops(2)
+        bctx.st("spmv_y", rows, acc, slots=bctx.tid)
+
 
 class SPMVWorkload(Workload):
     """CSR sparse matrix-vector product."""
