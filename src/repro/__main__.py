@@ -12,6 +12,11 @@ Commands
     Launch one workload under LP, optionally crash it, recover, verify.
 ``report [path]``
     Regenerate EXPERIMENTS.md.
+``lint [targets...] [--format text|json] [--oracle]``
+    Run the lplint static analyzer over kernel sources. Targets are
+    ``builtin`` (every built-in workload + MegaKV kernel, the default),
+    ``.cu``/``.cuh`` files (directive front-end), ``.py`` files, or
+    directories. Exits 1 on unsuppressed findings.
 """
 
 from __future__ import annotations
@@ -94,6 +99,34 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.analysis import findings_to_payload, render_text, run_lint
+
+    targets = args.targets or ["builtin"]
+    try:
+        report, verdicts = run_lint(targets, oracle=args.oracle)
+    except FileNotFoundError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if args.format == "json":
+        payload = findings_to_payload(report)
+        if verdicts:
+            payload["oracle"] = {
+                name: verdict.to_dict()
+                for name, verdict in verdicts.items()
+            }
+        print(json.dumps(payload, indent=2))
+    else:
+        print(render_text(report))
+        for name, verdict in verdicts.items():
+            state = "idempotent" if verdict.idempotent else "NON-IDEMPOTENT"
+            print(f"oracle: {name}: {state} over blocks "
+                  f"{verdict.tested_blocks}")
+    return report.exit_code
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.bench.make_experiments_md import main as make_md
 
@@ -134,6 +167,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--jobs", type=int, default=None, metavar="N",
                        help="worker count (parallel) / group size (batched)")
     p_run.set_defaults(fn=_cmd_run)
+
+    p_lint = sub.add_parser("lint", help="run the lplint static analyzer")
+    p_lint.add_argument("targets", nargs="*",
+                        help="'builtin', files (.cu/.cuh/.py), or "
+                             "directories (default: builtin)")
+    p_lint.add_argument("--format", default="text",
+                        choices=("text", "json"))
+    p_lint.add_argument("--oracle", action="store_true",
+                        help="cross-check builtin verdicts against the "
+                             "dynamic re-execution oracle")
+    p_lint.set_defaults(fn=_cmd_lint)
 
     p_rep = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
     p_rep.add_argument("path", nargs="?", default=None)

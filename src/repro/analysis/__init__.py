@@ -1,0 +1,48 @@
+"""lplint: static Lazy-Persistency correctness analysis.
+
+The paper's recovery guarantee rests on properties that are easy to
+violate silently — uncovered persistent stores, non-idempotent regions
+behind default re-execution recovery, cross-block write races,
+mis-sized checksum tables. This package checks them *statically* over
+both kernel front-ends (the CUDA-like directive source and the Python
+DSL), emits structured diagnostics (:mod:`repro.analysis.findings`),
+and cross-validates every verdict against a dynamic oracle
+(:mod:`repro.analysis.oracle`) so the analyzer can never be less
+conservative than the machine.
+
+Entry point: ``python -m repro lint <target>``.
+"""
+
+from repro.analysis.findings import (
+    PAYLOAD_VERSION,
+    Finding,
+    LintReport,
+    RULES,
+    Severity,
+    apply_suppressions,
+    findings_to_payload,
+    payload_to_findings,
+    render_text,
+    validate_payload,
+)
+from repro.analysis.oracle import OracleVerdict, cross_check, dynamic_oracle
+from repro.analysis.runner import builtin_cases, lint_builtin, run_lint
+
+__all__ = [
+    "Finding",
+    "LintReport",
+    "OracleVerdict",
+    "PAYLOAD_VERSION",
+    "RULES",
+    "Severity",
+    "apply_suppressions",
+    "builtin_cases",
+    "cross_check",
+    "dynamic_oracle",
+    "findings_to_payload",
+    "lint_builtin",
+    "payload_to_findings",
+    "render_text",
+    "run_lint",
+    "validate_payload",
+]

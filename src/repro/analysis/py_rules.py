@@ -1,0 +1,417 @@
+"""lplint rules over the Python-DSL kernel front-end.
+
+Operates on live kernel objects (object mode — buffer names resolve,
+helper methods inline) or on plain ``.py`` source files (file mode —
+conservative, literal-only resolution). The rules mirror their CUDA
+counterparts in :mod:`repro.analysis.cuda_rules`, plus the two that
+only exist on this front-end:
+
+* LP004/LP006 fire on :class:`~repro.core.runtime.LazyPersistentKernel`
+  wrappers, where the checksum-table sizing and the parity/float
+  configuration are concrete objects instead of directive text.
+* LP005 cross-checks a kernel's ``parallel_safe`` declaration against
+  the replay constraints of the parallel launch engine
+  (:mod:`repro.gpu.engine` forbids ``atomic_cas``/``atomic_exch``/
+  ``clwb`` and host-visible mutation in replayed blocks).
+"""
+
+from __future__ import annotations
+
+import ast
+
+import numpy as np
+
+from repro.analysis.astinfo import (
+    PyKernelEffects,
+    analyze_function_node,
+    analyze_kernel_callable,
+    is_block_independent,
+)
+from repro.analysis.findings import Finding, Severity, apply_suppressions
+from repro.gpu.kernel import Kernel
+
+
+def _unwrap(kernel):
+    """Peel instrumentation wrappers down to the computational kernel."""
+    wrappers = []
+    seen = set()
+    while id(kernel) not in seen:
+        seen.add(id(kernel))
+        wrappers.append(kernel)
+        inner = getattr(kernel, "inner", None)
+        if isinstance(inner, Kernel):
+            kernel = inner
+        else:
+            break
+    return kernel, wrappers
+
+
+def _body_callable(kernel):
+    """The function whose AST is the kernel's block body."""
+    fn = getattr(kernel, "_fn", None)
+    if fn is not None:  # FunctionKernel / kernel_from_function
+        return fn
+    return type(kernel).run_block
+
+
+def _has_custom_recovery(kernel) -> bool:
+    if hasattr(kernel, "_recover_fn"):
+        # FunctionKernel's recover_block override is only a dispatcher;
+        # the recovery is custom iff a recover_fn was actually given.
+        return kernel._recover_fn is not None
+    return type(kernel).recover_block is not Kernel.recover_block
+
+
+def kernel_effects(kernel) -> PyKernelEffects:
+    """Extract the AST effect sets of a live kernel object."""
+    fn = _body_callable(kernel)
+    return analyze_kernel_callable(fn, instance=kernel, name=kernel.name)
+
+
+# ---------------------------------------------------------------------------
+# Object-mode rules
+# ---------------------------------------------------------------------------
+
+def _check_lp001(kernel, effects: PyKernelEffects, device) -> list[Finding]:
+    findings: list[Finding] = []
+    protected = set(kernel.protected_buffers)
+    for store in effects.stores:
+        if store.buffer is None or store.buffer in protected:
+            continue
+        if device is not None:
+            buf = device.memory[store.buffer] if store.buffer in device.memory else None
+            if buf is None or not buf.persistent:
+                continue  # scratch data needs no checksum coverage
+            severity = Severity.ERROR
+            detail = "persistent"
+        else:
+            if not protected:
+                continue  # kernel opted out of LP entirely
+            severity = Severity.WARNING
+            detail = "possibly persistent"
+        findings.append(Finding(
+            rule="LP001",
+            severity=severity,
+            message=(
+                f"store to {detail} buffer '{store.buffer}' is not in "
+                f"protected= ({sorted(protected) or 'empty'}); a crash "
+                "after this store is undetectable"
+            ),
+            line=store.lineno,
+            kernel=kernel.name,
+            fix_hint=(
+                f"add '{store.buffer}' to the kernel's protected= "
+                "declaration, or allocate it with persistent=False"
+            ),
+        ))
+    return findings
+
+
+def _check_lp002(kernel, effects: PyKernelEffects) -> list[Finding]:
+    if _has_custom_recovery(kernel) or not kernel.idempotent:
+        # A non-idempotent declaration makes default recovery raise
+        # UnrecoverableRegionError instead of silently re-executing.
+        return []
+    hazards = effects.idempotence_hazards()
+    return [
+        Finding(
+            rule="LP002",
+            severity=Severity.ERROR,
+            message=(
+                f"region is not provably idempotent ({hazard}) but "
+                "default recovery re-executes it"
+            ),
+            kernel=kernel.name,
+            fix_hint=(
+                "declare idempotent=False, provide a custom "
+                "recover_block, or restructure the region so outputs "
+                "are write-only"
+            ),
+        )
+        for hazard in hazards
+    ]
+
+
+def _check_lp003(kernel, effects: PyKernelEffects) -> list[Finding]:
+    findings: list[Finding] = []
+    try:
+        n_blocks = kernel.launch_config().n_blocks
+    except Exception:
+        n_blocks = 0
+    if n_blocks <= 1:
+        return findings
+    protected = set(kernel.protected_buffers)
+    for store in effects.stores:
+        if store.buffer not in protected:
+            continue
+        if is_block_independent(store.index, effects):
+            findings.append(Finding(
+                rule="LP003",
+                severity=Severity.ERROR,
+                message=(
+                    f"store to protected buffer '{store.buffer}' uses a "
+                    "block-independent index: all "
+                    f"{n_blocks} blocks write the same elements "
+                    "(cross-block write race breaks LP region recovery)"
+                ),
+                line=store.lineno,
+                kernel=kernel.name,
+                fix_hint=(
+                    "derive the store index from ctx.block_id / "
+                    "ctx.block_xy so per-block write sets are disjoint"
+                ),
+            ))
+    return findings
+
+
+def _check_lp005(kernel, effects: PyKernelEffects) -> list[Finding]:
+    if not getattr(kernel, "parallel_safe", False):
+        return []
+    reasons: list[tuple[str, int | None]] = []
+    for store in effects.atomic_stores:
+        if store.atomic in ("cas", "exch"):
+            reasons.append((
+                f"ctx.atomic_{store.atomic} on "
+                f"'{store.buffer or store.buffer_text}'",
+                store.lineno,
+            ))
+    for lineno in effects.clwb_lines:
+        reasons.append(("explicit ctx.clwb (cache-state dependent)", lineno))
+    for lineno in effects.host_mutations:
+        reasons.append(("mutation of host-visible kernel state (self.*)", lineno))
+    return [
+        Finding(
+            rule="LP005",
+            severity=Severity.ERROR,
+            message=(
+                f"kernel declares parallel_safe = True but uses {what}; "
+                "the parallel launch engine replays blocks out of order "
+                "and forbids this"
+            ),
+            line=lineno,
+            kernel=kernel.name,
+            fix_hint="declare parallel_safe = False on the kernel class",
+        )
+        for what, lineno in reasons
+    ]
+
+
+def _check_lp004_object(lp_kernel) -> list[Finding]:
+    """Table sizing of a live LazyPersistentKernel."""
+    table = getattr(lp_kernel, "table", None)
+    if table is None:
+        return []
+    n_blocks = lp_kernel.launch_config().n_blocks
+    n_keys = table.n_keys
+    if n_keys < n_blocks:
+        return [Finding(
+            rule="LP004",
+            severity=Severity.ERROR,
+            message=(
+                f"checksum table '{table.name}' is sized for {n_keys} "
+                f"keys but the launch produces {n_blocks} block "
+                "checksums (load factor > 1 overflows "
+                "quadratic/cuckoo probing; the global array raises)"
+            ),
+            kernel=lp_kernel.name,
+            fix_hint=(
+                "size the table from the launch grid "
+                "(LPRuntime.instrument does this automatically)"
+            ),
+        )]
+    if n_keys > n_blocks:
+        return [Finding(
+            rule="LP004",
+            severity=Severity.WARNING,
+            message=(
+                f"checksum table '{table.name}' declares {n_keys} keys "
+                f"for a {n_blocks}-block launch; recovery would scan "
+                "stale entries"
+            ),
+            kernel=lp_kernel.name,
+            fix_hint="size the table to the exact block count",
+        )]
+    return []
+
+
+def _check_lp006_object(lp_kernel) -> list[Finding]:
+    """Parity-over-float configuration of a live LazyPersistentKernel."""
+    from repro.core.config import ChecksumKind
+
+    config = getattr(lp_kernel, "config", None)
+    table = getattr(lp_kernel, "table", None)
+    if config is None or ChecksumKind.PARITY not in config.checksums:
+        return []
+    if config.ordered_int_parity:
+        return []
+    float_bufs = []
+    if table is not None:
+        for name in lp_kernel.protected_buffers:
+            try:
+                dtype = table.memory[name].array.dtype
+            except Exception:
+                continue
+            if np.issubdtype(dtype, np.floating):
+                float_bufs.append(name)
+    if not float_bufs:
+        return []
+    return [Finding(
+        rule="LP006",
+        severity=Severity.ERROR,
+        message=(
+            "parity (XOR) checksum over float buffers "
+            f"{sorted(float_bufs)} with ordered_int_parity=False; raw "
+            "float bit patterns defeat the Fig. 2 ordered-integer "
+            "masking"
+        ),
+        kernel=lp_kernel.name,
+        fix_hint="keep LPConfig.ordered_int_parity=True for float data",
+    )]
+
+
+def lint_kernel_object(kernel, device=None) -> list[Finding]:
+    """Run every object-mode rule over one live kernel.
+
+    ``device`` (optional) enables the strict LP001 form: stores are
+    checked against the actual persistence of their target buffers
+    instead of just the ``protected=`` declaration.
+
+    A kernel class may declare ``lint_suppressions = {"LPxxx":
+    "reason"}``; matching findings are reported as suppressed.
+    """
+    base, wrappers = _unwrap(kernel)
+    try:
+        effects = kernel_effects(base)
+    except (OSError, TypeError, ValueError):
+        return []  # source unavailable (REPL-defined kernel): nothing to say
+
+    findings: list[Finding] = []
+    findings.extend(_check_lp001(base, effects, device))
+    findings.extend(_check_lp002(base, effects))
+    findings.extend(_check_lp003(base, effects))
+    findings.extend(_check_lp005(base, effects))
+    for wrapper in wrappers:
+        if wrapper is not base and hasattr(wrapper, "table"):
+            findings.extend(_check_lp004_object(wrapper))
+            findings.extend(_check_lp006_object(wrapper))
+    suppressions = getattr(type(base), "lint_suppressions", {})
+    return apply_suppressions(findings, dict(suppressions))
+
+
+# ---------------------------------------------------------------------------
+# File mode
+# ---------------------------------------------------------------------------
+
+def _is_kernel_class(node: ast.ClassDef) -> bool:
+    bases = set()
+    for b in node.bases:
+        if isinstance(b, ast.Name):
+            bases.add(b.id)
+        elif isinstance(b, ast.Attribute):
+            bases.add(b.attr)
+    return bool(bases & {"Kernel", "FunctionKernel", "_BatchKernel"}) or any(
+        isinstance(item, ast.FunctionDef) and item.name == "run_block"
+        for item in node.body
+    )
+
+
+def _class_literal(node: ast.ClassDef, name: str):
+    for item in node.body:
+        if isinstance(item, ast.Assign):
+            for tgt in item.targets:
+                if isinstance(tgt, ast.Name) and tgt.id == name:
+                    try:
+                        return ast.literal_eval(item.value)
+                    except ValueError:
+                        return None
+        elif isinstance(item, ast.AnnAssign) and item.value is not None:
+            if isinstance(item.target, ast.Name) and item.target.id == name:
+                try:
+                    return ast.literal_eval(item.value)
+                except ValueError:
+                    return None
+    return None
+
+
+def lint_python_text(text: str, path: str = "<source>") -> list[Finding]:
+    """File-mode lint of Python source defining kernel classes.
+
+    Only two rules run here — LP002 (when the class pins
+    ``idempotent = True`` literally and defines no ``recover_block``)
+    and LP005 (when it pins ``parallel_safe = True`` literally) — the
+    pair that is still sound without live objects. Everything else
+    needs resolved buffers and launch shapes, which file mode cannot
+    prove, and lplint never guesses.
+    """
+    findings: list[Finding] = []
+    try:
+        tree = ast.parse(text)
+    except SyntaxError as exc:
+        findings.append(Finding(
+            rule="LP002",
+            severity=Severity.NOTE,
+            message=f"file could not be parsed: {exc}",
+            file=path,
+            line=exc.lineno,
+        ))
+        return findings
+
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ClassDef) or not _is_kernel_class(node):
+            continue
+        methods = {
+            item.name: item
+            for item in node.body
+            if isinstance(item, ast.FunctionDef)
+        }
+        run_block = methods.get("run_block")
+        if run_block is None:
+            continue
+        effects = analyze_function_node(
+            run_block, method_asts=methods, name=node.name
+        )
+        suppressions = _class_literal(node, "lint_suppressions") or {}
+
+        if (
+            _class_literal(node, "idempotent") is not False
+            and "recover_block" not in methods
+        ):
+            for hazard in effects.idempotence_hazards():
+                if "unresolvable" in hazard:
+                    continue  # file mode cannot resolve self.* buffers
+                findings.append(Finding(
+                    rule="LP002",
+                    severity=Severity.ERROR,
+                    message=(
+                        f"region is not provably idempotent ({hazard}) "
+                        "but default recovery re-executes it"
+                    ),
+                    file=path,
+                    line=run_block.lineno,
+                    kernel=node.name,
+                    fix_hint=(
+                        "declare idempotent=False or provide a custom "
+                        "recover_block"
+                    ),
+                ))
+        if _class_literal(node, "parallel_safe") is True:
+            for store in effects.atomic_stores:
+                if store.atomic in ("cas", "exch"):
+                    findings.append(Finding(
+                        rule="LP005",
+                        severity=Severity.ERROR,
+                        message=(
+                            "class declares parallel_safe = True but "
+                            f"run_block uses ctx.atomic_{store.atomic}; "
+                            "the parallel launch engine forbids this"
+                        ),
+                        file=path,
+                        line=store.lineno,
+                        kernel=node.name,
+                        fix_hint="declare parallel_safe = False",
+                    ))
+        apply_suppressions(
+            [f for f in findings if f.kernel == node.name],
+            {k: str(v) for k, v in suppressions.items()},
+        )
+    return findings

@@ -1,0 +1,202 @@
+"""lplint target dispatch: files, directories, and the builtin fleet.
+
+Three kinds of lint target:
+
+* ``builtin`` — every built-in workload kernel (LP-instrumented, so the
+  table-sizing and parity rules run too) plus the three MegaKV kernels,
+  constructed on a live device for full buffer resolution;
+* a ``.cu``/``.cuh`` file — parsed by the directive compiler and linted
+  with the CUDA front-end rules;
+* a ``.py`` file — linted in conservative file mode;
+* a directory — recursively expands to the above.
+
+``--oracle`` additionally runs every builtin case through the dynamic
+oracle (:mod:`repro.analysis.oracle`) and reports any static-vs-dynamic
+disagreement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable
+
+from repro.analysis.cuda_rules import lint_cuda_text
+from repro.analysis.findings import Finding, LintReport, Severity
+from repro.analysis.oracle import OracleVerdict, cross_check, dynamic_oracle
+from repro.analysis.py_rules import (
+    kernel_effects,
+    lint_kernel_object,
+    lint_python_text,
+)
+
+_CUDA_SUFFIXES = {".cu", ".cuh"}
+#: Default MegaKV case shape (mirrors the unit-test fixtures).
+_KV_CAPACITY = 256
+_KV_REQUESTS = 100
+_KV_THREADS = 16
+
+
+@dataclass
+class BuiltinCase:
+    """One lintable builtin kernel with a reproducible constructor."""
+
+    name: str
+    #: Zero-argument constructor returning a fresh ``(device, kernel)``.
+    make_case: Callable[[], tuple]
+
+
+def _workload_case(name: str) -> Callable[[], tuple]:
+    def make() -> tuple:
+        from repro.compiler.pydsl import lazy_persistent
+        from repro.gpu.device import Device
+        from repro.workloads import make_workload
+
+        device = Device()
+        kernel = make_workload(name, scale="tiny", seed=0).setup(device)
+        return device, lazy_persistent(device, kernel)
+
+    return make
+
+
+def _megakv_device(seed: int = 0):
+    import numpy as np
+
+    from repro.gpu.device import Device
+    from repro.megakv import MegaKVStore
+    from repro.workloads.generators import key_value_records
+
+    device = Device()
+    store = MegaKVStore(device, capacity=_KV_CAPACITY)
+    keys, vals = key_value_records(
+        np.random.default_rng(seed), _KV_REQUESTS
+    )
+    return device, store, keys, vals
+
+
+def _megakv_insert_case() -> tuple:
+    from repro.megakv.kernels import KVInsertKernel
+
+    device, store, keys, vals = _megakv_device()
+    return device, KVInsertKernel(store, keys, vals,
+                                  threads_per_block=_KV_THREADS)
+
+
+def _megakv_delete_case() -> tuple:
+    from repro.megakv.kernels import KVDeleteKernel, KVInsertKernel
+
+    device, store, keys, vals = _megakv_device()
+    device.launch(KVInsertKernel(store, keys, vals,
+                                 threads_per_block=_KV_THREADS))
+    return device, KVDeleteKernel(store, keys,
+                                  threads_per_block=_KV_THREADS)
+
+
+def _megakv_search_case() -> tuple:
+    from repro.megakv.kernels import (
+        KVInsertKernel,
+        KVSearchKernel,
+        alloc_results,
+    )
+
+    device, store, keys, vals = _megakv_device()
+    device.launch(KVInsertKernel(store, keys, vals,
+                                 threads_per_block=_KV_THREADS))
+    alloc_results(device, "results", _KV_REQUESTS)
+    return device, KVSearchKernel(store, keys, "results",
+                                  threads_per_block=_KV_THREADS)
+
+
+def builtin_cases() -> list[BuiltinCase]:
+    """Every kernel ``lint builtin`` covers, in report order."""
+    from repro.workloads import WORKLOADS
+
+    cases = [
+        BuiltinCase(name, _workload_case(name)) for name in WORKLOADS
+    ]
+    cases.append(BuiltinCase("megakv-insert", _megakv_insert_case))
+    cases.append(BuiltinCase("megakv-delete", _megakv_delete_case))
+    cases.append(BuiltinCase("megakv-search", _megakv_search_case))
+    return cases
+
+
+def static_hazards(kernel) -> list[str]:
+    """The static idempotence hazards of a (possibly wrapped) kernel."""
+    from repro.analysis.py_rules import _unwrap
+
+    base, _ = _unwrap(kernel)
+    return kernel_effects(base).idempotence_hazards()
+
+
+def lint_builtin(oracle: bool = False) -> tuple[LintReport, dict]:
+    """Lint every builtin case; optionally cross-check with the oracle.
+
+    Returns the report plus, when ``oracle`` is set, a mapping of case
+    name to the :class:`~repro.analysis.oracle.OracleVerdict`.
+    """
+    report = LintReport()
+    verdicts: dict[str, OracleVerdict] = {}
+    for case in builtin_cases():
+        report.targets.append(f"builtin:{case.name}")
+        device, kernel = case.make_case()
+        report.extend(lint_kernel_object(kernel, device=device))
+        if oracle:
+            verdict = dynamic_oracle(case.make_case)
+            verdicts[case.name] = verdict
+            report.extend(
+                cross_check(case.name, static_hazards(kernel), verdict)
+            )
+    return report, verdicts
+
+
+def lint_file(path: Path) -> list[Finding]:
+    text = path.read_text()
+    rel = str(path)
+    if path.suffix in _CUDA_SUFFIXES:
+        try:
+            return lint_cuda_text(text, path=rel)
+        except Exception as exc:
+            return [Finding(
+                rule="LP001",
+                severity=Severity.NOTE,
+                message=f"directive parse failed; file skipped: {exc}",
+                file=rel,
+            )]
+    if path.suffix == ".py":
+        return lint_python_text(text, path=rel)
+    return []
+
+
+def expand_targets(targets: list[str]) -> list[Path]:
+    """Resolve file/directory targets into lintable files."""
+    files: list[Path] = []
+    for target in targets:
+        p = Path(target)
+        if p.is_dir():
+            for pattern in ("*.cu", "*.cuh", "*.py"):
+                files.extend(
+                    f for f in sorted(p.rglob(pattern))
+                    if "__pycache__" not in f.parts
+                )
+        elif p.is_file():
+            files.append(p)
+        else:
+            raise FileNotFoundError(f"lint target not found: {target}")
+    return files
+
+
+def run_lint(
+    targets: list[str], oracle: bool = False
+) -> tuple[LintReport, dict]:
+    """Lint a mixed target list (``builtin`` and/or paths)."""
+    report = LintReport()
+    verdicts: dict[str, OracleVerdict] = {}
+    paths = [t for t in targets if t != "builtin"]
+    if "builtin" in targets:
+        builtin_report, verdicts = lint_builtin(oracle=oracle)
+        report.findings.extend(builtin_report.findings)
+        report.targets.extend(builtin_report.targets)
+    for path in expand_targets(paths):
+        report.targets.append(str(path))
+        report.extend(lint_file(path))
+    return report, verdicts

@@ -89,14 +89,14 @@ class LazyPersistentKernel(Kernel):
     def parallel_safe(self) -> bool:
         """Safe iff the inner kernel is; table insertion is deferred to
         the parent process, so the table never runs in a worker."""
-        return getattr(self.inner, "parallel_safe", False)
+        return self.inner.parallel_safe
 
     @property
     def batchable(self) -> bool:
         """Batchable iff the inner kernel is and every checksum lane is
         commutative (the batched fold reorders value accumulation)."""
         return (
-            getattr(self.inner, "batchable", False) and self.cset.commutative
+            self.inner.batchable and self.cset.commutative
         )
 
     def run_block_batch(self, bctx) -> None:

@@ -284,7 +284,7 @@ class ParallelEngine(LaunchEngine):
     def _can_parallelize(self, plan: LaunchPlan) -> bool:
         if plan.mode is not ExecMode.NORMAL:
             return False
-        if not getattr(plan.kernel, "parallel_safe", False):
+        if not plan.kernel.parallel_safe:
             return False
         if self.jobs <= 1 or len(plan.block_ids) < 2 * self.jobs:
             return False
@@ -381,9 +381,7 @@ class BatchedEngine(LaunchEngine):
         self._serial = SerialEngine()
 
     def execute(self, plan: LaunchPlan) -> tuple[list[int], Tally]:
-        if plan.mode is not ExecMode.NORMAL or not getattr(
-            plan.kernel, "batchable", False
-        ):
+        if plan.mode is not ExecMode.NORMAL or not plan.kernel.batchable:
             return self._serial.execute(plan)
 
         tally = plan.new_tally()

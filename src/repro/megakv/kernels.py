@@ -90,6 +90,15 @@ class KVInsertKernel(_BatchKernel):
 
     name = "megakv-insert"
     idempotent = True
+    #: lplint sees the atomic_cas claim and the bucket-scan read of the
+    #: key array it also writes; re-execution nevertheless stores the
+    #: same [key, value] words on every path (module docstring), and
+    #: the dynamic oracle pins that (benchmarks/oracle_verdicts.json).
+    lint_suppressions = {
+        "LP002": "re-execution stores identical [key, value] words on "
+                 "every path; idempotence pinned by the dynamic oracle "
+                 "(benchmarks/oracle_verdicts.json)",
+    }
 
     def __init__(
         self,
@@ -150,6 +159,14 @@ class KVDeleteKernel(_BatchKernel):
 
     name = "megakv-delete"
     idempotent = True
+    #: lplint sees the bucket scan reading the key array the delete
+    #: also writes; clearing an already-cleared slot is a no-op, so
+    #: re-execution is idempotent — pinned by the dynamic oracle.
+    lint_suppressions = {
+        "LP002": "clearing an already-cleared slot is a no-op; "
+                 "idempotence pinned by the dynamic oracle "
+                 "(benchmarks/oracle_verdicts.json)",
+    }
 
     def __init__(
         self,

@@ -36,6 +36,7 @@ class TiledMatMulKernel(Kernel):
     name = "tmm"
     protected_buffers = ("tmm_C",)
     idempotent = True
+    parallel_safe = True
 
     def __init__(self, n: int, tile: int) -> None:
         if n % tile:

@@ -1,0 +1,1 @@
+"""Tests for the lplint static analyzer (repro.analysis)."""

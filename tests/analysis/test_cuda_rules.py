@@ -1,0 +1,88 @@
+"""CUDA front-end lint rules (LP001-LP004, LP006)."""
+
+from pathlib import Path
+
+from repro.analysis.cuda_rules import lint_cuda_text
+
+FIXTURE = Path(__file__).parent.parent / "fixtures" / "lint" / "bad_kernel.cu"
+
+
+def rules_of(findings):
+    return {f.rule for f in findings}
+
+
+def test_seeded_bad_kernel_trips_every_rule():
+    findings = lint_cuda_text(FIXTURE.read_text(), path=str(FIXTURE))
+    assert rules_of(findings) == {"LP001", "LP002", "LP003", "LP004", "LP006"}
+    by_rule = {f.rule: f for f in findings}
+    # Line numbers anchor to the offending source constructs.
+    assert by_rule["LP004"].line == 13      # the lpcuda_init
+    assert by_rule["LP001"].line == 18      # the uncovered store
+    assert by_rule["LP003"].line == 20      # the covered store
+    assert all(f.kernel == "badkernel" for f in findings)
+    assert all(f.file == str(FIXTURE) for f in findings)
+
+
+CLEAN = """
+dim3 grid(4, 4);
+#pragma nvm lpcuda_init(tab, grid.x*grid.y, 1)
+mm<<<grid, 64>>>(C, A, B, 16);
+
+__global__ void mm(float *C, float *A, float *B, int wA) {
+    int tx = threadIdx.x;
+    int row = blockIdx.x * wA + tx;
+    float acc = A[row] + B[row];
+#pragma nvm lpcuda_checksum("+^", tab, blockIdx.x, blockIdx.y)
+    C[row] = acc;
+}
+"""
+
+
+def test_clean_lp_program_has_no_findings():
+    assert lint_cuda_text(CLEAN) == []
+
+
+def test_paper_demo_listing_is_clean():
+    from examples.directive_compiler_demo import PAPER_LISTING
+
+    assert lint_cuda_text(PAPER_LISTING) == []
+
+
+def test_plain_cuda_without_directives_is_exempt_from_lp001():
+    # A file that never opts into LP is not required to cover stores.
+    text = """
+__global__ void plain(float *out, float *in) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    out[i] = in[i];
+}
+"""
+    assert lint_cuda_text(text) == []
+
+
+def test_lp004_oversized_table_is_a_warning():
+    text = CLEAN.replace("lpcuda_init(tab, grid.x*grid.y, 1)",
+                         "lpcuda_init(tab, 1000, 1)")
+    findings = lint_cuda_text(text)
+    assert rules_of(findings) == {"LP004"}
+    assert findings[0].severity.value == "warning"
+
+
+def test_lp004_skips_symbolic_grids():
+    # An unresolvable launch size must not produce a guess.
+    text = CLEAN.replace("dim3 grid(4, 4);", "dim3 grid(n_tiles, 4);")
+    assert rules_of(lint_cuda_text(text)) == set()
+
+
+def test_lp006_exempts_integer_stores_and_combined_checksums():
+    int_store = CLEAN.replace("float *C", "int *C").replace('"+^"', '"^"')
+    assert rules_of(lint_cuda_text(int_store)) == set()
+    parity_float = CLEAN.replace('"+^"', '"^"')
+    assert rules_of(lint_cuda_text(parity_float)) == {"LP006"}
+
+
+def test_lp002_fires_on_compound_update_under_checksum():
+    text = CLEAN.replace("C[row] = acc;", "C[row] += acc;")
+    findings = lint_cuda_text(text)
+    assert "LP002" in rules_of(findings)
+    lp002 = [f for f in findings if f.rule == "LP002"]
+    assert all(f.severity.value == "error" for f in lp002)

@@ -1,0 +1,124 @@
+"""Statement-scanner vs. legacy-regex analysis: pinned blind spots.
+
+The legacy single-regex heuristic (kept as
+:func:`analyze_kernel_source_regex`) misclassifies three statement
+shapes the character-level scanner handles. These tests pin both the
+old (wrong) and new (right) verdicts so the fallback's limitations
+stay documented and the scanner never regresses to them.
+"""
+
+import pytest
+
+from repro.compiler.idempotence import (
+    analyze_kernel_source,
+    analyze_kernel_source_regex,
+    scan_statement,
+)
+from repro.compiler.parser import parse_program
+
+
+def kernel_of(source: str):
+    return parse_program(source).kernels[0]
+
+
+MULTIDIM = """
+__global__ void md(float *a, int n) {
+    int i = blockIdx.x;
+    int j = threadIdx.x;
+    a[i][j] = a[i][j] + 1.0f;
+}
+"""
+
+NESTED_SUBSCRIPT = """
+__global__ void ns(int *y, int *idx, int n) {
+    int i = blockIdx.x;
+    y[idx[i]] += 1;
+}
+"""
+
+PAREN_ATOMIC = """
+__global__ void pa(int *bins, int n) {
+    int i = blockIdx.x;
+    atomicAdd(&(bins[i]), 1);
+}
+"""
+
+SPACED_CAS = """
+__global__ void sc(unsigned long long *tab, int n) {
+    int h = blockIdx.x;
+    atomicCAS( & tab [h], 0ULL, 1ULL);
+}
+"""
+
+
+def test_multidim_write_blind_spot():
+    # Old: `a[i][j] = ...` never matches the single-bracket write
+    # regex, so the kernel was wrongly certified idempotent.
+    legacy = analyze_kernel_source_regex(kernel_of(MULTIDIM))
+    assert legacy.idempotent, "pinned legacy misclassification"
+    report = analyze_kernel_source(kernel_of(MULTIDIM))
+    assert not report.idempotent
+    assert "a" in report.written_arrays
+    assert any("'a'" in h for h in report.hazards)
+
+
+def test_nested_subscript_blind_spot():
+    # Old: the inner `idx[i]` bracket stops the lazy `[^\]]*` match, so
+    # the compound `+=` write to y was lost (y read-only, idx read).
+    legacy = analyze_kernel_source_regex(kernel_of(NESTED_SUBSCRIPT))
+    assert legacy.idempotent, "pinned legacy misclassification"
+    report = analyze_kernel_source(kernel_of(NESTED_SUBSCRIPT))
+    assert not report.idempotent
+    assert "y" in report.written_arrays
+    assert "idx" in report.read_arrays
+    assert any("+=" in h for h in report.hazards)
+
+
+def test_parenthesized_atomic_blind_spot():
+    # Old: `&(bins...)` defeats the `&?\s*ident` capture, naming no
+    # written array at all.
+    legacy = analyze_kernel_source_regex(kernel_of(PAREN_ATOMIC))
+    assert legacy.idempotent, "pinned legacy misclassification"
+    report = analyze_kernel_source(kernel_of(PAREN_ATOMIC))
+    assert not report.idempotent
+    assert "bins" in report.written_arrays
+
+
+def test_spaced_cas_operand():
+    report = analyze_kernel_source(kernel_of(SPACED_CAS))
+    assert not report.idempotent
+    assert "tab" in report.written_arrays
+
+
+def test_scanner_and_regex_agree_on_simple_statements():
+    # On the shapes the regex does handle, the verdicts must coincide.
+    for src in (
+        "__global__ void k(float *C, float *A, int n) {\n"
+        "    C[blockIdx.x] = A[blockIdx.x];\n}",
+        "__global__ void k(float *C, int n) {\n"
+        "    C[blockIdx.x] += 1.0f;\n}",
+        "__global__ void k(int *h, int n) {\n"
+        "    atomicAdd(&h[blockIdx.x], 1);\n}",
+    ):
+        new = analyze_kernel_source(kernel_of(src))
+        old = analyze_kernel_source_regex(kernel_of(src))
+        assert new.idempotent == old.idempotent
+        assert new.written_arrays == old.written_arrays
+        assert new.hazards == old.hazards
+
+
+@pytest.mark.parametrize("stmt,writes,reads,atomics", [
+    ("a[i][j] = b[k];", [("a", "=")], ["b"], []),
+    ("y[idx[i]] += 1;", [("y", "+=")], ["idx"], []),
+    ("x[i] <<= 2;", [("x", "<<=")], [], []),
+    ("if (a[i] == b[j]) c[i] = 0;", [("c", "=")], ["a", "b"], []),
+    ("atomicCAS(&(tab[h]), old, nw);", [], ["tab"],
+     [("atomicCAS", "tab")]),
+    ('printf("a[0] = %d", a[0]);', [], ["a"], []),
+    ("out[i] = in[i]; // out[j] += 1;", [("out", "=")], ["in"], []),
+])
+def test_scan_statement_classification(stmt, writes, reads, atomics):
+    eff = scan_statement(stmt)
+    assert eff.writes == writes
+    assert eff.reads == reads
+    assert eff.atomics == atomics

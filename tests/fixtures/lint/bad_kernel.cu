@@ -1,0 +1,21 @@
+// Seeded lplint offender: every CUDA front-end rule fires here.
+//
+//   LP004 - the table declares 4 elements for a 16-block launch
+//   LP001 - the accumulation store is not covered by any checksum
+//   LP002 - acc[i] = acc[i] + in[i] is not idempotent, yet the default
+//           recovery kernel would re-execute the region
+//   LP003 - the covered store indexes by threadIdx.x only, so every
+//           block writes the same elements
+//   LP006 - that store is float data under a parity-only checksum
+
+dim3 grid(16, 1);
+
+#pragma nvm lpcuda_init(tab, 4, 1)
+badkernel<<<grid, 64>>>(acc, out, in);
+
+__global__ void badkernel(float *acc, float *out, float *in) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    acc[i] = acc[i] + in[i];
+#pragma nvm lpcuda_checksum("^", tab, blockIdx.x)
+    out[threadIdx.x] = in[i] * 2.0f;
+}
