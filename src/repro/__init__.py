@@ -29,6 +29,8 @@ Public surface
 * :mod:`repro.workloads` — the paper's nine benchmarks.
 * :mod:`repro.compiler` — the ``#pragma nvm`` directive compiler.
 * :mod:`repro.bench` — the experiment harness for every table/figure.
+* :mod:`repro.obs` — the flight recorder: tracing, metrics, and
+  recovery forensics (see ``docs/observability.md``).
 """
 
 from repro.core.checksum import (
@@ -68,6 +70,7 @@ from repro.gpu.spec import GPUSpec, NVMSpec
 from repro.nvm.audit import AuditReport, audit_crash_consistency
 from repro.nvm.crash import CrashPlan, FaultInjector
 
+from repro import obs  # noqa: E402  (re-export subpackage)
 from repro import workloads  # noqa: E402  (re-export subpackage)
 
 __version__ = "1.0.0"
@@ -114,6 +117,7 @@ __all__ = [
     "fuse_blocks",
     "make_engine",
     "make_table",
+    "obs",
     "optimal_checkpoint_interval",
     "workloads",
 ]

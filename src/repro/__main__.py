@@ -10,6 +10,12 @@ Commands
     List the benchmark workloads with their paper-scale launch shapes.
 ``run <workload> [--scale S] [--config C] [--crash-after N]``
     Launch one workload under LP, optionally crash it, recover, verify.
+    ``--trace out.json`` records the run as a Chrome/Perfetto trace,
+    ``--metrics out.json`` dumps the flight-recorder metrics snapshot,
+    ``--json`` prints a structured result document instead of text.
+``profile <workload> [--scale S] [--crash-after N]``
+    Run a workload with the flight recorder on and print a per-phase
+    wall-time / modeled-cycles / NVM-traffic breakdown.
 ``report [path]``
     Regenerate EXPERIMENTS.md.
 ``lint [targets...] [--format text|json] [--oracle]``
@@ -60,9 +66,9 @@ def _cmd_workloads(_args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_run(args: argparse.Namespace) -> int:
+def _make_run(args: argparse.Namespace):
+    """Shared device + LP-kernel setup for ``run`` and ``profile``."""
     import repro
-    from repro.core.recovery import RecoveryManager
     from repro.workloads import make_workload
 
     configs = {
@@ -77,25 +83,177 @@ def _cmd_run(args: argparse.Namespace) -> int:
     kernel = work.setup(device)
     lp_kernel = repro.LPRuntime(device,
                                 configs[args.config]).instrument(kernel)
-    n_blocks = kernel.launch_config().n_blocks
-    print(f"{args.workload} ({args.scale}): {n_blocks} blocks, "
-          f"LP design {lp_kernel.config.describe()}")
-
     crash_plan = None
     if args.crash_after is not None:
         crash_plan = repro.CrashPlan(after_blocks=args.crash_after,
                                      persist_fraction=0.3, seed=args.seed)
-    result = device.launch(lp_kernel, crash_plan=crash_plan)
-    print(f"launch: {result.n_completed}/{n_blocks} blocks, "
-          f"{result.total_cycles:,.0f} modeled cycles"
-          + (", CRASHED" if result.crashed else ""))
+    return device, work, lp_kernel, crash_plan
 
-    if result.crashed:
-        report = RecoveryManager(device, lp_kernel).recover()
-        print(f"recovered {len(report.recovered_blocks)} regions in "
-              f"{report.total_recovery_cycles:,.0f} cycles")
-    work.verify(device)
-    print("output verified against the reference.")
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    import json
+
+    from repro import obs
+    from repro.core.recovery import RecoveryManager
+
+    device, work, lp_kernel, crash_plan = _make_run(args)
+    n_blocks = lp_kernel.launch_config().n_blocks
+    quiet = args.json
+
+    want_recorder = bool(args.trace or args.metrics or args.json)
+    recorder = obs.Recorder(
+        tracer=obs.Tracer(obs.MemorySink() if args.trace else None),
+        metrics=obs.MetricsRegistry() if (args.metrics or args.json)
+        else obs.NullMetrics(),
+    ) if want_recorder else None
+    previous = obs.install(recorder) if recorder is not None else None
+
+    try:
+        if not quiet:
+            print(f"{args.workload} ({args.scale}): {n_blocks} blocks, "
+                  f"LP design {lp_kernel.config.describe()}")
+        result = device.launch(lp_kernel, crash_plan=crash_plan)
+        if not quiet:
+            print(f"launch: {result.n_completed}/{n_blocks} blocks, "
+                  f"{result.total_cycles:,.0f} modeled cycles"
+                  + (", CRASHED" if result.crashed else ""))
+
+        report = None
+        if result.crashed:
+            report = RecoveryManager(device, lp_kernel).recover()
+            if not quiet:
+                print(f"recovered {len(report.recovered_blocks)} regions "
+                      f"in {report.total_recovery_cycles:,.0f} cycles")
+                if report.forensics is not None:
+                    print(report.forensics.render_text())
+        work.verify(device)
+        if not quiet:
+            print("output verified against the reference.")
+    finally:
+        if recorder is not None:
+            obs.install(previous)
+
+    if args.trace:
+        recorder.write_trace(args.trace, workload=args.workload,
+                             scale=args.scale, engine=args.engine)
+        if not quiet:
+            print(f"trace written to {args.trace}")
+    if args.metrics:
+        with open(args.metrics, "w") as fh:
+            json.dump(recorder.metrics_snapshot(), fh, indent=2)
+            fh.write("\n")
+        if not quiet:
+            print(f"metrics written to {args.metrics}")
+
+    if args.json:
+        payload = {
+            "workload": args.workload,
+            "scale": args.scale,
+            "config": args.config,
+            "engine": args.engine,
+            "launch": result.to_dict(),
+            "write_stats": device.memory.write_stats.to_dict(),
+            "table_stats": lp_kernel.table.stats.to_dict(),
+            "verified": True,
+        }
+        if report is not None:
+            payload["recovery"] = {
+                "recovered_blocks": len(report.recovered_blocks),
+                "total_recovery_cycles": report.total_recovery_cycles,
+                "forensics": None if report.forensics is None
+                else report.forensics.to_dict(),
+            }
+        if recorder is not None and recorder.metrics.active:
+            payload["metrics"] = recorder.metrics_snapshot()
+        print(json.dumps(payload, indent=2))
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    import json
+    import time
+
+    from repro import obs
+    from repro.core.recovery import RecoveryManager
+    from repro.obs.metrics import diff_counters
+
+    device, work, lp_kernel, crash_plan = _make_run(args)
+    n_blocks = lp_kernel.launch_config().n_blocks
+    phases: list[dict] = []
+
+    def _nvm_lines(deltas: dict) -> float:
+        return sum(v for k, v in deltas.items()
+                   if k.startswith("nvm.writeback.lines"))
+
+    with obs.recording() as rec:
+
+        def run_phase(name, fn):
+            before = rec.metrics_snapshot()
+            t0 = time.perf_counter()
+            out = fn()
+            wall_ms = (time.perf_counter() - t0) * 1e3
+            deltas = diff_counters(before, rec.metrics_snapshot())
+            phases.append({"phase": name, "wall_ms": wall_ms,
+                           "cycles": 0.0,
+                           "nvm_lines": _nvm_lines(deltas)})
+            return out
+
+        result = run_phase(
+            "launch", lambda: device.launch(lp_kernel,
+                                            crash_plan=crash_plan))
+        phases[-1]["cycles"] = result.total_cycles
+
+        report = None
+        if result.crashed:
+            report = run_phase(
+                "recover",
+                lambda: RecoveryManager(device, lp_kernel).recover())
+            phases[-1]["cycles"] = report.total_recovery_cycles
+
+        run_phase("drain", device.drain)
+        check = run_phase(
+            "validate",
+            lambda: RecoveryManager(device, lp_kernel).validate())
+        phases[-1]["cycles"] = check.launch.total_cycles
+        run_phase("verify", lambda: work.verify(device))
+
+    if args.trace:
+        rec.write_trace(args.trace, workload=args.workload,
+                        scale=args.scale, engine=args.engine,
+                        command="profile")
+    if args.metrics:
+        with open(args.metrics, "w") as fh:
+            json.dump(rec.metrics_snapshot(), fh, indent=2)
+            fh.write("\n")
+
+    if args.json:
+        print(json.dumps({
+            "workload": args.workload,
+            "scale": args.scale,
+            "engine": args.engine,
+            "n_blocks": n_blocks,
+            "crashed": result.crashed,
+            "validation_failed_blocks": check.n_failed,
+            "phases": phases,
+        }, indent=2))
+        return 0
+
+    print(f"{args.workload} ({args.scale}): {n_blocks} blocks, "
+          f"engine {args.engine}"
+          + (", crashed + recovered" if result.crashed else ""))
+    print(f"{'phase':10s} {'wall ms':>10s} {'modeled cycles':>16s} "
+          f"{'NVM lines':>10s}")
+    for row in phases:
+        print(f"{row['phase']:10s} {row['wall_ms']:10.2f} "
+              f"{row['cycles']:16,.0f} {row['nvm_lines']:10,.0f}")
+    total_wall = sum(r["wall_ms"] for r in phases)
+    total_lines = sum(r["nvm_lines"] for r in phases)
+    print(f"{'total':10s} {total_wall:10.2f} {'':>16s} "
+          f"{total_lines:10,.0f}")
+    if args.trace:
+        print(f"trace written to {args.trace}")
+    if args.metrics:
+        print(f"metrics written to {args.metrics}")
     return 0
 
 
@@ -151,22 +309,39 @@ def build_parser() -> argparse.ArgumentParser:
     p_wl = sub.add_parser("workloads", help="list benchmark workloads")
     p_wl.set_defaults(fn=_cmd_workloads)
 
-    p_run = sub.add_parser("run", help="run a workload under LP")
-    p_run.add_argument("workload")
-    p_run.add_argument("--scale", default="small",
+    def add_run_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("workload")
+        p.add_argument("--scale", default="small",
                        choices=("tiny", "small", "medium"))
-    p_run.add_argument("--config", default="global-array",
+        p.add_argument("--config", default="global-array",
                        choices=("global-array", "quadratic", "cuckoo"))
-    p_run.add_argument("--crash-after", type=int, default=None,
+        p.add_argument("--crash-after", type=int, default=None,
                        metavar="N", help="crash after N blocks")
-    p_run.add_argument("--cache-lines", type=int, default=64)
-    p_run.add_argument("--seed", type=int, default=0)
-    p_run.add_argument("--engine", default="serial",
+        p.add_argument("--cache-lines", type=int, default=64)
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--engine", default="serial",
                        choices=("serial", "parallel", "batched"),
                        help="launch engine (all are bit-identical)")
-    p_run.add_argument("--jobs", type=int, default=None, metavar="N",
-                       help="worker count (parallel) / group size (batched)")
+        p.add_argument("--jobs", type=int, default=None, metavar="N",
+                       help="worker count (parallel) / "
+                            "group size (batched)")
+        p.add_argument("--trace", default=None, metavar="FILE",
+                       help="write a Chrome/Perfetto trace JSON file")
+        p.add_argument("--metrics", default=None, metavar="FILE",
+                       help="write the metrics snapshot as JSON")
+        p.add_argument("--json", action="store_true",
+                       help="print a structured JSON result document")
+
+    p_run = sub.add_parser("run", help="run a workload under LP")
+    add_run_args(p_run)
     p_run.set_defaults(fn=_cmd_run)
+
+    p_prof = sub.add_parser(
+        "profile",
+        help="run with the flight recorder on; print a per-phase "
+             "time/traffic breakdown")
+    add_run_args(p_prof)
+    p_prof.set_defaults(fn=_cmd_profile)
 
     p_lint = sub.add_parser("lint", help="run the lplint static analyzer")
     p_lint.add_argument("targets", nargs="*",

@@ -23,6 +23,8 @@ from repro.core.runtime import LazyPersistentKernel
 from repro.errors import RecoveryError
 from repro.gpu.device import Device, LaunchResult
 from repro.gpu.kernel import ExecMode
+from repro.obs import current as _recorder
+from repro.obs.forensics import ForensicsReport, diagnose
 
 
 @dataclass
@@ -33,6 +35,9 @@ class ValidationReport:
     failed_blocks: list[int]
     missing_checksums: list[int]
     launch: LaunchResult
+    #: Raw per-block diagnosis (reason, expected/found lanes) captured
+    #: from the kernel's validation pass; input to forensics.
+    failure_details: dict[int, dict] = field(default_factory=dict)
 
     @property
     def n_failed(self) -> int:
@@ -53,6 +58,9 @@ class RecoveryReport:
     recovered_blocks: list[int] = field(default_factory=list)
     final: ValidationReport | None = None
     recovery_launches: list[LaunchResult] = field(default_factory=list)
+    #: Structured per-failed-block diagnosis of the initial validation
+    #: (None when the initial validation passed everywhere).
+    forensics: ForensicsReport | None = None
 
     @property
     def recovered(self) -> bool:
@@ -82,16 +90,35 @@ class RecoveryManager:
 
     def validate(self, block_ids: list[int] | None = None) -> ValidationReport:
         """Launch the validation pass over all (or given) blocks."""
+        rec = _recorder()
         self.kernel.reset_validation()
-        launch = self.device.launch(
-            self.kernel, block_ids=block_ids, mode=ExecMode.VALIDATE
-        )
-        return ValidationReport(
+        with rec.trace.span(
+            "lp.phase.validate", cat="lp", track="lp",
+            kernel=self.kernel.name,
+            blocks=len(block_ids) if block_ids is not None else "all",
+        ):
+            launch = self.device.launch(
+                self.kernel, block_ids=block_ids, mode=ExecMode.VALIDATE
+            )
+        report = ValidationReport(
             n_blocks=len(launch.completed_blocks),
             failed_blocks=sorted(self.kernel.validation_failures),
             missing_checksums=sorted(self.kernel.missing_checksums),
             launch=launch,
+            failure_details=dict(self.kernel.failure_details),
         )
+        if rec.metrics.active:
+            rec.metrics.inc("lp.validate.blocks", report.n_blocks)
+            rec.metrics.inc("lp.validate.failed", report.n_failed)
+            rec.metrics.inc("lp.validate.missing_entries",
+                            len(report.missing_checksums))
+        if rec.trace.enabled and report.failed_blocks:
+            rec.trace.instant(
+                "lp.validation.failed", cat="lp", track="lp",
+                n_failed=report.n_failed,
+                missing=len(report.missing_checksums),
+            )
+        return report
 
     def recover(self, max_rounds: int = 3) -> RecoveryReport:
         """Eager recovery: validate, re-execute failures, re-validate.
@@ -102,19 +129,35 @@ class RecoveryManager:
         :class:`~repro.errors.RecoveryError` if the state will not
         converge.
         """
+        rec = _recorder()
         if self.device.crashed:
             self.device.restart()
 
         initial = self.validate()
         report = RecoveryReport(initial=initial)
         failed = initial.failed_blocks
+        if failed:
+            report.forensics = diagnose(self.kernel, initial, self.device)
+            if rec.trace.enabled:
+                for failure in report.forensics.failures:
+                    rec.trace.instant(
+                        "forensics.block", cat="forensics",
+                        track="forensics", **failure.to_dict(),
+                    )
 
         for _ in range(max_rounds):
             if not failed:
                 break
-            launch = self.device.launch(
-                self.kernel, block_ids=failed, mode=ExecMode.RECOVER
-            )
+            with rec.trace.span(
+                "lp.phase.recover", cat="lp", track="lp",
+                kernel=self.kernel.name, blocks=len(failed),
+            ):
+                launch = self.device.launch(
+                    self.kernel, block_ids=failed, mode=ExecMode.RECOVER
+                )
+            if rec.metrics.active:
+                rec.metrics.inc("lp.recover.blocks", len(failed))
+                rec.metrics.inc("lp.recover.rounds")
             report.recovery_launches.append(launch)
             report.recovered_blocks.extend(failed)
             check = self.validate(block_ids=failed)

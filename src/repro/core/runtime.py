@@ -70,6 +70,10 @@ class LazyPersistentKernel(Kernel):
         self.validation_failures: list[int] = []
         #: Blocks whose stored checksum was missing entirely.
         self.missing_checksums: list[int] = []
+        #: Per-failed-block diagnosis from the last validation launch:
+        #: ``{block_id: {"reason", "expected", "found"}}`` — the raw
+        #: material :func:`repro.obs.forensics.diagnose` builds on.
+        self.failure_details: dict[int, dict] = {}
 
     # ------------------------------------------------------------------
     # Kernel interface
@@ -150,8 +154,20 @@ class LazyPersistentKernel(Kernel):
         if stored is None:
             self.missing_checksums.append(ctx.block_id)
             self.validation_failures.append(ctx.block_id)
+            # "expected" is the table's reference checksum; "found" is
+            # what the data in memory actually checksums to.
+            self.failure_details[ctx.block_id] = {
+                "reason": "missing-entry",
+                "expected": None,
+                "found": np.array(lanes, copy=True),
+            }
         elif not np.array_equal(lanes, stored):
             self.validation_failures.append(ctx.block_id)
+            self.failure_details[ctx.block_id] = {
+                "reason": "lane-mismatch",
+                "expected": np.array(stored, copy=True),
+                "found": np.array(lanes, copy=True),
+            }
 
     def recover_block(self, ctx: BlockContext) -> None:
         """Re-execute a failed region and refresh its checksum entry."""
@@ -167,6 +183,7 @@ class LazyPersistentKernel(Kernel):
         """Clear the failure lists before a validation launch."""
         self.validation_failures = []
         self.missing_checksums = []
+        self.failure_details = {}
 
     @property
     def protected_data_bytes(self) -> int:

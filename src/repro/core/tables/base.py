@@ -33,6 +33,7 @@ from repro.errors import TableError
 from repro.gpu.costs import CostModel
 from repro.gpu.kernel import BlockContext
 from repro.gpu.memory import Buffer, GlobalMemory
+from repro.obs import current as _recorder
 
 #: Key sentinel for an empty slot. Block ids are far below 2**64 - 1.
 EMPTY_KEY = np.uint64(0xFFFFFFFFFFFFFFFF)
@@ -95,6 +96,18 @@ class TableStats:
     def note_chain(self, length: int) -> None:
         """Record the chain length of one insert."""
         self.max_chain = max(self.max_chain, length)
+
+    def to_dict(self) -> dict:
+        """All counters as one JSON-serializable dict."""
+        return {
+            "inserts": self.inserts,
+            "collisions": self.collisions,
+            "probes": self.probes,
+            "rehashes": self.rehashes,
+            "lookups": self.lookups,
+            "failed_lookups": self.failed_lookups,
+            "max_chain": self.max_chain,
+        }
 
 
 class ChecksumTable(abc.ABC):
@@ -175,6 +188,43 @@ class ChecksumTable(abc.ABC):
         checksum store itself did not persist, so the region must be
         recovered. Lookups are off the critical path (Section IV-C).
         """
+
+    # -- flight-recorder publication ---------------------------------------
+    #
+    # Metrics are published as *deltas* of ``self.stats`` taken at the
+    # public entry points, so internal recursion (a cuckoo rehash
+    # re-inserting through ``_insert_inner``) aggregates into the one
+    # triggering insert instead of double counting.
+
+    def _stats_marker(self) -> tuple[int, int, int]:
+        s = self.stats
+        return (s.probes, s.collisions, s.rehashes)
+
+    def _publish_insert(self, marker: tuple[int, int, int]) -> None:
+        metrics = _recorder().metrics
+        if not metrics.active:
+            return
+        s = self.stats
+        label = self.kind.value
+        metrics.inc("table.insert.count", table=label)
+        if s.probes > marker[0]:
+            metrics.inc("table.insert.probes", s.probes - marker[0],
+                        table=label)
+        if s.collisions > marker[1]:
+            metrics.inc("table.insert.collisions",
+                        s.collisions - marker[1], table=label)
+        if s.rehashes > marker[2]:
+            metrics.inc("table.rehashes", s.rehashes - marker[2],
+                        table=label)
+
+    def _publish_lookup(self, found: bool) -> None:
+        metrics = _recorder().metrics
+        if not metrics.active:
+            return
+        label = self.kind.value
+        metrics.inc("table.lookup.count", table=label)
+        if not found:
+            metrics.inc("table.lookup.failed", table=label)
 
     # -- shared metrics ----------------------------------------------------
 

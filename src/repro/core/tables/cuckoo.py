@@ -36,6 +36,7 @@ from repro.errors import RehashLimitError
 from repro.gpu.costs import CostModel
 from repro.gpu.kernel import BlockContext
 from repro.gpu.memory import GlobalMemory
+from repro.obs import current as _recorder
 
 #: Eviction-chain length that declares a cycle and forces a rehash.
 DEFAULT_MAX_CHAIN = 48
@@ -100,8 +101,15 @@ class CuckooTable(ChecksumTable):
 
     def insert(self, ctx: BlockContext, key: int, lanes: np.ndarray) -> None:
         self.stats.inserts += 1
-        self._insert_inner(ctx, np.uint64(key),
-                           np.asarray(lanes, dtype=np.uint64), depth=0)
+        marker = self._stats_marker()
+        try:
+            self._insert_inner(ctx, np.uint64(key),
+                               np.asarray(lanes, dtype=np.uint64), depth=0)
+        finally:
+            # Rehash recursion goes through _insert_inner, so the whole
+            # chain (evictions, rebuild reinserts) publishes as one
+            # insert's delta here.
+            self._publish_insert(marker)
 
     def _insert_inner(
         self, ctx: BlockContext, key: np.uint64, lanes: np.ndarray, depth: int
@@ -145,6 +153,10 @@ class CuckooTable(ChecksumTable):
                 "without converging"
             )
         self.stats.rehashes += 1
+        _recorder().trace.instant(
+            "table.rehash", cat="table", track="table",
+            table=self.kind.value, depth=depth,
+        )
         entries: list[tuple[np.uint64, np.ndarray]] = []
         for t in (0, 1):
             keys = self._keys[t].array
@@ -176,6 +188,8 @@ class CuckooTable(ChecksumTable):
             idx = self._index(t, int(key))
             if self._keys[t].array[idx] == key64:
                 base = idx * self.n_lanes
+                self._publish_lookup(found=True)
                 return self._lanes[t].array[base:base + self.n_lanes].copy()
         self.stats.failed_lookups += 1
+        self._publish_lookup(found=False)
         return None

@@ -53,9 +53,11 @@ class GlobalArrayTable(ChecksumTable):
     def insert(self, ctx: BlockContext, key: int, lanes: np.ndarray) -> None:
         """One plain store; no probe, no atomic, no lock."""
         self._check_key(key)
+        marker = self._stats_marker()
         self.stats.inserts += 1
         self.stats.probes += 1
         ctx.st(self._lanes, self._lane_slice(int(key)), lanes)
+        self._publish_insert(marker)
 
     def lookup(self, key: int) -> np.ndarray | None:
         self._check_key(key)
@@ -64,7 +66,9 @@ class GlobalArrayTable(ChecksumTable):
         lanes = self._lanes.array[base:base + self.n_lanes].copy()
         if np.all(lanes == EMPTY_SENTINEL):
             self.stats.failed_lookups += 1
+            self._publish_lookup(found=False)
             return None
+        self._publish_lookup(found=True)
         return lanes
 
     def _check_key(self, key: int) -> None:

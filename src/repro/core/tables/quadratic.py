@@ -90,6 +90,14 @@ class QuadraticTable(ChecksumTable):
     # ------------------------------------------------------------------
 
     def insert(self, ctx: BlockContext, key: int, lanes: np.ndarray) -> None:
+        marker = self._stats_marker()
+        try:
+            self._insert_impl(ctx, key, lanes)
+        finally:
+            self._publish_insert(marker)
+
+    def _insert_impl(self, ctx: BlockContext, key: int,
+                     lanes: np.ndarray) -> None:
         key64 = np.uint64(key)
         home = self._home_index(key)
         self.stats.inserts += 1
@@ -148,6 +156,7 @@ class QuadraticTable(ChecksumTable):
             slot = keys_img[idx]
             if slot == key64:
                 base = idx * self.n_lanes
+                self._publish_lookup(found=True)
                 return lanes_img[base:base + self.n_lanes].copy()
             if slot == EMPTY_KEY:
                 hit_empty = True
@@ -157,6 +166,8 @@ class QuadraticTable(ChecksumTable):
             hits = np.flatnonzero(keys_img == key64)
             if hits.size:
                 base = int(hits[0]) * self.n_lanes
+                self._publish_lookup(found=True)
                 return lanes_img[base:base + self.n_lanes].copy()
         self.stats.failed_lookups += 1
+        self._publish_lookup(found=False)
         return None

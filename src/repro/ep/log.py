@@ -26,6 +26,7 @@ import numpy as np
 from repro.errors import RecoveryError, TableError
 from repro.gpu.kernel import BlockContext
 from repro.gpu.memory import Buffer, GlobalMemory
+from repro.obs import current as _recorder
 
 #: Commit-flag values.
 IN_FLIGHT = np.uint64(0)
@@ -107,12 +108,19 @@ class UndoLog:
         ctx.clwb(self.entries, np.concatenate([slot_idx, slot_idx + 1]))
         ctx.clwb(self.cursors, block)
         ctx.persist_barrier()
+        metrics = _recorder().metrics
+        if metrics.active:
+            metrics.inc("ep.log.appends")
+            metrics.inc("ep.log.entries", n)
 
     def commit(self, ctx: BlockContext) -> None:
         """Mark the region durable (its data must be flushed already)."""
         ctx.st(self.commits, ctx.block_id, COMMITTED)
         ctx.clwb(self.commits, ctx.block_id)
         ctx.persist_barrier()
+        metrics = _recorder().metrics
+        if metrics.active:
+            metrics.inc("ep.log.commits")
 
     def reset_block(self, ctx: BlockContext, block: int) -> None:
         """Clear a block's log (after rollback, before re-execution)."""
@@ -137,15 +145,20 @@ class UndoLog:
         to the same pre-region state, because the log itself is only
         cleared after the rollback completes.
         """
-        cursor = int(self.cursors.array[block])
-        entries = self.entries.array
-        undone = 0
-        for i in range(cursor - 1, -1, -1):
-            base = (block * self.capacity + i) * 2
-            addr = int(entries[base])
-            bits = np.uint64(entries[base + 1])
-            self._write_element(addr, bits)
-            undone += 1
+        rec = _recorder()
+        with rec.trace.span("ep.rollback", cat="ep", track="ep",
+                            block=block):
+            cursor = int(self.cursors.array[block])
+            entries = self.entries.array
+            undone = 0
+            for i in range(cursor - 1, -1, -1):
+                base = (block * self.capacity + i) * 2
+                addr = int(entries[base])
+                bits = np.uint64(entries[base + 1])
+                self._write_element(addr, bits)
+                undone += 1
+        if rec.metrics.active and undone:
+            rec.metrics.inc("ep.rollback.records", undone)
         return undone
 
     def _write_element(self, byte_addr: int, bits: np.uint64) -> None:

@@ -90,6 +90,21 @@ class Tally:
             setattr(out, f.name, getattr(self, f.name))
         return out
 
+    def absorb_atomics(self, unit) -> None:
+        """Take the launch's atomic totals from its ``AtomicUnit``.
+
+        Called once at an engine's terminal execution site (engines own
+        the tally's lifecycle; the device no longer hand-copies these
+        fields). Assignment, not accumulation, so an engine that falls
+        back through serial execution absorbs exactly once.
+        """
+        self.atomic_ops = float(unit.total_ops)
+        self.atomic_hot_max = float(unit.hot_max)
+
+    def to_dict(self) -> dict:
+        """All counters as one JSON-serializable dict."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
     @property
     def global_bytes(self) -> float:
         """Total global-memory traffic in bytes."""
@@ -198,6 +213,20 @@ class TimeBreakdown:
     def slowdown_vs(self, baseline: "TimeBreakdown") -> float:
         """Multiplicative slowdown (``1.0`` means equal time)."""
         return 1.0 + self.overhead_vs(baseline)
+
+    def to_dict(self) -> dict:
+        """Per-resource cycles plus derived totals, JSON-serializable."""
+        return {
+            "compute_cycles": self.compute_cycles,
+            "memory_cycles": self.memory_cycles,
+            "shared_cycles": self.shared_cycles,
+            "atomic_cycles": self.atomic_cycles,
+            "serial_cycles": self.serial_cycles,
+            "sync_cycles": self.sync_cycles,
+            "overlapped_cycles": self.overlapped_cycles,
+            "total_cycles": self.total_cycles,
+            "bottleneck": self.bottleneck,
+        }
 
 
 @dataclass

@@ -27,6 +27,7 @@ from repro.gpu.kernel import ExecMode, Kernel, LaunchConfig
 from repro.gpu.memory import CrashReport, GlobalMemory
 from repro.gpu.spec import GPUSpec, NVMSpec
 from repro.nvm.crash import CrashPlan
+from repro.obs import current as _recorder
 
 
 @dataclass
@@ -50,6 +51,24 @@ class LaunchResult:
     def total_cycles(self) -> float:
         """Modeled end-to-end time in device cycles."""
         return self.time.total_cycles
+
+    def to_dict(self) -> dict:
+        """The launch outcome as one JSON-serializable dict."""
+        return {
+            "kernel": self.kernel_name,
+            "n_blocks": self.config.n_blocks,
+            "threads_per_block": self.config.threads_per_block,
+            "n_completed": self.n_completed,
+            "crashed": self.crashed,
+            "crash": None if self.crash_report is None else {
+                "lost_lines": self.crash_report.n_lost,
+                "persisted_lines": len(self.crash_report.persisted_lines),
+                "lost_by_buffer": dict(sorted(
+                    self.crash_report.lost_by_buffer.items())),
+            },
+            "tally": self.tally.to_dict(),
+            "time": self.time.to_dict(),
+        }
 
 
 @dataclass
@@ -97,6 +116,8 @@ class Device:
         )
         self.cost_model = CostModel(spec=self.spec, nvm=self.nvm)
         self.crashed = False
+        #: The most recent crash's :class:`CrashReport` (forensics input).
+        self.last_crash_report: CrashReport | None = None
         self._rng = np.random.default_rng(self.seed)
         self._launch_counter = 0
 
@@ -171,10 +192,15 @@ class Device:
             fence_latency=fence_latency,
             fence_concurrency=fence_concurrency,
         )
-        completed, tally = self.engine.execute(plan)
-
-        tally.atomic_ops = float(atomics.total_ops)
-        tally.atomic_hot_max = float(atomics.hot_max)
+        rec = _recorder()
+        with rec.trace.span(
+            "device.launch", cat="device", track="device",
+            kernel=kernel.name, engine=self.engine.name, mode=mode.name,
+            blocks=len(order),
+        ):
+            # The engine owns the tally end to end, atomic totals
+            # included (Tally.absorb_atomics at its terminal site).
+            completed, tally = self.engine.execute(plan)
 
         if crashed:
             assert crash_plan is not None
@@ -183,8 +209,11 @@ class Device:
                 rng=crash_plan.rng(),
             )
             self.crashed = True
+            self.last_crash_report = crash_report
 
         self._launch_counter += 1
+        if rec.metrics.active:
+            rec.metrics.inc("device.launches", mode=mode.name)
         return LaunchResult(
             kernel_name=kernel.name,
             config=config,

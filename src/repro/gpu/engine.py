@@ -51,6 +51,12 @@ from repro.gpu.batch import BatchBlockContext
 from repro.gpu.costs import Tally
 from repro.gpu.kernel import BlockContext, ExecMode, Kernel, LaunchConfig
 from repro.gpu.memory import GlobalMemory
+from repro.obs import current as _recorder
+
+#: Block-group granularity of serial/replay tracing spans: fine enough
+#: to see progress, coarse enough that a 10k-block launch stays a
+#: loadable timeline.
+TRACE_GROUP_BLOCKS = 64
 
 
 @dataclass
@@ -117,8 +123,31 @@ class SerialEngine(LaunchEngine):
     def execute(self, plan: LaunchPlan) -> tuple[list[int], Tally]:
         tally = plan.new_tally()
         completed: list[int] = []
+        rec = _recorder()
+        if rec.trace.enabled:
+            # Per-block-group spans: chunked only when tracing, so the
+            # default hot loop stays branch-free per block.
+            ids = plan.block_ids
+            for lo in range(0, len(ids), TRACE_GROUP_BLOCKS):
+                group = ids[lo:lo + TRACE_GROUP_BLOCKS]
+                with rec.trace.span(
+                    "engine.blocks", cat="engine", track="engine",
+                    engine=self.name, mode=plan.mode.name,
+                    first=group[0], count=len(group),
+                ):
+                    self._run_blocks(plan, group, tally, completed)
+        else:
+            self._run_blocks(plan, plan.block_ids, tally, completed)
+        tally.absorb_atomics(plan.atomics)
+        if rec.metrics.active:
+            rec.metrics.inc("engine.blocks.completed", len(completed),
+                            engine=self.name)
+        return completed, tally
+
+    def _run_blocks(self, plan: LaunchPlan, block_ids: list[int],
+                    tally: Tally, completed: list[int]) -> None:
         kernel = plan.kernel
-        for block_id in plan.block_ids:
+        for block_id in block_ids:
             ctx = plan.block_context(block_id)
             if plan.mode is ExecMode.VALIDATE:
                 kernel.validate_block(ctx)
@@ -128,7 +157,6 @@ class SerialEngine(LaunchEngine):
                 kernel.run_block(ctx)
             tally.merge(ctx.finalize_tally())
             completed.append(block_id)
-        return completed, tally
 
 
 # ---------------------------------------------------------------------------
@@ -295,10 +323,17 @@ class ParallelEngine(LaunchEngine):
     def _run_workers(self, plan: LaunchPlan) -> dict[int, BlockRecord]:
         global _WORKER_PLAN
         chunks = self._chunk(plan.block_ids)
+        rec = _recorder()
+        if rec.metrics.active:
+            rec.metrics.inc("engine.scheduling.chunks", len(chunks),
+                            engine=self.name)
         ctx = multiprocessing.get_context("fork")
         _WORKER_PLAN = plan
         try:
-            with ctx.Pool(processes=self.jobs) as pool:
+            with ctx.Pool(processes=self.jobs) as pool, rec.trace.span(
+                "engine.workers", cat="engine", track="engine",
+                engine=self.name, jobs=self.jobs, chunks=len(chunks),
+            ):
                 chunk_results = pool.map(_run_worker_chunk, chunks)
         finally:
             _WORKER_PLAN = None
@@ -322,8 +357,35 @@ class ParallelEngine(LaunchEngine):
     ) -> tuple[list[int], Tally]:
         tally = plan.new_tally()
         completed: list[int] = []
+        rec = _recorder()
+        if rec.trace.enabled:
+            # Replay in per-block-group spans (same granularity as the
+            # serial engine's groups) so the timeline shows the
+            # deterministic-apply phase block range by block range.
+            ids = plan.block_ids
+            for lo in range(0, len(ids), TRACE_GROUP_BLOCKS):
+                group = ids[lo:lo + TRACE_GROUP_BLOCKS]
+                with rec.trace.span(
+                    "engine.replay", cat="engine", track="engine",
+                    engine=self.name, first=group[0], count=len(group),
+                ):
+                    self._replay_blocks(plan, records, group, tally,
+                                        completed)
+        else:
+            self._replay_blocks(plan, records, plan.block_ids, tally,
+                                completed)
+        tally.absorb_atomics(plan.atomics)
+        if rec.metrics.active:
+            rec.metrics.inc("engine.blocks.completed", len(completed),
+                            engine=self.name)
+        return completed, tally
+
+    def _replay_blocks(
+        self, plan: LaunchPlan, records: dict[int, BlockRecord],
+        block_ids: list[int], tally: Tally, completed: list[int],
+    ) -> None:
         memory = plan.memory
-        for block_id in plan.block_ids:
+        for block_id in block_ids:
             record = records[block_id]
             tally.merge(record.tally)
             for op in record.ops:
@@ -345,7 +407,6 @@ class ParallelEngine(LaunchEngine):
                 else:  # pragma: no cover - defensive
                     raise LaunchError(f"unknown replay op {code!r}")
             completed.append(block_id)
-        return completed, tally
 
 
 # ---------------------------------------------------------------------------
@@ -386,18 +447,30 @@ class BatchedEngine(LaunchEngine):
 
         tally = plan.new_tally()
         completed: list[int] = []
+        rec = _recorder()
         ids = plan.block_ids
         for lo in range(0, len(ids), self.group_size):
             group = ids[lo:lo + self.group_size]
-            bctx = BatchBlockContext(
-                plan.memory, plan.config, group,
-                fence_latency_cycles=plan.fence_latency,
-                fence_concurrency=plan.fence_concurrency,
-            )
-            plan.kernel.run_block_batch(bctx)
-            tally.merge(bctx.finalize_tally())
-            self._apply_group(plan, bctx, tally)
+            with rec.trace.span(
+                "engine.group", cat="engine", track="engine",
+                engine=self.name, first=group[0], count=len(group),
+            ):
+                bctx = BatchBlockContext(
+                    plan.memory, plan.config, group,
+                    fence_latency_cycles=plan.fence_latency,
+                    fence_concurrency=plan.fence_concurrency,
+                )
+                plan.kernel.run_block_batch(bctx)
+                tally.merge(bctx.finalize_tally())
+                self._apply_group(plan, bctx, tally)
             completed.extend(group)
+            if rec.metrics.active:
+                rec.metrics.inc("engine.scheduling.groups",
+                                engine=self.name)
+        tally.absorb_atomics(plan.atomics)
+        if rec.metrics.active:
+            rec.metrics.inc("engine.blocks.completed", len(completed),
+                            engine=self.name)
         return completed, tally
 
     def _apply_group(

@@ -30,6 +30,7 @@ import numpy as np
 from repro.errors import AllocationError, OutOfBoundsError
 from repro.gpu.cache import WriteBackCache
 from repro.nvm.model import WritebackReason, WriteStats
+from repro.obs import current as _recorder
 
 #: Default dirty-line capacity: 6 MiB of 128-byte lines, matching the
 #: V100 L2 as the volume of data that can be pending persistence.
@@ -245,8 +246,9 @@ class GlobalMemory:
 
     def drain(self) -> int:
         """Write back every dirty line; returns how many were written."""
-        lines = self.cache.drain()
-        self._write_back(lines, WritebackReason.DRAIN)
+        with _recorder().trace.span("nvm.drain", cat="nvm", track="nvm"):
+            lines = self.cache.drain()
+            self._write_back(lines, WritebackReason.DRAIN)
         return len(lines)
 
     def flush(self, buf: Buffer, flat_idx: np.ndarray) -> int:
@@ -305,6 +307,16 @@ class GlobalMemory:
                 buf.data[:] = buf.shadow
             else:
                 buf.data[:] = 0
+
+        rec = _recorder()
+        if rec.active:
+            rec.trace.instant(
+                "nvm.crash", cat="nvm", track="nvm",
+                lost_lines=report.n_lost,
+                persisted_lines=len(report.persisted_lines),
+            )
+            for name, n in report.lost_by_buffer.items():
+                rec.metrics.inc("nvm.crash.lost_lines", n, buffer=name)
         return report
 
     # ------------------------------------------------------------------
@@ -334,6 +346,7 @@ class GlobalMemory:
     def _write_back(self, line_ids: list[int], reason: WritebackReason) -> None:
         if not line_ids:
             return
+        metrics = _recorder().metrics
         if len(line_ids) <= 4:
             # Scalar path for the common per-store eviction trickle.
             for lid in line_ids:
@@ -346,6 +359,9 @@ class GlobalMemory:
                 src = buf.data.view(np.uint8)[lo:hi]
                 buf.shadow.view(np.uint8)[lo:hi] = src
                 self.write_stats.record(reason, buf.name)
+                if metrics.active:
+                    metrics.inc("nvm.writeback.lines",
+                                reason=reason.value, buffer=buf.name)
             return
 
         # Bulk path (drains, batched evictions): one searchsorted maps
@@ -382,3 +398,6 @@ class GlobalMemory:
                 end = min(int(run[-1]) + self.line_size, buf.nbytes)
                 dst[start:end] = src[start:end]
             self.write_stats.record(reason, buf.name, n_lines=int(lo.size))
+            if metrics.active:
+                metrics.inc("nvm.writeback.lines", int(lo.size),
+                            reason=reason.value, buffer=buf.name)

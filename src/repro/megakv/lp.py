@@ -33,6 +33,7 @@ from repro.megakv.kernels import (
 )
 from repro.megakv.store import MegaKVStore
 from repro.nvm.crash import CrashPlan
+from repro.obs import current as _recorder
 
 
 @dataclass
@@ -148,33 +149,49 @@ class KVBatchSession:
         (and already-copied search-result buffers) are released.
         Returns the lines the drain wrote.
         """
-        lines = self.device.drain()
-        for kernel in self._epoch:
-            kernel.table.free()
-        self._epoch.clear()
-        for name in self._stale_result_buffers:
-            if name in self.device.memory:
-                self.device.free(name)
-        self._stale_result_buffers.clear()
+        rec = _recorder()
+        with rec.trace.span("megakv.checkpoint", cat="megakv",
+                            track="megakv", epoch_batches=len(self._epoch)):
+            lines = self.device.drain()
+            for kernel in self._epoch:
+                kernel.table.free()
+            self._epoch.clear()
+            for name in self._stale_result_buffers:
+                if name in self.device.memory:
+                    self.device.free(name)
+            self._stale_result_buffers.clear()
+        if rec.metrics.active:
+            rec.metrics.inc("megakv.checkpoints")
+            rec.metrics.inc("megakv.checkpoint.lines", lines)
         return lines
 
     def _run(self, op, kernel, crash_plan) -> BatchOutcome:
         table_name = f"{kernel.name}_b{self._batch_counter}"
+        batch_no = self._batch_counter
         self._batch_counter += 1
+        rec = _recorder()
         lp_kernel = self.runtime.instrument(kernel, table_name=table_name)
-        launch = self.device.launch(lp_kernel, crash_plan=crash_plan)
-        outcome = BatchOutcome(op=op, launch=launch, lp_kernel=lp_kernel)
-        if launch.crashed:
-            # A crash may have lost effects of any batch in the open
-            # epoch, not just the one in flight: recover oldest-first,
-            # then checkpoint so the epoch starts clean.
-            self.device.restart()
-            for old_kernel in self._epoch:
-                RecoveryManager(self.device, old_kernel).recover()
-            outcome.recovery = RecoveryManager(
-                self.device, lp_kernel
-            ).recover()
-            self.checkpoint()
-        else:
-            self._epoch.append(lp_kernel)
+        with rec.trace.span("megakv.batch", cat="megakv", track="megakv",
+                            op=op, batch=batch_no):
+            launch = self.device.launch(lp_kernel, crash_plan=crash_plan)
+            outcome = BatchOutcome(op=op, launch=launch,
+                                   lp_kernel=lp_kernel)
+            if launch.crashed:
+                # A crash may have lost effects of any batch in the open
+                # epoch, not just the one in flight: recover
+                # oldest-first, then checkpoint so the epoch starts
+                # clean.
+                if rec.metrics.active:
+                    rec.metrics.inc("megakv.batch.crashes", op=op)
+                self.device.restart()
+                for old_kernel in self._epoch:
+                    RecoveryManager(self.device, old_kernel).recover()
+                outcome.recovery = RecoveryManager(
+                    self.device, lp_kernel
+                ).recover()
+                self.checkpoint()
+            else:
+                self._epoch.append(lp_kernel)
+        if rec.metrics.active:
+            rec.metrics.inc("megakv.batches", op=op)
         return outcome

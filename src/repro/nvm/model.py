@@ -76,6 +76,19 @@ class WriteStats:
         self.by_reason.clear()
         self.by_buffer.clear()
 
+    def to_dict(self) -> dict:
+        """The full breakdown as one JSON-serializable dict."""
+        return {
+            "line_size": self.line_size,
+            "total_lines": self.total_lines,
+            "total_bytes": self.total_bytes,
+            "by_reason": {reason.value: self.by_reason[reason]
+                          for reason in sorted(self.by_reason,
+                                               key=lambda r: r.value)},
+            "by_buffer": {name: self.by_buffer[name]
+                          for name in sorted(self.by_buffer)},
+        }
+
 
 def write_amplification(lp_stats: WriteStats, baseline_stats: WriteStats) -> float:
     """Fractional increase in NVM line writes caused by LP.

@@ -1,0 +1,143 @@
+"""``repro.obs`` — the flight recorder: tracing, metrics, forensics.
+
+The runtime's observability layer has three pillars:
+
+* :mod:`repro.obs.trace` — span/event tracing with Chrome-trace/Perfetto
+  export, so one crash → validate → recover → verify run is a single
+  loadable timeline.
+* :mod:`repro.obs.metrics` — one registry of counters/gauges/histograms
+  with stable names, replacing per-layer ad-hoc stats plumbing.
+* :mod:`repro.obs.forensics` — structured per-block diagnosis when
+  validation fails: missing entry vs. lane mismatch, expected vs. found
+  lanes, which protected lines were lost.
+
+Instrumented layers reach the recorder through :func:`current`, which
+returns the installed :class:`Recorder` — by default one whose tracer
+has a :class:`~repro.obs.trace.NullSink` and whose metrics are
+:class:`~repro.obs.metrics.NullMetrics`, so every instrumentation site
+costs one flag check when observability is off. Turn it on with::
+
+    from repro import obs
+
+    with obs.recording() as rec:
+        device.launch(kernel)
+        rec.write_trace("out.trace.json")
+        snapshot = rec.metrics_snapshot()
+
+This package is a *leaf*: it imports nothing from the rest of ``repro``
+(forensics is duck-typed), so any layer — memory, tables, engines — can
+import it without cycles.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from pathlib import Path
+
+from repro.obs.forensics import BlockForensics, ForensicsReport, diagnose
+from repro.obs.metrics import (
+    IDENTITY_LABELS,
+    ORDER_SENSITIVE_PREFIXES,
+    MetricsRegistry,
+    NullMetrics,
+    commutative_view,
+    diff_counters,
+    format_name,
+)
+from repro.obs.schema import SchemaValidationError, load_schema, validate
+from repro.obs.trace import (
+    MemorySink,
+    NullSink,
+    Tracer,
+    export_chrome_trace,
+    write_chrome_trace,
+)
+
+__all__ = [
+    "BlockForensics",
+    "ForensicsReport",
+    "IDENTITY_LABELS",
+    "MemorySink",
+    "MetricsRegistry",
+    "NullMetrics",
+    "NullSink",
+    "ORDER_SENSITIVE_PREFIXES",
+    "Recorder",
+    "SchemaValidationError",
+    "Tracer",
+    "commutative_view",
+    "current",
+    "diagnose",
+    "diff_counters",
+    "export_chrome_trace",
+    "format_name",
+    "install",
+    "load_schema",
+    "recording",
+    "validate",
+    "write_chrome_trace",
+]
+
+
+class Recorder:
+    """One tracer plus one metrics registry — the flight recorder."""
+
+    def __init__(self, tracer: Tracer | None = None,
+                 metrics=None) -> None:
+        self.trace = tracer if tracer is not None else Tracer()
+        self.metrics = metrics if metrics is not None else NullMetrics()
+
+    @property
+    def active(self) -> bool:
+        """True when at least one pillar is recording."""
+        return self.trace.enabled or self.metrics.active
+
+    def metrics_snapshot(self) -> dict:
+        """The metrics registry as one JSON-serializable snapshot."""
+        return self.metrics.snapshot()
+
+    def write_trace(self, path, **extra) -> Path:
+        """Export the recorded trace as a Chrome-trace JSON file."""
+        return write_chrome_trace(path, self.trace, extra=extra or None)
+
+
+#: The zero-cost default recorder: null sink, null metrics.
+NULL_RECORDER = Recorder()
+
+_current: Recorder = NULL_RECORDER
+
+
+def current() -> Recorder:
+    """The recorder instrumentation sites report to right now."""
+    return _current
+
+
+def install(recorder: Recorder | None) -> Recorder:
+    """Install a recorder globally; returns the previous one.
+
+    Pass ``None`` to restore the null recorder. Prefer the
+    :func:`recording` context manager, which restores automatically.
+    """
+    global _current
+    previous = _current
+    _current = recorder if recorder is not None else NULL_RECORDER
+    return previous
+
+
+@contextmanager
+def recording(trace: bool = True, metrics: bool = True):
+    """Record everything inside the ``with`` block.
+
+    Builds a live :class:`Recorder` (memory-sink tracer and/or metrics
+    registry per the flags), installs it, and restores the previous
+    recorder on exit — exception-safe, nestable.
+    """
+    recorder = Recorder(
+        tracer=Tracer(MemorySink()) if trace else Tracer(),
+        metrics=MetricsRegistry() if metrics else NullMetrics(),
+    )
+    previous = install(recorder)
+    try:
+        yield recorder
+    finally:
+        install(previous)

@@ -1,0 +1,215 @@
+"""Recovery forensics: *why* did a block fail validation?
+
+Validation tells you *that* a block's checksum did not match; this
+module reconstructs *why*, per failed block:
+
+* was the table entry missing entirely (the checksum store's own lines
+  were lost) or present with mismatched lanes (data lines were lost)?
+* what lane values were expected vs. found?
+* which protected buffer's lines did the crash lose in this block's
+  output slice?
+
+The diagnosis cross-references three artifacts that already exist after
+a crash → validate cycle: the kernel's recorded failure details, the
+device's last :class:`~repro.gpu.memory.CrashReport`, and the kernel's
+``block_output_map`` store-address slice (Listing 7) mapped down to
+cache lines. Everything is duck-typed so ``repro.obs`` stays a leaf
+package.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+#: Failure taxonomy: the table had no entry for the block's key at all.
+MISSING_ENTRY = "missing-entry"
+#: The entry existed but its lane values disagreed with the recompute.
+LANE_MISMATCH = "lane-mismatch"
+
+
+def _hex_lanes(lanes) -> list[str] | None:
+    """Lane words as hex strings (JSON keeps 64-bit values exact)."""
+    if lanes is None:
+        return None
+    return [f"0x{int(v):016x}" for v in np.asarray(lanes).ravel()]
+
+
+@dataclass
+class BufferLoss:
+    """Crash losses attributed to one protected buffer for one block."""
+
+    buffer: str
+    #: Lines of this block's output slice that the crash lost.
+    lines_lost: int
+    #: Total lines the block's output slice spans (0 when unknown).
+    lines_in_slice: int
+    #: True when the loss was computed from the block's exact
+    #: store-address slice; False for the buffer-wide fallback used
+    #: when the kernel provides no ``block_output_map``.
+    exact: bool
+
+    def to_dict(self) -> dict:
+        return {
+            "buffer": self.buffer,
+            "lines_lost": self.lines_lost,
+            "lines_in_slice": self.lines_in_slice,
+            "exact": self.exact,
+        }
+
+
+@dataclass
+class BlockForensics:
+    """Structured diagnosis of one failed block."""
+
+    block_id: int
+    reason: str  # MISSING_ENTRY or LANE_MISMATCH
+    expected_lanes: list[str] | None
+    found_lanes: list[str] | None
+    losses: list[BufferLoss] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "block_id": self.block_id,
+            "reason": self.reason,
+            "expected_lanes": self.expected_lanes,
+            "found_lanes": self.found_lanes,
+            "losses": [loss.to_dict() for loss in self.losses],
+        }
+
+    def render_text(self) -> str:
+        head = f"block {self.block_id}: {self.reason}"
+        if self.reason == LANE_MISMATCH:
+            head += (f" (expected {self.expected_lanes}, "
+                     f"found {self.found_lanes})")
+        lines = [head]
+        for loss in self.losses:
+            qual = "exactly" if loss.exact else "somewhere in"
+            lines.append(
+                f"  lost {loss.lines_lost}/{loss.lines_in_slice or '?'} "
+                f"lines {qual} {loss.buffer}"
+            )
+        return "\n".join(lines)
+
+
+@dataclass
+class ForensicsReport:
+    """The full post-validation diagnosis of a crashed run."""
+
+    kernel: str
+    table: str
+    n_blocks: int
+    failures: list[BlockForensics]
+    #: Lines the crash lost in checksum-table buffers (``__lp_`` space)
+    #: vs. application data — the first split to look at: table losses
+    #: produce missing entries, data losses produce lane mismatches.
+    table_lines_lost: int = 0
+    data_lines_lost: int = 0
+    lost_by_buffer: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def n_failed(self) -> int:
+        return len(self.failures)
+
+    def to_dict(self) -> dict:
+        return {
+            "kernel": self.kernel,
+            "table": self.table,
+            "n_blocks": self.n_blocks,
+            "n_failed": self.n_failed,
+            "table_lines_lost": self.table_lines_lost,
+            "data_lines_lost": self.data_lines_lost,
+            "lost_by_buffer": dict(sorted(self.lost_by_buffer.items())),
+            "failures": [f.to_dict() for f in self.failures],
+        }
+
+    def render_text(self) -> str:
+        lines = [
+            f"forensics: {self.kernel} [{self.table}] — "
+            f"{self.n_failed}/{self.n_blocks} blocks failed validation",
+            f"crash lost {self.data_lines_lost} data lines, "
+            f"{self.table_lines_lost} checksum-table lines",
+        ]
+        by_reason: dict[str, int] = {}
+        for f in self.failures:
+            by_reason[f.reason] = by_reason.get(f.reason, 0) + 1
+        if by_reason:
+            split = ", ".join(f"{n} {r}" for r, n in sorted(by_reason.items()))
+            lines.append(f"failure split: {split}")
+        lines.extend(f.render_text() for f in self.failures)
+        return "\n".join(lines)
+
+
+def _block_losses(kernel, block_id: int, memory, lost_lines: set[int],
+                  lost_by_buffer: dict[str, int]) -> list[BufferLoss]:
+    """Attribute lost lines to one block's protected output slice."""
+    inner = getattr(kernel, "inner", kernel)
+    output_map = inner.block_output_map(block_id)
+    if output_map is None:
+        # No store-address slice: the best available attribution is
+        # buffer-wide — report every protected buffer that lost lines.
+        return [
+            BufferLoss(buffer=name, lines_lost=n, lines_in_slice=0,
+                       exact=False)
+            for name, n in sorted(lost_by_buffer.items())
+            if name in set(kernel.protected_buffers) and n
+        ]
+    losses = []
+    for name in sorted(output_map):
+        buf = memory[name]
+        slice_lines = buf.lines_for_indices(np.asarray(output_map[name]))
+        hit = sum(1 for line in slice_lines.tolist() if line in lost_lines)
+        if hit:
+            losses.append(BufferLoss(
+                buffer=name, lines_lost=hit,
+                lines_in_slice=int(slice_lines.size), exact=True,
+            ))
+    return losses
+
+
+def diagnose(kernel, validation, device,
+             table_buffer_prefix: str = "__lp_") -> ForensicsReport:
+    """Build the forensics report for one failed validation.
+
+    Parameters are duck-typed: ``kernel`` is the instrumented
+    (LazyPersistent) kernel whose ``failure_details`` the validation
+    launch filled in; ``validation`` is the
+    :class:`~repro.core.recovery.ValidationReport`; ``device`` supplies
+    global memory and, if a crash preceded validation, its
+    ``last_crash_report``.
+    """
+    crash = getattr(device, "last_crash_report", None)
+    lost_lines = set(crash.lost_lines) if crash is not None else set()
+    lost_by_buffer = dict(crash.lost_by_buffer) if crash is not None else {}
+
+    details = getattr(kernel, "failure_details", {})
+    failures = []
+    for block_id in validation.failed_blocks:
+        info = details.get(block_id, {})
+        reason = info.get("reason", MISSING_ENTRY
+                          if block_id in validation.missing_checksums
+                          else LANE_MISMATCH)
+        failures.append(BlockForensics(
+            block_id=block_id,
+            reason=reason,
+            expected_lanes=_hex_lanes(info.get("expected")),
+            found_lanes=_hex_lanes(info.get("found")),
+            losses=_block_losses(kernel, block_id, device.memory,
+                                 lost_lines, lost_by_buffer),
+        ))
+
+    table_lost = sum(
+        n for name, n in lost_by_buffer.items()
+        if name.startswith(table_buffer_prefix)
+    )
+    kind = getattr(getattr(kernel, "table", None), "kind", None)
+    return ForensicsReport(
+        kernel=kernel.name,
+        table=getattr(kind, "value", "unknown"),
+        n_blocks=validation.n_blocks,
+        failures=failures,
+        table_lines_lost=table_lost,
+        data_lines_lost=sum(lost_by_buffer.values()) - table_lost,
+        lost_by_buffer=lost_by_buffer,
+    )

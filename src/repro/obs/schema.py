@@ -1,0 +1,105 @@
+"""Minimal JSON-Schema validation for the flight recorder's artifacts.
+
+The trace and forensics exports are contracts: CI uploads them as
+artifacts and downstream tooling (Perfetto, the profile CLI, tests)
+loads them blind. The schemas are committed under
+``src/repro/obs/schemas/`` and every export is validated against them
+in the test suite.
+
+The validator implements exactly the JSON-Schema subset those schemas
+use (``type``, ``properties``, ``required``, ``items``, ``enum``,
+``additionalProperties``, ``minimum``, ``oneOf``) so the check runs in
+the dependency-free CI environment — no ``jsonschema`` install needed.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+SCHEMA_DIR = Path(__file__).resolve().parent / "schemas"
+
+_TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "boolean": bool,
+    "null": type(None),
+}
+
+
+class SchemaValidationError(ValueError):
+    """An instance does not conform to its schema."""
+
+
+def load_schema(name: str) -> dict:
+    """Load a committed schema by file name (e.g. ``chrome_trace``)."""
+    path = SCHEMA_DIR / f"{name}.schema.json"
+    return json.loads(path.read_text())
+
+
+def _type_ok(value, type_name: str) -> bool:
+    if type_name == "number":
+        return isinstance(value, (int, float)) and not isinstance(value, bool)
+    if type_name == "integer":
+        return isinstance(value, int) and not isinstance(value, bool)
+    expected = _TYPES.get(type_name)
+    if expected is None:
+        raise SchemaValidationError(f"schema uses unsupported type {type_name!r}")
+    return isinstance(value, expected)
+
+
+def validate(instance, schema: dict, path: str = "$") -> None:
+    """Validate ``instance`` against ``schema``; raise on the first error."""
+    if "oneOf" in schema:
+        errors = []
+        for i, sub in enumerate(schema["oneOf"]):
+            try:
+                validate(instance, sub, path)
+                break
+            except SchemaValidationError as exc:
+                errors.append(f"[{i}] {exc}")
+        else:
+            raise SchemaValidationError(
+                f"{path}: matched no oneOf branch: {'; '.join(errors)}"
+            )
+        return
+
+    stype = schema.get("type")
+    if stype is not None:
+        types = stype if isinstance(stype, list) else [stype]
+        if not any(_type_ok(instance, t) for t in types):
+            raise SchemaValidationError(
+                f"{path}: expected {stype}, got {type(instance).__name__}"
+            )
+
+    if "enum" in schema and instance not in schema["enum"]:
+        raise SchemaValidationError(
+            f"{path}: {instance!r} not in enum {schema['enum']}"
+        )
+
+    if "minimum" in schema and isinstance(instance, (int, float)) \
+            and not isinstance(instance, bool) and instance < schema["minimum"]:
+        raise SchemaValidationError(
+            f"{path}: {instance} below minimum {schema['minimum']}"
+        )
+
+    if isinstance(instance, dict):
+        for key in schema.get("required", ()):
+            if key not in instance:
+                raise SchemaValidationError(f"{path}: missing key {key!r}")
+        props = schema.get("properties", {})
+        extra = schema.get("additionalProperties", True)
+        for key, value in instance.items():
+            if key in props:
+                validate(value, props[key], f"{path}.{key}")
+            elif extra is False:
+                raise SchemaValidationError(
+                    f"{path}: unexpected key {key!r}"
+                )
+            elif isinstance(extra, dict):
+                validate(value, extra, f"{path}.{key}")
+
+    if isinstance(instance, list) and "items" in schema:
+        for i, item in enumerate(instance):
+            validate(item, schema["items"], f"{path}[{i}]")

@@ -1,0 +1,259 @@
+"""Span/event tracing for the flight recorder (`repro.obs`).
+
+The tracing API is deliberately tiny: a :class:`Tracer` owns a sink and
+hands out *spans* (timed intervals) and *instants* (point events). The
+default sink is :class:`NullSink`, whose ``enabled`` flag lets every
+instrumentation site short-circuit before building any event — with
+tracing off, the cost of an instrumented hot path is one attribute
+check.
+
+Events follow the Chrome trace-event format (the JSON flavour Perfetto
+and ``chrome://tracing`` load directly): ``X`` complete events for
+spans, ``i`` instants, ``C`` counters, and ``M`` metadata naming the
+tracks. One whole crash → validate → recover → verify run exports as a
+single loadable timeline via :func:`export_chrome_trace`.
+
+Tracks (rendered as separate rows) are logical layers of the runtime,
+not OS threads — the simulator is single-threaded; what the timeline
+should separate is *which subsystem* time was spent in.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+#: Logical track name -> Chrome trace ``tid``. Unknown tracks are
+#: assigned ids after the last reserved one, in first-use order.
+TRACKS = {
+    "host": 0,
+    "device": 1,
+    "engine": 2,
+    "lp": 3,
+    "nvm": 4,
+    "table": 5,
+    "ep": 6,
+    "megakv": 7,
+    "forensics": 8,
+}
+
+#: ``pid`` used for every event (one simulated device per trace).
+TRACE_PID = 1
+
+
+@dataclass
+class TraceEvent:
+    """One Chrome-trace event (a span, instant, counter or metadata)."""
+
+    name: str
+    cat: str
+    ph: str
+    ts: float
+    pid: int = TRACE_PID
+    tid: int = 0
+    dur: float | None = None
+    args: dict = field(default_factory=dict)
+
+    def to_json(self) -> dict:
+        """The event as a Chrome trace-event JSON object."""
+        out = {
+            "name": self.name,
+            "cat": self.cat,
+            "ph": self.ph,
+            "ts": round(self.ts, 3),
+            "pid": self.pid,
+            "tid": self.tid,
+        }
+        if self.dur is not None:
+            out["dur"] = round(self.dur, 3)
+        if self.ph == "i":
+            out["s"] = "t"  # thread-scoped instant
+        if self.args:
+            out["args"] = self.args
+        return out
+
+
+class NullSink:
+    """The zero-cost default: drops everything, reports itself disabled."""
+
+    enabled = False
+
+    def emit(self, event: TraceEvent) -> None:  # pragma: no cover - no-op
+        pass
+
+
+class MemorySink:
+    """Collects events in memory for later export."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.events: list[TraceEvent] = []
+
+    def emit(self, event: TraceEvent) -> None:
+        self.events.append(event)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+class _Span:
+    """Context manager measuring one span; emits on exit."""
+
+    __slots__ = ("_tracer", "_name", "_cat", "_tid", "_args", "_start")
+
+    def __init__(self, tracer: "Tracer", name: str, cat: str, tid: int,
+                 args: dict) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._cat = cat
+        self._tid = tid
+        self._args = args
+
+    def __enter__(self) -> "_Span":
+        self._start = self._tracer._now()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        end = self._tracer._now()
+        if exc_type is not None:
+            self._args = dict(self._args, error=exc_type.__name__)
+        self._tracer.sink.emit(TraceEvent(
+            name=self._name, cat=self._cat, ph="X", ts=self._start,
+            tid=self._tid, dur=end - self._start, args=self._args,
+        ))
+
+
+class _NullSpan:
+    """Shared no-op span for disabled tracers."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Hands out spans and instants; forwards events to one sink.
+
+    Timestamps are wall-clock microseconds relative to the tracer's
+    construction (Chrome traces are in microseconds).
+    """
+
+    def __init__(self, sink: NullSink | MemorySink | None = None) -> None:
+        self.sink = sink if sink is not None else NullSink()
+        self._epoch = time.perf_counter()
+        self._extra_tracks: dict[str, int] = {}
+
+    @property
+    def enabled(self) -> bool:
+        """Whether events are being recorded at all."""
+        return self.sink.enabled
+
+    def _now(self) -> float:
+        return (time.perf_counter() - self._epoch) * 1e6
+
+    def _tid(self, track: str) -> int:
+        tid = TRACKS.get(track)
+        if tid is not None:
+            return tid
+        tid = self._extra_tracks.get(track)
+        if tid is None:
+            tid = len(TRACKS) + len(self._extra_tracks)
+            self._extra_tracks[track] = tid
+        return tid
+
+    # ------------------------------------------------------------------
+    # Recording API
+    # ------------------------------------------------------------------
+
+    def span(self, name: str, cat: str = "run", track: str = "host",
+             **args):
+        """A timed interval: ``with tracer.span("device.launch", ...):``.
+
+        Returns a shared no-op context manager when disabled, so spans
+        on hot-ish paths cost one flag check.
+        """
+        if not self.sink.enabled:
+            return _NULL_SPAN
+        return _Span(self, name, cat, self._tid(track), args)
+
+    def instant(self, name: str, cat: str = "run", track: str = "host",
+                **args) -> None:
+        """A point event (e.g. a crash, a rehash, a forensics record)."""
+        if not self.sink.enabled:
+            return
+        self.sink.emit(TraceEvent(
+            name=name, cat=cat, ph="i", ts=self._now(),
+            tid=self._tid(track), args=args,
+        ))
+
+    def counter(self, name: str, track: str = "host", **values) -> None:
+        """A counter sample (rendered as a stacked area chart)."""
+        if not self.sink.enabled:
+            return
+        self.sink.emit(TraceEvent(
+            name=name, cat="counter", ph="C", ts=self._now(),
+            tid=self._tid(track), args=values,
+        ))
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+
+    def all_tracks(self) -> dict[str, int]:
+        """Every track this tracer can have emitted on."""
+        out = dict(TRACKS)
+        out.update(self._extra_tracks)
+        return out
+
+
+def export_chrome_trace(tracer: Tracer, extra: dict | None = None) -> dict:
+    """Render a tracer's recorded events as a Chrome/Perfetto trace dict.
+
+    Raises :class:`ValueError` for tracers without a recording sink
+    (there is nothing to export from a :class:`NullSink`).
+    """
+    sink = tracer.sink
+    if not isinstance(sink, MemorySink):
+        raise ValueError(
+            "export needs a recording sink (MemorySink); the tracer has "
+            f"{type(sink).__name__}"
+        )
+    events: list[dict] = [
+        {
+            "name": "process_name", "cat": "__metadata", "ph": "M",
+            "ts": 0, "pid": TRACE_PID, "tid": 0,
+            "args": {"name": "repro LP runtime"},
+        },
+    ]
+    for track, tid in sorted(tracer.all_tracks().items(), key=lambda kv: kv[1]):
+        events.append({
+            "name": "thread_name", "cat": "__metadata", "ph": "M",
+            "ts": 0, "pid": TRACE_PID, "tid": tid, "args": {"name": track},
+        })
+    events.extend(ev.to_json() for ev in sink.events)
+    out = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+    }
+    if extra:
+        out["otherData"] = extra
+    return out
+
+
+def write_chrome_trace(path: str | Path, tracer: Tracer,
+                       extra: dict | None = None) -> Path:
+    """Export a tracer's events to a Chrome-trace JSON file."""
+    path = Path(path)
+    path.write_text(json.dumps(export_chrome_trace(tracer, extra=extra),
+                               indent=1) + "\n")
+    return path

@@ -6,6 +6,8 @@ import pytest
 import repro
 from repro.core.recovery import RecoveryManager
 from repro.core.runtime import LPRuntime
+from repro.obs import load_schema, validate
+from repro.obs.forensics import LANE_MISMATCH, MISSING_ENTRY
 from repro.workloads import WORKLOADS, make_workload
 
 TABLES = {
@@ -32,6 +34,18 @@ def test_crash_recovery(workload_name, table_name):
     report = RecoveryManager(device, lp_kernel).recover()
     assert report.recovered
     work.verify(device)
+    # Every injected failure must come with a forensics record: same
+    # blocks, a known reason, and a schema-valid serialization.
+    if report.initial.failed_blocks:
+        forensics = report.forensics
+        assert forensics is not None
+        assert [f.block_id for f in forensics.failures] \
+            == report.initial.failed_blocks
+        assert all(f.reason in (MISSING_ENTRY, LANE_MISMATCH)
+                   for f in forensics.failures)
+        validate(forensics.to_dict(), load_schema("forensics"))
+    else:
+        assert report.forensics is None
 
 
 @pytest.mark.parametrize("workload_name", sorted(WORKLOADS))

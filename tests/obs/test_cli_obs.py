@@ -1,0 +1,108 @@
+"""CLI observability surface: ``run --json/--trace/--metrics``, ``profile``."""
+
+import json
+
+from repro.__main__ import main
+from repro.obs import load_schema, validate
+
+
+def test_run_json_is_structured(capsys):
+    assert main(["run", "spmv", "--scale", "tiny", "--json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["workload"] == "spmv"
+    assert doc["verified"] is True
+    launch = doc["launch"]
+    assert launch["n_completed"] == launch["n_blocks"]
+    assert not launch["crashed"]
+    assert launch["tally"]["global_write_bytes"] > 0
+    assert doc["write_stats"]["total_lines"] >= 0
+    assert "by_reason" in doc["write_stats"]
+    assert doc["table_stats"]["inserts"] == launch["n_blocks"]
+    assert doc["metrics"]["counters"]  # --json implies a live registry
+    assert "recovery" not in doc
+
+
+def test_run_json_with_crash_includes_forensics(capsys):
+    assert main(["run", "tmm", "--scale", "tiny", "--crash-after", "4",
+                 "--cache-lines", "8", "--json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["launch"]["crashed"]
+    assert doc["launch"]["crash"]["lost_lines"] >= 0
+    recovery = doc["recovery"]
+    assert recovery["recovered_blocks"] > 0
+    forensics = recovery["forensics"]
+    assert forensics is not None
+    validate(forensics, load_schema("forensics"))
+    assert forensics["n_failed"] == len(forensics["failures"])
+
+
+def test_run_writes_schema_valid_trace_and_metrics(tmp_path, capsys):
+    trace = tmp_path / "run.trace.json"
+    metrics = tmp_path / "run.metrics.json"
+    assert main(["run", "spmv", "--scale", "tiny", "--crash-after", "4",
+                 "--cache-lines", "8", "--trace", str(trace),
+                 "--metrics", str(metrics)]) == 0
+    out = capsys.readouterr().out
+    assert "trace written to" in out
+    assert "metrics written to" in out
+
+    doc = json.loads(trace.read_text())
+    validate(doc, load_schema("chrome_trace"))
+    names = {ev["name"] for ev in doc["traceEvents"]}
+    # One loadable timeline: launch, crash, validate, recover all there.
+    assert {"device.launch", "nvm.crash", "lp.phase.validate",
+            "lp.phase.recover", "forensics.block"} <= names
+    assert doc["otherData"]["workload"] == "spmv"
+
+    snap = json.loads(metrics.read_text())
+    assert any(k.startswith("nvm.writeback.lines")
+               for k in snap["counters"])
+    assert any(k.startswith("lp.recover.blocks")
+               for k in snap["counters"])
+
+
+def test_run_crash_prints_forensics(capsys):
+    assert main(["run", "tmm", "--scale", "tiny", "--crash-after", "4",
+                 "--cache-lines", "8"]) == 0
+    out = capsys.readouterr().out
+    assert "forensics:" in out
+    assert "blocks failed validation" in out
+
+
+def test_profile_prints_phase_table(capsys):
+    assert main(["profile", "spmv", "--scale", "tiny"]) == 0
+    out = capsys.readouterr().out
+    for phase in ("launch", "drain", "validate", "verify", "total"):
+        assert phase in out
+    assert "NVM lines" in out
+
+
+def test_profile_json_breakdown(capsys):
+    assert main(["profile", "spmv", "--scale", "tiny", "--crash-after",
+                 "4", "--cache-lines", "8", "--json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["crashed"]
+    assert doc["validation_failed_blocks"] == 0  # post-recovery check
+    names = [row["phase"] for row in doc["phases"]]
+    assert names == ["launch", "recover", "drain", "validate", "verify"]
+    launch = doc["phases"][0]
+    assert launch["cycles"] > 0
+    assert launch["nvm_lines"] >= 0
+
+
+def test_profile_writes_trace_artifact(tmp_path, capsys):
+    trace = tmp_path / "profile.trace.json"
+    assert main(["profile", "spmv", "--scale", "tiny",
+                 "--trace", str(trace)]) == 0
+    doc = json.loads(trace.read_text())
+    validate(doc, load_schema("chrome_trace"))
+    assert doc["otherData"]["command"] == "profile"
+
+
+def test_run_without_flags_installs_no_recorder(capsys):
+    """Plain runs stay on the null recorder (the zero-cost default)."""
+    from repro import obs
+
+    assert obs.current() is obs.NULL_RECORDER
+    assert main(["run", "spmv", "--scale", "tiny"]) == 0
+    assert obs.current() is obs.NULL_RECORDER

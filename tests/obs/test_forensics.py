@@ -1,0 +1,140 @@
+"""Recovery forensics: per-failed-block diagnosis after a real crash."""
+
+import re
+
+import pytest
+
+import repro
+from repro.core.recovery import RecoveryManager
+from repro.core.runtime import LPRuntime
+from repro.obs import load_schema, validate
+from repro.obs.forensics import LANE_MISMATCH, MISSING_ENTRY, diagnose
+from repro.workloads import make_workload
+
+HEX_LANE = re.compile(r"^0x[0-9a-f]{16}$")
+
+
+def crash_and_validate(config=None, workload="spmv"):
+    device = repro.Device(cache_capacity_lines=16, block_order="shuffled",
+                          seed=13)
+    work = make_workload(workload, scale="tiny")
+    kernel = work.setup(device)
+    lp_kernel = LPRuntime(
+        device, config or repro.LPConfig.paper_best()
+    ).instrument(kernel)
+    n_blocks = kernel.launch_config().n_blocks
+    device.launch(
+        lp_kernel,
+        crash_plan=repro.CrashPlan(after_blocks=max(1, n_blocks // 3),
+                                   persist_fraction=0.35, seed=21),
+    )
+    device.restart()
+    manager = RecoveryManager(device, lp_kernel)
+    validation = manager.validate()
+    assert not validation.all_passed, "crash must produce failures"
+    return device, lp_kernel, validation
+
+
+def test_diagnose_covers_every_failed_block():
+    device, lp_kernel, validation = crash_and_validate()
+    report = diagnose(lp_kernel, validation, device)
+    assert [f.block_id for f in report.failures] == validation.failed_blocks
+    assert report.n_failed == validation.n_failed
+    assert report.n_blocks == validation.n_blocks
+    assert report.kernel == lp_kernel.name
+    assert report.table == "global_array"
+
+
+def test_reasons_match_lane_evidence():
+    # tmm under these seeds loses both table lines and data lines, so
+    # the diagnosis exercises missing-entry AND lane-mismatch.
+    device, lp_kernel, validation = crash_and_validate(workload="tmm")
+    report = diagnose(lp_kernel, validation, device)
+    assert {f.reason for f in report.failures} \
+        == {MISSING_ENTRY, LANE_MISMATCH}
+    for failure in report.failures:
+        assert failure.reason in (MISSING_ENTRY, LANE_MISMATCH)
+        if failure.reason == MISSING_ENTRY:
+            # No stored entry: nothing to expect, only the recompute.
+            assert failure.expected_lanes is None
+        else:
+            assert failure.expected_lanes is not None
+            assert failure.expected_lanes != failure.found_lanes
+        assert failure.found_lanes is not None
+        for lane in failure.found_lanes:
+            assert HEX_LANE.match(lane), lane
+    missing = {f.block_id for f in report.failures
+               if f.reason == MISSING_ENTRY}
+    assert missing == set(validation.missing_checksums)
+
+
+def test_losses_use_exact_block_slices():
+    """tmm provides block_output_map, so attribution is per-slice."""
+    device, lp_kernel, validation = crash_and_validate(workload="tmm")
+    report = diagnose(lp_kernel, validation, device)
+    exact_losses = [loss for f in report.failures for loss in f.losses]
+    assert exact_losses, "a lossy crash must attribute some lines"
+    for loss in exact_losses:
+        assert loss.exact
+        assert 0 < loss.lines_lost <= loss.lines_in_slice
+        assert loss.buffer in lp_kernel.protected_buffers
+
+
+def test_loss_split_accounts_all_lost_lines():
+    device, lp_kernel, validation = crash_and_validate()
+    report = diagnose(lp_kernel, validation, device)
+    crash = device.last_crash_report
+    assert report.lost_by_buffer == dict(crash.lost_by_buffer)
+    assert (report.table_lines_lost + report.data_lines_lost
+            == sum(crash.lost_by_buffer.values()))
+    assert report.table_lines_lost == sum(
+        n for name, n in crash.lost_by_buffer.items()
+        if name.startswith("__lp_")
+    )
+
+
+def test_report_matches_committed_schema():
+    device, lp_kernel, validation = crash_and_validate()
+    report = diagnose(lp_kernel, validation, device)
+    validate(report.to_dict(), load_schema("forensics"))
+
+
+def test_render_text_summarizes_failure_split():
+    device, lp_kernel, validation = crash_and_validate()
+    text = diagnose(lp_kernel, validation, device).render_text()
+    assert "blocks failed validation" in text
+    assert "failure split:" in text
+    for block_id in validation.failed_blocks:
+        assert f"block {block_id}:" in text
+
+
+def test_recover_attaches_forensics():
+    device, lp_kernel, _ = crash_and_validate()
+    report = RecoveryManager(device, lp_kernel).recover()
+    assert report.recovered
+    assert report.forensics is not None
+    assert [f.block_id for f in report.forensics.failures] \
+        == report.initial.failed_blocks
+    validate(report.forensics.to_dict(), load_schema("forensics"))
+
+
+def test_clean_run_has_no_forensics():
+    device = repro.Device()
+    work = make_workload("spmv", scale="tiny")
+    kernel = work.setup(device)
+    lp_kernel = LPRuntime(device).instrument(kernel)
+    device.launch(lp_kernel)
+    device.drain()
+    report = RecoveryManager(device, lp_kernel).recover()
+    assert report.recovered
+    assert report.forensics is None
+
+
+@pytest.mark.parametrize("config_name,config", [
+    ("quadratic", repro.LPConfig.naive_quadratic()),
+    ("cuckoo", repro.LPConfig.naive_cuckoo()),
+])
+def test_table_kind_reported(config_name, config):
+    device, lp_kernel, validation = crash_and_validate(config=config)
+    report = diagnose(lp_kernel, validation, device)
+    assert report.table == config_name

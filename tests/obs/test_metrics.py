@@ -1,0 +1,98 @@
+"""Metrics registry: naming, snapshots, the commutative projection."""
+
+import json
+
+from repro.obs.metrics import (
+    MetricsRegistry,
+    NullMetrics,
+    commutative_view,
+    diff_counters,
+    format_name,
+)
+
+
+def test_format_name_sorts_labels():
+    assert format_name("nvm.writeback.lines",
+                       {"reason": "eviction", "buffer": "y"}) \
+        == "nvm.writeback.lines{buffer=y,reason=eviction}"
+    assert format_name("device.launches", {}) == "device.launches"
+
+
+def test_counters_accumulate_per_series():
+    reg = MetricsRegistry()
+    reg.inc("table.insert.count", table="cuckoo")
+    reg.inc("table.insert.count", 2, table="cuckoo")
+    reg.inc("table.insert.count", table="quadratic")
+    assert reg.value("table.insert.count", table="cuckoo") == 3.0
+    assert reg.value("table.insert.count", table="quadratic") == 1.0
+    assert reg.value("table.insert.count", table="global_array") == 0.0
+
+
+def test_snapshot_is_sorted_and_deterministic():
+    def record(reg):
+        reg.inc("b.second")
+        reg.inc("a.first", 4)
+        reg.set_gauge("cache.dirty", 7, buffer="y")
+        reg.observe("time.launch.ms", 1.5)
+        reg.observe("time.launch.ms", 2.5)
+
+    reg_a, reg_b = MetricsRegistry(), MetricsRegistry()
+    record(reg_a)
+    record(reg_b)
+    snap = reg_a.snapshot()
+    assert json.dumps(snap) == json.dumps(reg_b.snapshot())
+    assert list(snap["counters"]) == ["a.first", "b.second"]
+    hist = snap["histograms"]["time.launch.ms"]
+    assert hist == {"count": 2, "sum": 4.0, "min": 1.5, "max": 2.5,
+                    "mean": 2.0}
+
+
+def test_null_metrics_drops_everything():
+    reg = NullMetrics()
+    reg.inc("x")
+    reg.set_gauge("y", 1)
+    reg.observe("z", 2)
+    assert not reg.active
+    assert reg.snapshot() == {"counters": {}, "gauges": {},
+                              "histograms": {}}
+
+
+# ---------------------------------------------------------------------------
+# The engine-invariant projection.
+
+
+def test_commutative_view_drops_order_sensitive_series():
+    reg = MetricsRegistry()
+    reg.inc("nvm.writeback.lines", 5, buffer="y", reason="eviction")
+    reg.inc("time.launch.us", 120)
+    reg.inc("engine.scheduling.chunks", 4, engine="parallel")
+    view = commutative_view(reg.snapshot())
+    assert view == {
+        "nvm.writeback.lines{buffer=y,reason=eviction}": 5.0,
+    }
+
+
+def test_commutative_view_normalizes_engine_label():
+    serial, batched = MetricsRegistry(), MetricsRegistry()
+    serial.inc("engine.blocks.completed", 16, engine="serial")
+    batched.inc("engine.blocks.completed", 16, engine="batched")
+    assert commutative_view(serial.snapshot()) \
+        == commutative_view(batched.snapshot()) \
+        == {"engine.blocks.completed{engine=*}": 16.0}
+
+
+def test_commutative_view_excludes_gauges_and_histograms():
+    reg = MetricsRegistry()
+    reg.set_gauge("cache.dirty", 9)
+    reg.observe("time.launch.ms", 3.0)
+    assert commutative_view(reg.snapshot()) == {}
+
+
+def test_diff_counters():
+    reg = MetricsRegistry()
+    reg.inc("a", 2)
+    before = reg.snapshot()
+    reg.inc("a", 3)
+    reg.inc("b", 1)
+    assert diff_counters(before, reg.snapshot()) == {"a": 3.0, "b": 1.0}
+    assert diff_counters(reg.snapshot(), reg.snapshot()) == {}

@@ -1,0 +1,130 @@
+"""Tracer semantics: null-sink zero cost, recording, Chrome export."""
+
+import json
+
+import pytest
+
+from repro.obs import load_schema, validate
+from repro.obs.trace import (
+    TRACE_PID,
+    TRACKS,
+    MemorySink,
+    NullSink,
+    Tracer,
+    export_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.trace import _NULL_SPAN
+
+
+# ---------------------------------------------------------------------------
+# Disabled (null sink) behaviour — the zero-cost contract.
+
+
+def test_default_tracer_is_disabled():
+    tracer = Tracer()
+    assert isinstance(tracer.sink, NullSink)
+    assert not tracer.enabled
+
+
+def test_disabled_span_is_the_shared_null_span():
+    tracer = Tracer()
+    span = tracer.span("device.launch", cat="device", kernel="k")
+    assert span is _NULL_SPAN
+    with span:
+        pass  # no-op, no state
+
+
+def test_disabled_instant_and_counter_emit_nothing():
+    tracer = Tracer()
+    tracer.instant("nvm.crash", cat="nvm", lost=3)
+    tracer.counter("cache.lines", dirty=7)
+    # NullSink has no storage at all; nothing to assert beyond no error.
+    assert not tracer.enabled
+
+
+def test_export_refuses_null_sink():
+    with pytest.raises(ValueError, match="MemorySink"):
+        export_chrome_trace(Tracer())
+
+
+# ---------------------------------------------------------------------------
+# Recording behaviour.
+
+
+def test_span_records_complete_event_with_duration():
+    tracer = Tracer(MemorySink())
+    with tracer.span("lp.phase.validate", cat="lp", track="lp", blocks=4):
+        pass
+    (event,) = tracer.sink.events
+    assert event.ph == "X"
+    assert event.name == "lp.phase.validate"
+    assert event.tid == TRACKS["lp"]
+    assert event.dur is not None and event.dur >= 0
+    assert event.args == {"blocks": 4}
+
+
+def test_span_tags_exceptions():
+    tracer = Tracer(MemorySink())
+    with pytest.raises(RuntimeError):
+        with tracer.span("device.launch", cat="device", track="device"):
+            raise RuntimeError("boom")
+    (event,) = tracer.sink.events
+    assert event.args["error"] == "RuntimeError"
+
+
+def test_instant_is_thread_scoped_in_json():
+    tracer = Tracer(MemorySink())
+    tracer.instant("nvm.crash", cat="nvm", track="nvm", lost_lines=9)
+    doc = tracer.sink.events[0].to_json()
+    assert doc["ph"] == "i"
+    assert doc["s"] == "t"
+    assert doc["args"] == {"lost_lines": 9}
+
+
+def test_unknown_tracks_get_stable_fresh_tids():
+    tracer = Tracer(MemorySink())
+    tid_a = tracer._tid("custom-a")
+    tid_b = tracer._tid("custom-b")
+    assert tid_a == len(TRACKS)
+    assert tid_b == len(TRACKS) + 1
+    assert tracer._tid("custom-a") == tid_a  # stable on reuse
+    assert "custom-a" in tracer.all_tracks()
+
+
+# ---------------------------------------------------------------------------
+# Chrome-trace export.
+
+
+def make_recorded_tracer():
+    tracer = Tracer(MemorySink())
+    with tracer.span("device.launch", cat="device", track="device",
+                     kernel="spmv"):
+        tracer.instant("nvm.crash", cat="nvm", track="nvm", lost_lines=2)
+    tracer.counter("cache.dirty", track="nvm", lines=5)
+    return tracer
+
+
+def test_export_matches_committed_schema():
+    doc = export_chrome_trace(make_recorded_tracer(),
+                              extra={"workload": "spmv"})
+    validate(doc, load_schema("chrome_trace"))
+    assert doc["otherData"] == {"workload": "spmv"}
+
+
+def test_export_names_process_and_tracks():
+    doc = export_chrome_trace(make_recorded_tracer())
+    meta = [ev for ev in doc["traceEvents"] if ev["ph"] == "M"]
+    names = {ev["args"]["name"] for ev in meta}
+    assert "repro LP runtime" in names
+    assert set(TRACKS) <= names
+    assert all(ev["pid"] == TRACE_PID for ev in doc["traceEvents"])
+
+
+def test_write_chrome_trace_roundtrips(tmp_path):
+    path = write_chrome_trace(tmp_path / "run.trace.json",
+                              make_recorded_tracer())
+    doc = json.loads(path.read_text())
+    validate(doc, load_schema("chrome_trace"))
+    phases = {ev["ph"] for ev in doc["traceEvents"]}
+    assert {"M", "X", "i", "C"} == phases
