@@ -8,6 +8,11 @@ reference hot paths the engines were built for:
 * an LP-instrumented MEGA-KV search batch (hash probes, dedup'd bucket
   reads, host-side stat accounting).
 
+A third scenario times the *post-crash pipeline* per engine: SPMV at
+1024 blocks is crashed mid-kernel, then the crash → validate → recover
+sequence is measured (validation wall time separately — that's where
+the vectorized fast path lives — and the full eager-recovery cycle).
+
 Every engine run gets a fresh device and buffers; only the launch is
 timed. Results are asserted bit-identical across engines before any
 number is reported — a fast wrong engine is worthless. The measurements
@@ -100,6 +105,84 @@ def setup_megakv(engine):
 WORKLOADS = {"spmv": setup_spmv, "megakv": setup_megakv}
 
 
+def measure_recovery(engine_name: str) -> dict:
+    """Post-crash pipeline wall time of one engine (fresh crash, best of 3).
+
+    SPMV at 1024 blocks is crashed halfway through; ``validate_seconds``
+    times the standalone validation launch (the fast path under test),
+    ``recover_seconds`` the full eager-recovery cycle that follows
+    (initial validation + re-execution + re-validation rounds).
+    """
+    best_validate = float("inf")
+    best_recover = float("inf")
+    n_blocks = n_failed = 0
+    failed: list[int] = []
+    outputs = None
+    for _ in range(3):
+        device, lp_kernel, check_buffers = setup_spmv(
+            ENGINES[engine_name]()
+        )
+        grid = lp_kernel.launch_config().n_blocks
+        device.launch(lp_kernel, crash_plan=repro.CrashPlan(
+            after_blocks=grid // 2, persist_fraction=0.4, seed=5))
+        device.restart()
+        manager = repro.RecoveryManager(device, lp_kernel)
+        start = time.perf_counter()
+        report = manager.validate()
+        best_validate = min(best_validate, time.perf_counter() - start)
+        start = time.perf_counter()
+        recovery = manager.recover()
+        best_recover = min(best_recover, time.perf_counter() - start)
+        assert recovery.recovered, f"{engine_name}: recovery did not converge"
+        n_blocks = report.n_blocks
+        n_failed = report.n_failed
+        failed = report.failed_blocks
+        outputs = {name: device.memory[name].array.copy()
+                   for name in check_buffers}
+    return {
+        "n_blocks": n_blocks,
+        "n_failed": n_failed,
+        "validate_seconds": round(best_validate, 6),
+        "recover_seconds": round(best_recover, 6),
+        "validate_blocks_per_sec": round(n_blocks / best_validate, 2),
+        "_outputs": outputs,
+        "_failed": failed,
+    }
+
+
+def run_recovery_suite() -> dict:
+    """Crash → validate → recover per engine, with cross-engine parity."""
+    rows = {}
+    ref_outputs = ref_failed = None
+    for engine_name in ENGINES:
+        row = measure_recovery(engine_name)
+        outputs = row.pop("_outputs")
+        failed = row.pop("_failed")
+        if ref_outputs is None:
+            ref_outputs, ref_failed = outputs, failed
+        else:
+            assert failed == ref_failed, (
+                f"recovery/{engine_name}: failed-block set diverged "
+                "from the serial engine"
+            )
+            for name, array in outputs.items():
+                assert np.array_equal(ref_outputs[name], array), (
+                    f"recovery/{engine_name}: buffer {name!r} diverged "
+                    "from the serial engine after recovery"
+                )
+        rows[engine_name] = row
+        print(f"recovery {engine_name:9s} "
+              f"{row['validate_blocks_per_sec']:12,.1f} blocks/sec "
+              f"validate ({row['validate_seconds'] * 1e3:8.1f} ms; "
+              f"recover {row['recover_seconds'] * 1e3:8.1f} ms)")
+    serial = rows["serial"]["validate_seconds"]
+    for row in rows.values():
+        row["validate_speedup_vs_serial"] = round(
+            serial / row["validate_seconds"], 3
+        )
+    return rows
+
+
 def measure(setup_fn, engine_name: str) -> dict:
     """Blocks/sec of one engine on one workload (fresh state, best of 3)."""
     best = float("inf")
@@ -151,12 +234,13 @@ def run_suite() -> dict:
     return suite
 
 
-def check_against_baseline(suite: dict) -> int:
+def check_against_baseline(suite: dict, recovery: dict | None = None) -> int:
     if not BASELINE_PATH.exists():
         print(f"no baseline at {BASELINE_PATH}; run without --check first",
               file=sys.stderr)
         return 2
-    baseline = json.loads(BASELINE_PATH.read_text())["workloads"]
+    document = json.loads(BASELINE_PATH.read_text())
+    baseline = document["workloads"]
     failures = []
     for workload, rows in suite.items():
         for engine_name, row in rows.items():
@@ -171,6 +255,18 @@ def check_against_baseline(suite: dict) -> int:
                     f"{floor:,.1f} (baseline "
                     f"{base['blocks_per_sec']:,.1f} - {TOLERANCE:.0%})"
                 )
+    for engine_name, row in (recovery or {}).items():
+        base = document.get("recovery", {}).get(engine_name)
+        if base is None:
+            continue
+        floor = base["validate_blocks_per_sec"] * (1.0 - TOLERANCE)
+        if row["validate_blocks_per_sec"] < floor:
+            failures.append(
+                f"recovery/{engine_name}: "
+                f"{row['validate_blocks_per_sec']:,.1f} validate "
+                f"blocks/sec < {floor:,.1f} (baseline "
+                f"{base['validate_blocks_per_sec']:,.1f} - {TOLERANCE:.0%})"
+            )
     if failures:
         print("PERF REGRESSION:\n  " + "\n  ".join(failures),
               file=sys.stderr)
@@ -187,14 +283,16 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     suite = run_suite()
+    recovery = run_recovery_suite()
     if args.check:
-        return check_against_baseline(suite)
+        return check_against_baseline(suite, recovery)
 
     BASELINE_PATH.write_text(json.dumps({
         "benchmark": "launch-engine throughput smoke",
         "command": "PYTHONPATH=src python benchmarks/perf_smoke.py",
         "tolerance": TOLERANCE,
         "workloads": suite,
+        "recovery": recovery,
     }, indent=2) + "\n")
     print(f"wrote {BASELINE_PATH}")
     return 0

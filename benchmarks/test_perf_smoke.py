@@ -1,10 +1,12 @@
 """Tier-2 gate: launch-engine throughput vs the committed baseline.
 
 Re-measures :mod:`perf_smoke` and fails on a >30 % blocks/sec
-regression against ``BENCH_sim.json``. Also pins the headline claim of
+regression against ``BENCH_sim.json``. Also pins the headline claims of
 the engine work: the batched engine is at least 3x faster than serial
-on both reference workloads (with bit-identical results — parity is
-asserted inside the measurement itself).
+on both reference workloads, and batched post-crash *validation* is at
+least 5x faster than serial on the recovery scenario (with
+bit-identical results — parity is asserted inside the measurements
+themselves).
 """
 
 import pytest
@@ -19,9 +21,16 @@ def suite():
     return perf_smoke.run_suite()
 
 
+@pytest.fixture(scope="module")
+def recovery_suite():
+    if not perf_smoke.BASELINE_PATH.exists():
+        pytest.skip(f"no baseline at {perf_smoke.BASELINE_PATH}")
+    return perf_smoke.run_recovery_suite()
+
+
 @pytest.mark.tier2
-def test_no_regression_vs_baseline(suite):
-    assert perf_smoke.check_against_baseline(suite) == 0
+def test_no_regression_vs_baseline(suite, recovery_suite):
+    assert perf_smoke.check_against_baseline(suite, recovery_suite) == 0
 
 
 @pytest.mark.tier2
@@ -30,4 +39,12 @@ def test_batched_engine_speedup(suite, workload):
     speedup = suite[workload]["batched"]["speedup_vs_serial"]
     assert speedup >= 3.0, (
         f"{workload}: batched engine only {speedup:.2f}x vs serial"
+    )
+
+
+@pytest.mark.tier2
+def test_batched_validation_speedup(recovery_suite):
+    speedup = recovery_suite["batched"]["validate_speedup_vs_serial"]
+    assert speedup >= 5.0, (
+        f"recovery: batched validation only {speedup:.2f}x vs serial"
     )

@@ -31,6 +31,9 @@ from repro.obs.forensics import ForensicsReport, diagnose
 class ValidationReport:
     """Outcome of one validation launch."""
 
+    #: Blocks the validation was asked to cover (the full grid, or the
+    #: failed subset during a recovery round) — not the completed count,
+    #: which can be smaller if the validation launch itself crashed.
     n_blocks: int
     failed_blocks: list[int]
     missing_checksums: list[int]
@@ -100,8 +103,11 @@ class RecoveryManager:
             launch = self.device.launch(
                 self.kernel, block_ids=block_ids, mode=ExecMode.VALIDATE
             )
+        # n_blocks is the grid size *requested* for validation, not the
+        # completed count — a crash during a recovery-round validation
+        # must not shrink the denominator.
         report = ValidationReport(
-            n_blocks=len(launch.completed_blocks),
+            n_blocks=launch.requested_blocks,
             failed_blocks=sorted(self.kernel.validation_failures),
             missing_checksums=sorted(self.kernel.missing_checksums),
             launch=launch,

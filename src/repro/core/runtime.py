@@ -116,12 +116,51 @@ class LazyPersistentKernel(Kernel):
         sequences depend on insertion history, so order matters there
         even though the checksums themselves commute.
         """
+        lanes = self._batch_protocol(bctx, self.inner.run_block_batch)
+        for row, block_id in enumerate(bctx.block_ids):
+            bctx.defer_table_insert(int(block_id), lanes[row])
+
+    def validate_block_batch(self, bctx) -> list:
+        """Vectorized check phase: recompute every block's lanes at once.
+
+        The inner kernel's batched validation pass (the padded
+        output-map gather, or a full ``VALIDATE``-mode replay) folds
+        memory's current contents into one batch observer; one
+        ``reduce_lanes`` call then yields the whole group's recomputed
+        checksums. Returns ``(block_id, lanes)`` outcome records for
+        :meth:`merge_validation_outcomes` — the table compare happens
+        grid-wide at merge time, not here.
+        """
+        lanes = self._batch_protocol(bctx, self.inner.validate_block_batch)
+        return [
+            (int(block_id), lanes[row])
+            for row, block_id in enumerate(bctx.block_ids)
+        ]
+
+    def recover_block_batch(self, bctx) -> None:
+        """Vectorized eager recovery: re-execute failed regions grouped.
+
+        Identical to :meth:`run_block_batch` except the inner kernel
+        re-executes through its batched recovery path; refreshed
+        checksums are deferred for launch-order table insertion.
+        """
+        lanes = self._batch_protocol(bctx, self.inner.recover_block_batch)
+        for row, block_id in enumerate(bctx.block_ids):
+            bctx.defer_table_insert(int(block_id), lanes[row])
+
+    def _batch_protocol(self, bctx, inner_pass) -> np.ndarray:
+        """Run one batched inner pass under LP observation.
+
+        Attaches the batch observer, runs ``inner_pass``, charges the
+        analytic reduction cost and returns the group's per-block lane
+        values (shape ``(n_blocks_in_batch, n_lanes)``).
+        """
         observer = BatchRegionObserver(
             self.cset, bctx, self._protected,
             charge_float_conversion=self._charge_conv,
         )
         bctx.lp_observer = observer
-        self.inner.run_block_batch(bctx)
+        inner_pass(bctx)
         lanes = observer.state.reduce_lanes()
         n_comm = len(
             [f for f in self.cset.functions if not f.order_sensitive]
@@ -130,44 +169,75 @@ class LazyPersistentKernel(Kernel):
         apply_reduction_tally(
             bctx.tally, cost, n_blocks=bctx.n_blocks_in_batch
         )
-        for row, block_id in enumerate(bctx.block_ids):
-            bctx.defer_table_insert(int(block_id), lanes[row])
+        return lanes
 
     def apply_table_insert(self, ctx: BlockContext, key: int,
                            lanes: np.ndarray) -> None:
         """Engine callback: apply one deferred checksum-table insert."""
         self.table.insert(ctx, key, lanes)
 
-    def validate_block(self, ctx: BlockContext) -> None:
-        """Check one block's region checksum against the table.
+    def validate_block(self, ctx: BlockContext) -> tuple[int, np.ndarray]:
+        """Recompute one block's region checksum from memory contents.
 
         Replays the block in ``VALIDATE`` mode: protected stores read
         memory's current contents into the checksum instead of writing.
-        A mismatch — or a missing table entry — marks the block failed.
+        Returns the block's ``(block_id, recomputed_lanes)`` outcome
+        record; the verdict (table compare, failure lists) is reached
+        in :meth:`merge_validation_outcomes`, which the launch engine
+        calls once with every block's record in block order. Keeping
+        this method free of host-state mutation and table access is
+        what lets all engines — including the process-pool one — run
+        validation blocks concurrently.
         """
         if ctx.mode is not ExecMode.VALIDATE:
             raise ConfigError("validate_block requires a VALIDATE context")
         observer = self._attach_observer(ctx)
         self.inner.validate_block(ctx)
         lanes = reduce_block(observer.state, self.config.reduction, ctx)
-        stored = self.table.lookup(ctx.block_id)
-        if stored is None:
-            self.missing_checksums.append(ctx.block_id)
-            self.validation_failures.append(ctx.block_id)
-            # "expected" is the table's reference checksum; "found" is
-            # what the data in memory actually checksums to.
-            self.failure_details[ctx.block_id] = {
-                "reason": "missing-entry",
-                "expected": None,
-                "found": np.array(lanes, copy=True),
-            }
-        elif not np.array_equal(lanes, stored):
-            self.validation_failures.append(ctx.block_id)
-            self.failure_details[ctx.block_id] = {
-                "reason": "lane-mismatch",
-                "expected": np.array(stored, copy=True),
-                "found": np.array(lanes, copy=True),
-            }
+        return (ctx.block_id, lanes)
+
+    def merge_validation_outcomes(self, outcomes: list) -> None:
+        """Grid-wide verdicts: one vectorized table compare for all blocks.
+
+        ``outcomes`` holds every validated block's ``(block_id, lanes)``
+        record. The stored checksums are fetched with one
+        :meth:`~repro.core.tables.base.ChecksumTable.lookup_many` call
+        (fancy-indexed or vectorized-probe, per table kind) and compared
+        lane-wise in one step; failures land in the host-side lists in
+        ascending block order, deterministically for every engine.
+        Lookups are host-side and charge-free, so deferring them from
+        the per-block pass to this merge is invisible to tallies and
+        engine-invariant metrics alike.
+        """
+        records = sorted(
+            (o for o in outcomes if o is not None), key=lambda o: o[0]
+        )
+        if not records:
+            return
+        keys = np.array([o[0] for o in records], dtype=np.int64)
+        found_lanes = np.stack(
+            [np.asarray(o[1], dtype=np.uint64) for o in records]
+        )
+        stored, present = self.table.lookup_many(keys)
+        mismatch = present & ~np.all(stored == found_lanes, axis=1)
+        for i in np.flatnonzero(~present | mismatch).tolist():
+            block_id = int(keys[i])
+            self.validation_failures.append(block_id)
+            if present[i]:
+                self.failure_details[block_id] = {
+                    "reason": "lane-mismatch",
+                    "expected": np.array(stored[i], copy=True),
+                    "found": np.array(found_lanes[i], copy=True),
+                }
+            else:
+                # "expected" is the table's reference checksum; "found"
+                # is what the data in memory actually checksums to.
+                self.missing_checksums.append(block_id)
+                self.failure_details[block_id] = {
+                    "reason": "missing-entry",
+                    "expected": None,
+                    "found": np.array(found_lanes[i], copy=True),
+                }
 
     def recover_block(self, ctx: BlockContext) -> None:
         """Re-execute a failed region and refresh its checksum entry."""

@@ -189,6 +189,29 @@ class ChecksumTable(abc.ABC):
         recovered. Lookups are off the critical path (Section IV-C).
         """
 
+    def lookup_many(self, keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized host-side lookup of many keys at once.
+
+        Returns ``(lanes, found)``: a ``(len(keys), n_lanes)`` uint64
+        array of lane values and a boolean presence mask. Rows whose
+        ``found`` entry is ``False`` hold unspecified lane values.
+
+        Result, statistics and metric totals are exactly those of
+        calling :meth:`lookup` once per key — the table does not change
+        between lookups of a validation pass, so batching them is pure
+        reordering. This default delegates per key; the concrete tables
+        override it with fancy-indexed / vectorized-probe fast paths.
+        """
+        keys = np.asarray(keys, dtype=np.int64).reshape(-1)
+        lanes = np.zeros((keys.size, self.n_lanes), dtype=np.uint64)
+        found = np.zeros(keys.size, dtype=bool)
+        for i, key in enumerate(keys.tolist()):
+            got = self.lookup(int(key))
+            if got is not None:
+                lanes[i] = got
+                found[i] = True
+        return lanes, found
+
     # -- flight-recorder publication ---------------------------------------
     #
     # Metrics are published as *deltas* of ``self.stats`` taken at the
@@ -225,6 +248,21 @@ class ChecksumTable(abc.ABC):
         metrics.inc("table.lookup.count", table=label)
         if not found:
             metrics.inc("table.lookup.failed", table=label)
+
+    def _publish_lookup_many(self, n: int, n_failed: int) -> None:
+        """Batched counterpart of :meth:`_publish_lookup`.
+
+        One increment per series with the whole batch's count, so the
+        published totals are bit-identical to ``n`` scalar lookups —
+        the engine-invariance contract for vectorized validation.
+        """
+        metrics = _recorder().metrics
+        if not metrics.active or n <= 0:
+            return
+        label = self.kind.value
+        metrics.inc("table.lookup.count", n, table=label)
+        if n_failed:
+            metrics.inc("table.lookup.failed", n_failed, table=label)
 
     # -- shared metrics ----------------------------------------------------
 

@@ -29,6 +29,7 @@ from repro.core.tables.base import (
     EMPTY_KEY,
     ChecksumTable,
     mix64,
+    mix64_array,
     pow2_ceil,
 )
 from repro.core.tables.locks import InsertionProtocol
@@ -193,3 +194,41 @@ class CuckooTable(ChecksumTable):
         self.stats.failed_lookups += 1
         self._publish_lookup(found=False)
         return None
+
+    def lookup_many(self, keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized exactly-two-probe lookup over both tables.
+
+        Probes table 0 for every key, then table 1 only for the keys
+        table 0 missed — the same first-match preference as the scalar
+        loop, which matters when a crash leaves a stale copy of a key
+        in both tables.
+        """
+        keys = np.asarray(keys, dtype=np.int64).reshape(-1)
+        n = keys.size
+        lanes = np.full((n, self.n_lanes), EMPTY_KEY, dtype=np.uint64)
+        found = np.zeros(n, dtype=bool)
+        if n == 0:
+            return lanes, found
+        keys64 = keys.astype(np.uint64)
+        lane_off = np.arange(self.n_lanes)
+        for t in (0, 1):
+            pending = np.flatnonzero(~found)
+            if pending.size == 0:
+                break
+            if self.perfect_hash:
+                idx = (keys64[pending]
+                       % np.uint64(self.per_table_capacity)).astype(np.int64)
+            else:
+                idx = (mix64_array(keys64[pending], self._seeds[t])
+                       % np.uint64(self.per_table_capacity)).astype(np.int64)
+            is_key = self._keys[t].array[idx] == keys64[pending]
+            if is_key.any():
+                hit = pending[is_key]
+                base = idx[is_key][:, None] * self.n_lanes + lane_off
+                lanes[hit] = self._lanes[t].array[base]
+                found[hit] = True
+        self.stats.lookups += n
+        n_failed = int(n - np.count_nonzero(found))
+        self.stats.failed_lookups += n_failed
+        self._publish_lookup_many(n, n_failed)
+        return lanes, found

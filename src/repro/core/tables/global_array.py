@@ -71,6 +71,26 @@ class GlobalArrayTable(ChecksumTable):
         self._publish_lookup(found=True)
         return lanes
 
+    def lookup_many(self, keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Fancy-indexed batch lookup: one gather, one sentinel compare."""
+        keys = np.asarray(keys, dtype=np.int64).reshape(-1)
+        if keys.size == 0:
+            return (np.zeros((0, self.n_lanes), dtype=np.uint64),
+                    np.zeros(0, dtype=bool))
+        if int(keys.min()) < 0 or int(keys.max()) >= self.capacity:
+            raise TableError(
+                f"block ids outside global array of {self.capacity}"
+            )
+        lanes = self._lanes.array.reshape(
+            self.capacity, self.n_lanes
+        )[keys].copy()
+        found = ~np.all(lanes == EMPTY_SENTINEL, axis=1)
+        self.stats.lookups += keys.size
+        n_failed = int(keys.size - np.count_nonzero(found))
+        self.stats.failed_lookups += n_failed
+        self._publish_lookup_many(keys.size, n_failed)
+        return lanes, found
+
     def _check_key(self, key: int) -> None:
         if not 0 <= int(key) < self.capacity:
             raise TableError(

@@ -27,6 +27,7 @@ from repro.core.tables.base import (
     EMPTY_KEY,
     ChecksumTable,
     mix64,
+    mix64_array,
     pow2_ceil,
 )
 from repro.core.tables.locks import InsertionProtocol
@@ -171,3 +172,55 @@ class QuadraticTable(ChecksumTable):
         self.stats.failed_lookups += 1
         self._publish_lookup(found=False)
         return None
+
+    def lookup_many(self, keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized probe walk: one probe step over all unresolved keys.
+
+        The loop runs over probe *steps* (bounded by the longest chain
+        actually present, rarely more than a handful at the configured
+        load factor) while each step's slot reads, key compares and
+        empty checks are whole-array operations. Keys that neither match
+        nor hit an empty slot within the quadratic walk fall back to the
+        same linear sweep the insert path uses.
+        """
+        keys = np.asarray(keys, dtype=np.int64).reshape(-1)
+        n = keys.size
+        lanes = np.full((n, self.n_lanes), EMPTY_KEY, dtype=np.uint64)
+        found = np.zeros(n, dtype=bool)
+        if n == 0:
+            return lanes, found
+        keys64 = keys.astype(np.uint64)
+        if self.perfect_hash:
+            home = (keys64 % np.uint64(self.capacity)).astype(np.int64)
+        else:
+            home = (mix64_array(keys64, self.seed)
+                    % np.uint64(self.capacity)).astype(np.int64)
+        keys_img = self._keys.array
+        lanes_img = self._lanes.array
+        lane_off = np.arange(self.n_lanes)
+        pending = np.arange(n)
+        for i in range(self.capacity + 1):
+            if pending.size == 0:
+                break
+            idx = (home[pending] + i * i) % self.capacity
+            slot = keys_img[idx]
+            is_key = slot == keys64[pending]
+            if is_key.any():
+                hit = pending[is_key]
+                base = idx[is_key][:, None] * self.n_lanes + lane_off
+                lanes[hit] = lanes_img[base]
+                found[hit] = True
+            # A key stops at its match or at the first empty slot —
+            # exactly the scalar probe loop's exit conditions.
+            pending = pending[~(is_key | (slot == EMPTY_KEY))]
+        for j in pending.tolist():
+            hits = np.flatnonzero(keys_img == keys64[j])
+            if hits.size:
+                base = int(hits[0]) * self.n_lanes
+                lanes[j] = lanes_img[base:base + self.n_lanes]
+                found[j] = True
+        self.stats.lookups += n
+        n_failed = int(n - np.count_nonzero(found))
+        self.stats.failed_lookups += n_failed
+        self._publish_lookup_many(n, n_failed)
+        return lanes, found

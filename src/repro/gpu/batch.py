@@ -35,7 +35,7 @@ import numpy as np
 
 from repro.errors import LaunchError
 from repro.gpu.costs import Tally
-from repro.gpu.kernel import LaunchConfig
+from repro.gpu.kernel import ExecMode, LaunchConfig
 from repro.gpu.memory import Buffer, GlobalMemory
 
 
@@ -47,11 +47,13 @@ class BatchBlockContext:
         memory: GlobalMemory,
         config: LaunchConfig,
         block_ids,
+        mode: ExecMode = ExecMode.NORMAL,
         fence_latency_cycles: float = 660.0,
         fence_concurrency: int = 1,
     ) -> None:
         self.memory = memory
         self.config = config
+        self.mode = mode
         self.block_ids = np.asarray(list(block_ids), dtype=np.int64)
         if self.block_ids.size == 0:
             raise LaunchError("a batch needs at least one block")
@@ -148,16 +150,33 @@ class BatchBlockContext:
         else:
             n_elements = idx.size
         self.tally.global_write_bytes += n_elements * buf.dtype.itemsize
+
+        observer = self.lp_observer
+        observed = observer is not None and buf.name in observer.protected
+        if observed and slots is None:
+            per_block = int(np.prod(idx.shape[1:]))
+            slots = np.arange(per_block).reshape(idx.shape[1:]) \
+                % self.n_threads
+
+        if self.mode is ExecMode.VALIDATE:
+            # The batched check phase: persistent writes are suppressed
+            # (write traffic stays charged, as in the serial context)
+            # and protected stores fold what memory *currently holds*
+            # at the target addresses. Reads here are uncharged —
+            # the serial VALIDATE path reads through ``memory.read``
+            # directly, not ``ld``.
+            if buf.persistent:
+                if observed:
+                    in_memory = self.memory.read(buf, idx)
+                    observer.on_store(in_memory, slots, mask)
+                return
+            self.store_records.append((buf.name, idx, np.array(vals), mask))
+            return
+
         self.store_records.append(
             (buf.name, idx, np.array(vals), mask)
         )
-
-        observer = self.lp_observer
-        if observer is not None and buf.name in observer.protected:
-            if slots is None:
-                per_block = int(np.prod(idx.shape[1:]))
-                slots = np.arange(per_block).reshape(idx.shape[1:]) \
-                    % self.n_threads
+        if observed:
             observer.on_store(vals, slots, mask)
 
     def defer_table_insert(self, block_id: int, lanes: np.ndarray) -> None:

@@ -41,6 +41,11 @@ class LaunchResult:
     crash_report: CrashReport | None
     tally: Tally
     time: TimeBreakdown
+    #: Blocks the launch was *asked* to run (the grid, or the explicit
+    #: ``block_ids`` list) — before any crash-plan truncation. Partial
+    #: validations after a crash-during-recovery read this, not
+    #: ``n_completed``.
+    requested_blocks: int = 0
 
     @property
     def n_completed(self) -> int:
@@ -58,6 +63,7 @@ class LaunchResult:
             "kernel": self.kernel_name,
             "n_blocks": self.config.n_blocks,
             "threads_per_block": self.config.threads_per_block,
+            "n_requested": self.requested_blocks,
             "n_completed": self.n_completed,
             "crashed": self.crashed,
             "crash": None if self.crash_report is None else {
@@ -163,6 +169,7 @@ class Device:
             )
         config = kernel.launch_config()
         order = self._block_order(config, block_ids)
+        requested = len(order)
 
         atomics = AtomicUnit(self.memory)
         crash_report: CrashReport | None = None
@@ -222,6 +229,7 @@ class Device:
             crash_report=crash_report,
             tally=tally,
             time=self.cost_model.time_of(tally),
+            requested_blocks=requested,
         )
 
     def restart(self) -> None:

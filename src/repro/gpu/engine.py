@@ -30,10 +30,18 @@ same volatile + NVM memory images, the same write-back statistics and
 the same checksum-table contents as :class:`SerialEngine`. The parity
 test suite (``tests/gpu/test_engines.py``) pins this bit-for-bit.
 
+The post-crash pipeline is engine-pluggable too: ``VALIDATE`` blocks
+*return* per-block outcome records (recomputed checksum lanes) instead
+of mutating host state, so any engine can run them concurrently and
+then hand the collected records — in the launch's block order — to
+:meth:`~repro.gpu.kernel.Kernel.merge_validation_outcomes` for one
+deterministic grid-wide table compare. ``RECOVER`` re-execution batches
+and parallelizes exactly like forward execution (table refreshes stay
+deferred to launch-order application).
+
 Engines *fall back to serial* whenever the contract cannot be kept
-cheaply: non-``NORMAL`` execution modes (validation mutates host-side
-failure lists), kernels that opt out (``parallel_safe`` /
-``batchable``), degenerate launches, or platforms without ``fork``.
+cheaply: kernels that opt out (``parallel_safe`` / ``batchable``),
+degenerate launches, or platforms without ``fork``.
 """
 
 from __future__ import annotations
@@ -123,6 +131,7 @@ class SerialEngine(LaunchEngine):
     def execute(self, plan: LaunchPlan) -> tuple[list[int], Tally]:
         tally = plan.new_tally()
         completed: list[int] = []
+        outcomes: list = []
         rec = _recorder()
         if rec.trace.enabled:
             # Per-block-group spans: chunked only when tracing, so the
@@ -135,9 +144,17 @@ class SerialEngine(LaunchEngine):
                     engine=self.name, mode=plan.mode.name,
                     first=group[0], count=len(group),
                 ):
-                    self._run_blocks(plan, group, tally, completed)
+                    self._run_blocks(plan, group, tally, completed,
+                                     outcomes)
         else:
-            self._run_blocks(plan, plan.block_ids, tally, completed)
+            self._run_blocks(plan, plan.block_ids, tally, completed,
+                             outcomes)
+        if plan.mode is ExecMode.VALIDATE:
+            with rec.trace.span(
+                "engine.validate.merge", cat="engine", track="engine",
+                engine=self.name, blocks=len(completed),
+            ):
+                plan.kernel.merge_validation_outcomes(outcomes)
         tally.absorb_atomics(plan.atomics)
         if rec.metrics.active:
             rec.metrics.inc("engine.blocks.completed", len(completed),
@@ -145,12 +162,13 @@ class SerialEngine(LaunchEngine):
         return completed, tally
 
     def _run_blocks(self, plan: LaunchPlan, block_ids: list[int],
-                    tally: Tally, completed: list[int]) -> None:
+                    tally: Tally, completed: list[int],
+                    outcomes: list) -> None:
         kernel = plan.kernel
         for block_id in block_ids:
             ctx = plan.block_context(block_id)
             if plan.mode is ExecMode.VALIDATE:
-                kernel.validate_block(ctx)
+                outcomes.append(kernel.validate_block(ctx))
             elif plan.mode is ExecMode.RECOVER:
                 kernel.recover_block(ctx)
             else:
@@ -164,21 +182,30 @@ class SerialEngine(LaunchEngine):
 # ---------------------------------------------------------------------------
 
 @dataclass
-class BlockRecord:
-    """One block's externally visible effects, as logged by a worker.
+class ChunkRecord:
+    """One worker chunk's externally visible effects.
 
-    ``ops`` preserves issue order; each entry is a tuple headed by an
-    op code:
+    A chunk covers a contiguous slice of the launch's block order, so
+    applying chunks in submission order *is* launch-order application.
+    Shipping one record (and one merged tally) per chunk instead of one
+    per block is what keeps worker→parent IPC off the per-block path.
+
+    ``ops[i]`` preserves block ``block_ids[i]``'s issue order; each
+    entry is a tuple headed by an op code:
 
     * ``("st", buffer_name, idx, values)`` — a global store.
     * ``("atomic_add" | "atomic_max", buffer_name, idx, values)``.
     * ``("table", key, lanes)`` — a deferred checksum-table insertion
       (applied through :meth:`Kernel.apply_table_insert`).
+
+    ``outcomes`` carries the per-block validation records of a
+    ``VALIDATE``-mode chunk (``None`` otherwise).
     """
 
-    block_id: int
+    block_ids: list[int]
     ops: list = field(default_factory=list)
     tally: Tally = field(default_factory=Tally)
+    outcomes: list | None = None
 
 
 class RecordingBlockContext(BlockContext):
@@ -212,7 +239,11 @@ class RecordingBlockContext(BlockContext):
             np.broadcast_to(np.asarray(values, dtype=buf.dtype),
                             idx_arr.shape)
         )
-        self.ops.append(("st", buf.name, idx_arr.copy(), vals))
+        # VALIDATE-mode persistent stores are suppressed by the base
+        # context (memory contents feed the observer instead); logging
+        # them would wrongly apply them during parent replay.
+        if not (self.mode is ExecMode.VALIDATE and buf.persistent):
+            self.ops.append(("st", buf.name, idx_arr.copy(), vals))
         super().st(buf, idx_arr, vals, slots=slots)
 
     def atomic_add(self, buf, idx, values):
@@ -252,42 +283,57 @@ class RecordingBlockContext(BlockContext):
 _WORKER_PLAN: LaunchPlan | None = None
 
 
-def _run_worker_chunk(block_ids: list[int]) -> list[BlockRecord]:
+def _run_worker_chunk(block_ids: list[int]) -> ChunkRecord:
     """Worker entry: run a chunk of blocks against the forked snapshot."""
     plan = _WORKER_PLAN
     assert plan is not None, "worker forked without a launch plan"
     # A private atomic unit: contention accounting happens in the
     # parent during replay, against the launch's real AtomicUnit.
     atomics = AtomicUnit(plan.memory)
-    records = []
+    record = ChunkRecord(
+        list(block_ids),
+        outcomes=[] if plan.mode is ExecMode.VALIDATE else None,
+    )
     for block_id in block_ids:
         ctx = RecordingBlockContext(
             plan.memory, atomics, plan.config, block_id, plan.mode,
             fence_latency_cycles=plan.fence_latency,
             fence_concurrency=plan.fence_concurrency,
         )
-        plan.kernel.run_block(ctx)
-        records.append(BlockRecord(block_id, ctx.ops, ctx.finalize_tally()))
-    return records
+        if plan.mode is ExecMode.VALIDATE:
+            record.outcomes.append(plan.kernel.validate_block(ctx))
+        elif plan.mode is ExecMode.RECOVER:
+            plan.kernel.recover_block(ctx)
+        else:
+            plan.kernel.run_block(ctx)
+        record.tally.merge(ctx.finalize_tally())
+        record.ops.append(ctx.ops)
+    return record
 
 
 class ParallelEngine(LaunchEngine):
     """Fan blocks out across a process pool; replay deterministically.
 
     Workers are forked per launch, inheriting the pre-launch memory
-    image copy-on-write; they execute disjoint chunks of the block list
-    and ship back :class:`BlockRecord` logs. The parent applies the
-    records in the launch's block order through the real memory system
-    and atomic unit, reproducing the serial engine's cache recency,
-    evictions, write statistics and table state exactly.
+    image copy-on-write; they execute disjoint contiguous chunks of the
+    block list and ship back one :class:`ChunkRecord` log per chunk
+    (group-granular IPC — per-block record pickling is what used to eat
+    the speedup). The parent applies the records in the launch's block
+    order through the real memory system and atomic unit, reproducing
+    the serial engine's cache recency, evictions, write statistics and
+    table state exactly. ``VALIDATE`` and ``RECOVER`` launches
+    parallelize the same way: validation blocks return outcome records
+    (no host mutation, no table access in workers) that merge after
+    replay, and recovery's table refreshes are deferred ops like any
+    forward insert.
 
     Falls back to :class:`SerialEngine` when the plan cannot be
-    parallelized faithfully: non-``NORMAL`` modes, kernels with
-    ``parallel_safe = False``, launches smaller than two blocks per
-    worker, or platforms without the ``fork`` start method. A worker
-    raising :class:`~repro.errors.LaunchError` (an unreplayable
-    primitive) also falls back — worker memory is copy-on-write, so the
-    parent image is untouched and serial re-execution is safe.
+    parallelized faithfully: kernels with ``parallel_safe = False``,
+    launches smaller than two blocks per worker, or platforms without
+    the ``fork`` start method. A worker raising
+    :class:`~repro.errors.LaunchError` (an unreplayable primitive) also
+    falls back — worker memory is copy-on-write, so the parent image is
+    untouched and serial re-execution is safe.
     """
 
     name = "parallel"
@@ -310,8 +356,6 @@ class ParallelEngine(LaunchEngine):
     # -- worker phase ---------------------------------------------------
 
     def _can_parallelize(self, plan: LaunchPlan) -> bool:
-        if plan.mode is not ExecMode.NORMAL:
-            return False
         if not plan.kernel.parallel_safe:
             return False
         if self.jobs <= 1 or len(plan.block_ids) < 2 * self.jobs:
@@ -320,7 +364,7 @@ class ParallelEngine(LaunchEngine):
             return False
         return True
 
-    def _run_workers(self, plan: LaunchPlan) -> dict[int, BlockRecord]:
+    def _run_workers(self, plan: LaunchPlan) -> list[ChunkRecord]:
         global _WORKER_PLAN
         chunks = self._chunk(plan.block_ids)
         rec = _recorder()
@@ -334,14 +378,13 @@ class ParallelEngine(LaunchEngine):
                 "engine.workers", cat="engine", track="engine",
                 engine=self.name, jobs=self.jobs, chunks=len(chunks),
             ):
-                chunk_results = pool.map(_run_worker_chunk, chunks)
+                # ``map`` preserves chunk submission order, and chunks
+                # are contiguous slices of ``plan.block_ids`` — so
+                # iterating the results in order replays the launch's
+                # exact block order.
+                return pool.map(_run_worker_chunk, chunks)
         finally:
             _WORKER_PLAN = None
-        records: dict[int, BlockRecord] = {}
-        for chunk in chunk_results:
-            for record in chunk:
-                records[record.block_id] = record
-        return records
 
     def _chunk(self, block_ids: list[int]) -> list[list[int]]:
         """Contiguous chunks, a few per worker for load balance."""
@@ -353,42 +396,44 @@ class ParallelEngine(LaunchEngine):
     # -- deterministic replay -------------------------------------------
 
     def _apply(
-        self, plan: LaunchPlan, records: dict[int, BlockRecord]
+        self, plan: LaunchPlan, records: list[ChunkRecord]
     ) -> tuple[list[int], Tally]:
         tally = plan.new_tally()
         completed: list[int] = []
+        outcomes: list = []
         rec = _recorder()
-        if rec.trace.enabled:
-            # Replay in per-block-group spans (same granularity as the
-            # serial engine's groups) so the timeline shows the
-            # deterministic-apply phase block range by block range.
-            ids = plan.block_ids
-            for lo in range(0, len(ids), TRACE_GROUP_BLOCKS):
-                group = ids[lo:lo + TRACE_GROUP_BLOCKS]
-                with rec.trace.span(
-                    "engine.replay", cat="engine", track="engine",
-                    engine=self.name, first=group[0], count=len(group),
-                ):
-                    self._replay_blocks(plan, records, group, tally,
-                                        completed)
-        else:
-            self._replay_blocks(plan, records, plan.block_ids, tally,
-                                completed)
+        for record in records:
+            # Replay in per-chunk spans (the worker scheduling
+            # granularity) so the timeline shows the deterministic-apply
+            # phase block range by block range.
+            with rec.trace.span(
+                "engine.replay", cat="engine", track="engine",
+                engine=self.name, first=record.block_ids[0],
+                count=len(record.block_ids),
+            ):
+                self._replay_chunk(plan, record, tally, completed)
+            if record.outcomes is not None:
+                outcomes.extend(record.outcomes)
+        if plan.mode is ExecMode.VALIDATE:
+            with rec.trace.span(
+                "engine.validate.merge", cat="engine", track="engine",
+                engine=self.name, blocks=len(completed),
+            ):
+                plan.kernel.merge_validation_outcomes(outcomes)
         tally.absorb_atomics(plan.atomics)
         if rec.metrics.active:
             rec.metrics.inc("engine.blocks.completed", len(completed),
                             engine=self.name)
         return completed, tally
 
-    def _replay_blocks(
-        self, plan: LaunchPlan, records: dict[int, BlockRecord],
-        block_ids: list[int], tally: Tally, completed: list[int],
+    def _replay_chunk(
+        self, plan: LaunchPlan, record: ChunkRecord,
+        tally: Tally, completed: list[int],
     ) -> None:
         memory = plan.memory
-        for block_id in block_ids:
-            record = records[block_id]
-            tally.merge(record.tally)
-            for op in record.ops:
+        tally.merge(record.tally)
+        for block_id, block_ops in zip(record.block_ids, record.ops):
+            for op in block_ops:
                 code = op[0]
                 if code == "st":
                     _, name, idx, vals = op
@@ -428,7 +473,15 @@ class BatchedEngine(LaunchEngine):
     must not read locations written during the same launch (the
     block-disjoint-output property LP regions have anyway), and any LP
     wrapper needs commutative checksum lanes. Falls back to
-    :class:`SerialEngine` otherwise, and for non-``NORMAL`` modes.
+    :class:`SerialEngine` otherwise.
+
+    ``VALIDATE`` launches run the vectorized re-validation fast path:
+    each group recomputes every block's checksum lanes in one batched
+    pass (``validate_block_batch``), and the collected outcome records
+    merge through one grid-wide vectorized table compare. ``RECOVER``
+    launches re-execute failed blocks in groups through
+    ``recover_block_batch``, with refreshed checksums applied per block
+    in launch order like any forward insert.
     """
 
     name = "batched"
@@ -442,31 +495,44 @@ class BatchedEngine(LaunchEngine):
         self._serial = SerialEngine()
 
     def execute(self, plan: LaunchPlan) -> tuple[list[int], Tally]:
-        if plan.mode is not ExecMode.NORMAL or not plan.kernel.batchable:
+        if not plan.kernel.batchable:
             return self._serial.execute(plan)
 
         tally = plan.new_tally()
         completed: list[int] = []
+        outcomes: list = []
         rec = _recorder()
         ids = plan.block_ids
         for lo in range(0, len(ids), self.group_size):
             group = ids[lo:lo + self.group_size]
             with rec.trace.span(
                 "engine.group", cat="engine", track="engine",
-                engine=self.name, first=group[0], count=len(group),
+                engine=self.name, mode=plan.mode.name,
+                first=group[0], count=len(group),
             ):
                 bctx = BatchBlockContext(
-                    plan.memory, plan.config, group,
+                    plan.memory, plan.config, group, mode=plan.mode,
                     fence_latency_cycles=plan.fence_latency,
                     fence_concurrency=plan.fence_concurrency,
                 )
-                plan.kernel.run_block_batch(bctx)
+                if plan.mode is ExecMode.VALIDATE:
+                    outcomes.extend(plan.kernel.validate_block_batch(bctx))
+                elif plan.mode is ExecMode.RECOVER:
+                    plan.kernel.recover_block_batch(bctx)
+                else:
+                    plan.kernel.run_block_batch(bctx)
                 tally.merge(bctx.finalize_tally())
                 self._apply_group(plan, bctx, tally)
             completed.extend(group)
             if rec.metrics.active:
                 rec.metrics.inc("engine.scheduling.groups",
                                 engine=self.name)
+        if plan.mode is ExecMode.VALIDATE:
+            with rec.trace.span(
+                "engine.validate.merge", cat="engine", track="engine",
+                engine=self.name, blocks=len(completed),
+            ):
+                plan.kernel.merge_validation_outcomes(outcomes)
         tally.absorb_atomics(plan.atomics)
         if rec.metrics.active:
             rec.metrics.inc("engine.blocks.completed", len(completed),

@@ -428,24 +428,78 @@ class Kernel(abc.ABC):
         """
         return None
 
-    def validate_block(self, ctx: BlockContext) -> None:
+    def validate_block(self, ctx: BlockContext) -> object | None:
         """Replay a block for checksum validation (``VALIDATE`` mode).
 
         If :meth:`block_output_map` provides the store-address slice,
         only those locations are fetched (the cheap Listing-7 path);
         otherwise ``run_block`` is replayed with persistent writes
         suppressed and memory contents fed to the checksum observer.
+
+        May return a per-block *outcome record* (any picklable value);
+        the launch engine collects every block's record — in the
+        launch's block order — and hands the list to
+        :meth:`merge_validation_outcomes` once the grid is done. Plain
+        kernels return ``None``; the LP wrapper returns the block's
+        recomputed checksum lanes.
         """
         output_map = self.block_output_map(ctx.block_id)
         if output_map is None:
             self.run_block(ctx)
-            return
+            return None
         for buf_name in sorted(output_map):
             idx = output_map[buf_name]
             # In VALIDATE mode ``st`` folds what memory holds at ``idx``
             # (the written values are ignored), which is exactly the
             # check phase of the generated recovery kernel.
             ctx.st(buf_name, idx, 0)
+        return None
+
+    def validate_block_batch(self, bctx) -> list:
+        """Vectorized validation of a whole block group.
+
+        Default strategy: when every block in the group exposes a
+        :meth:`block_output_map` over the same buffer set, the maps are
+        padded into one ``(n_blocks, max_len)`` index array per buffer
+        (ragged tails masked) and fetched with a single batched store
+        interception per buffer — the grid-wide Listing-7 pass.
+        Otherwise the group replays through :meth:`run_block_batch` in
+        ``VALIDATE`` mode. Returns the per-block outcome records (one
+        entry per block, ``None`` for plain kernels).
+        """
+        maps = [self.block_output_map(int(b)) for b in bctx.block_ids]
+        names = sorted(maps[0]) if maps[0] is not None else None
+        uniform = names is not None and all(
+            m is not None and sorted(m) == names for m in maps[1:]
+        )
+        if not uniform:
+            self.run_block_batch(bctx)
+            return [None] * bctx.n_blocks_in_batch
+        for name in names:
+            rows = [np.asarray(m[name]).reshape(-1) for m in maps]
+            max_len = max(r.size for r in rows)
+            idx = np.zeros((len(rows), max_len), dtype=np.int64)
+            mask = np.zeros((len(rows), max_len), dtype=bool)
+            for row, r in enumerate(rows):
+                idx[row, :r.size] = r
+                mask[row, :r.size] = True
+            # Masked charge and default slots reproduce the serial
+            # per-block ``ctx.st(name, map, 0)`` calls exactly: each
+            # row folds its first ``len(map)`` elements with
+            # ``arange % n_threads`` slots.
+            bctx.st(name, idx, 0, mask=None if mask.all() else mask)
+        return [None] * bctx.n_blocks_in_batch
+
+    def merge_validation_outcomes(self, outcomes: list) -> None:
+        """Merge per-block validation outcome records, in block order.
+
+        Called once by the launch engine at the end of a ``VALIDATE``
+        launch with every block's :meth:`validate_block` /
+        :meth:`validate_block_batch` return value. Plain kernels keep
+        no validation state, so the default does nothing; the LP
+        wrapper overrides this with the vectorized checksum-table
+        compare.
+        """
 
     def recover_block(self, ctx: BlockContext) -> None:
         """Re-execute a failed block during crash recovery.
@@ -459,3 +513,17 @@ class Kernel(abc.ABC):
                 "recovery function"
             )
         self.run_block(ctx)
+
+    def recover_block_batch(self, bctx) -> None:
+        """Re-execute a group of failed blocks in one vectorized pass.
+
+        The batched counterpart of :meth:`recover_block`: idempotent
+        kernels re-run through :meth:`run_block_batch`; others must
+        provide their own recovery function.
+        """
+        if not self.idempotent:
+            raise UnrecoverableRegionError(
+                f"kernel {self.name!r} is not idempotent and provides no "
+                "recovery function"
+            )
+        self.run_block_batch(bctx)

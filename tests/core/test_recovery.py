@@ -129,8 +129,15 @@ def test_unconverging_recovery_raises():
     device, lp_kernel = build()
     device.launch(lp_kernel, crash_plan=repro.CrashPlan(after_blocks=4))
     # Sabotage the table: every lookup misses, so every block fails
-    # validation no matter how often it is re-executed.
+    # validation no matter how often it is re-executed. Validation
+    # fetches checksums through the vectorized lookup_many; patch both
+    # entry points so scalar callers miss too.
+    n_lanes = lp_kernel.table.n_lanes
     lp_kernel.table.lookup = lambda key: None
+    lp_kernel.table.lookup_many = lambda keys: (
+        np.zeros((len(keys), n_lanes), dtype=np.uint64),
+        np.zeros(len(keys), dtype=bool),
+    )
     with pytest.raises(RecoveryError):
         RecoveryManager(device, lp_kernel).recover(max_rounds=2)
 

@@ -295,3 +295,94 @@ def test_global_array_rejects_foreign_keys():
 
 def test_empty_key_sentinel():
     assert int(EMPTY_KEY) == (1 << 64) - 1
+
+
+# -- batched lookup (lookup_many) ------------------------------------------------
+
+ALL_CONFIGS = [
+    LPConfig.naive_quadratic(),
+    LPConfig.naive_cuckoo(),
+    LPConfig.paper_best(),
+]
+
+
+def _assert_lookup_many_matches_scalar(table, keys):
+    """lookup_many must agree with a per-key lookup loop, per element."""
+    lanes, found = table.lookup_many(np.asarray(keys, dtype=np.int64))
+    assert lanes.shape == (len(keys), table.n_lanes)
+    assert lanes.dtype == np.uint64
+    assert found.shape == (len(keys),)
+    for i, key in enumerate(keys):
+        scalar = table.lookup(int(key))
+        assert bool(found[i]) == (scalar is not None)
+        if scalar is not None:
+            assert np.array_equal(lanes[i], scalar)
+
+
+@pytest.mark.parametrize("config", ALL_CONFIGS)
+def test_lookup_many_matches_scalar_lookup(config):
+    mem, ctx = make_env()
+    table = make_table(mem, "t", 16, 2, config)
+    for key in range(0, 16, 2):  # half present, half missing
+        table.insert(ctx, key, lanes_for(key))
+    _assert_lookup_many_matches_scalar(table, list(range(16)))
+
+
+@pytest.mark.parametrize("config", [
+    LPConfig.naive_quadratic(),
+    LPConfig.naive_cuckoo(),
+])
+def test_lookup_many_perfect_hash_variant(config):
+    mem, ctx = make_env()
+    table = make_table(mem, "t", 16, 2, config, perfect_hash=True)
+    for key in range(0, 16, 3):
+        table.insert(ctx, key, lanes_for(key))
+    _assert_lookup_many_matches_scalar(table, list(range(16)))
+
+
+def test_lookup_many_quadratic_with_long_probe_chains():
+    mem, ctx = make_env()
+    table = QuadraticTable(mem, "t", 16, 2, LPConfig.naive_quadratic())
+    for key in range(24):  # overload → collisions, long probe chains
+        table.insert(ctx, key, lanes_for(key))
+    assert table.stats.collisions > 0
+    _assert_lookup_many_matches_scalar(table, list(range(32)))
+
+
+@pytest.mark.parametrize("config", ALL_CONFIGS)
+def test_lookup_many_stats_match_scalar_loop(config):
+    mem, ctx = make_env()
+    keys = list(range(16))
+    present = list(range(0, 16, 2))
+
+    table_a = make_table(mem, "ta", 16, 2, config)
+    table_b = make_table(mem, "tb", 16, 2, config)
+    for key in present:
+        table_a.insert(ctx, key, lanes_for(key))
+        table_b.insert(ctx, key, lanes_for(key))
+
+    for key in keys:
+        table_a.lookup(key)
+    table_b.lookup_many(np.asarray(keys, dtype=np.int64))
+
+    assert table_b.stats.lookups == table_a.stats.lookups == len(keys)
+    assert table_b.stats.failed_lookups == table_a.stats.failed_lookups
+
+
+@pytest.mark.parametrize("config", ALL_CONFIGS)
+def test_lookup_many_empty_batch(config):
+    mem, _ = make_env()
+    table = make_table(mem, "t", 16, 2, config)
+    lanes, found = table.lookup_many(np.array([], dtype=np.int64))
+    assert lanes.shape == (0, 2)
+    assert found.shape == (0,)
+    assert table.stats.lookups == 0
+
+
+def test_lookup_many_global_array_rejects_foreign_keys():
+    mem, _ = make_env()
+    table = GlobalArrayTable(mem, "t", 8, 2, LPConfig.paper_best())
+    with pytest.raises(TableError):
+        table.lookup_many(np.array([0, 8], dtype=np.int64))
+    with pytest.raises(TableError):
+        table.lookup_many(np.array([-1], dtype=np.int64))

@@ -4,8 +4,10 @@ import numpy as np
 import pytest
 
 import repro
+from repro.core.config import ChecksumKind
 from repro.core.recovery import RecoveryManager
 from repro.core.runtime import LPRuntime
+from repro.gpu.engine import make_engine
 from repro.obs import load_schema, validate
 from repro.obs.forensics import LANE_MISMATCH, MISSING_ENTRY
 from repro.workloads import WORKLOADS, make_workload
@@ -70,3 +72,84 @@ def test_block_order_invariance(workload_name):
     for buf in outputs[0]:
         assert np.array_equal(outputs[0][buf], outputs[1][buf])
         assert np.array_equal(outputs[0][buf], outputs[2][buf])
+
+
+# -- engine parity of the post-crash pipeline -----------------------------------
+#
+# The validation fast path (vectorized re-checksum + batched table
+# lookups) and the batched/chunked recovery dispatch must be invisible:
+# every engine reproduces the serial reference's ValidationReport bit
+# for bit — failed sets, missing entries, per-block failure_details
+# lanes, and the forensics serialization (hex lanes included).
+
+CHECKSUM_KINDS = {
+    "modular": (ChecksumKind.MODULAR,),
+    "parity": (ChecksumKind.PARITY,),
+}
+
+
+def _recover_with_engine(engine_name, config):
+    """Crash deterministically (serial NORMAL launch), then run the
+    validate → recover → re-validate pipeline under ``engine_name``."""
+    device = repro.Device(cache_capacity_lines=16, seed=13)
+    work = make_workload("spmv", scale="tiny")
+    kernel = work.setup(device)
+    lp_kernel = LPRuntime(device, config).instrument(kernel)
+    n_blocks = kernel.launch_config().n_blocks
+    device.launch(
+        lp_kernel,
+        crash_plan=repro.CrashPlan(after_blocks=max(1, n_blocks // 3),
+                                   persist_fraction=0.35, seed=21),
+    )
+    device.engine = make_engine(engine_name)
+    report = RecoveryManager(device, lp_kernel).recover()
+    outputs = {
+        b: device.memory[b].array.copy()
+        for b in kernel.protected_buffers
+    }
+    return report, outputs
+
+
+def _assert_details_equal(ref, got):
+    assert sorted(ref) == sorted(got)
+    for block_id, ref_detail in ref.items():
+        detail = got[block_id]
+        assert detail["reason"] == ref_detail["reason"]
+        for lane_key in ("expected", "found"):
+            if ref_detail[lane_key] is None:
+                assert detail[lane_key] is None
+            else:
+                assert np.array_equal(detail[lane_key],
+                                      ref_detail[lane_key])
+
+
+@pytest.mark.parametrize("checksum_name", sorted(CHECKSUM_KINDS))
+@pytest.mark.parametrize("table_name", sorted(TABLES))
+@pytest.mark.parametrize("engine_name", ["parallel", "batched"])
+def test_recovery_pipeline_engine_parity(engine_name, table_name,
+                                         checksum_name):
+    config = TABLES[table_name].with_(
+        checksums=CHECKSUM_KINDS[checksum_name]
+    )
+    ref_report, ref_out = _recover_with_engine("serial", config)
+    report, out = _recover_with_engine(engine_name, config)
+
+    for phase in ("initial", "final"):
+        ref_val = getattr(ref_report, phase)
+        val = getattr(report, phase)
+        assert val.n_blocks == ref_val.n_blocks
+        assert val.failed_blocks == ref_val.failed_blocks
+        assert val.missing_checksums == ref_val.missing_checksums
+        _assert_details_equal(ref_val.failure_details,
+                              val.failure_details)
+
+    assert report.recovered == ref_report.recovered
+    assert report.recovered_blocks == ref_report.recovered_blocks
+    if ref_report.forensics is None:
+        assert report.forensics is None
+    else:
+        assert report.forensics.to_dict() == ref_report.forensics.to_dict()
+    for buf, ref_arr in ref_out.items():
+        assert np.array_equal(out[buf], ref_arr)
+    # The parity is only meaningful if the crash actually broke blocks.
+    assert ref_report.initial.failed_blocks
