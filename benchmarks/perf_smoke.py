@@ -54,7 +54,7 @@ ENGINES = {
 }
 
 
-def setup_spmv(engine):
+def setup_spmv(engine, shadow=None, cache_lines=None):
     """LP-instrumented SPMV, 1024 blocks x 64 threads, 8 nnz/row."""
     n_blocks, threads, nnz = 1024, 64, 8
     n_rows = n_blocks * threads
@@ -62,7 +62,8 @@ def setup_spmv(engine):
     _, cols, vals = sparse_csr(rng, n_rows, n_rows, nnz)
     x = unit_floats(rng, n_rows)
 
-    device = repro.Device(engine=engine)
+    device = repro.Device(engine=engine, shadow=shadow,
+                          cache_capacity_lines=cache_lines)
     device.alloc("spmv_vals", (vals.size,), np.float32,
                  persistent=True, init=vals)
     device.alloc("spmv_cols", (cols.size,), np.int32,
@@ -183,6 +184,84 @@ def run_recovery_suite() -> dict:
     return rows
 
 
+#: Absolute ceiling on mapped-shadow write-back overhead: the durable
+#: heap must cost at most 2x the in-memory shadow on the eviction-heavy
+#: SPMV path (launch + drain, small cache).
+MAPPED_OVERHEAD_LIMIT = 2.0
+
+#: Cache capacity for the mapped-writeback scenario: small enough that
+#: most lines reach the shadow via the eviction trickle (the worst case
+#: for the per-write-back journal arm/commit), not one bulk drain.
+MAPPED_CACHE_LINES = 64
+
+
+def measure_mapped_writeback() -> dict:
+    """Launch+drain wall time: in-memory shadow vs the mapped heap.
+
+    Same SPMV instance, serial engine, small write-back cache; the NVM
+    images are asserted bit-identical between backends before the ratio
+    is reported.
+    """
+    import tempfile
+
+    best = {"memory": float("inf"), "mapped": float("inf")}
+    images: dict[str, bytes] = {}
+    lines_written = 0
+    for _ in range(3):
+        for backend in ("memory", "mapped"):
+            tmp = None
+            heap = None
+            if backend == "mapped":
+                tmp = tempfile.TemporaryDirectory(prefix="lp-bench-")
+                heap = repro.MappedShadow.create(
+                    Path(tmp.name) / "heap.lpnv"
+                )
+            device, lp_kernel, check_buffers = setup_spmv(
+                ENGINES["serial"](), shadow=heap,
+                cache_lines=MAPPED_CACHE_LINES,
+            )
+            start = time.perf_counter()
+            device.launch(lp_kernel)
+            device.drain()
+            best[backend] = min(best[backend],
+                                time.perf_counter() - start)
+            image = b"".join(
+                device.memory[name].shadow.tobytes()
+                for name in check_buffers
+            )
+            if backend in images:
+                assert images[backend] == image, (
+                    f"mapped_writeback: {backend} NVM image not "
+                    "deterministic across repetitions"
+                )
+            images[backend] = image
+            if heap is not None:
+                lines_written = heap.lines_written
+                heap.close()
+                tmp.cleanup()
+    assert images["memory"] == images["mapped"], (
+        "mapped_writeback: mapped NVM image diverged from the "
+        "in-memory shadow"
+    )
+    ratio = best["mapped"] / best["memory"]
+    return {
+        "memory_seconds": round(best["memory"], 6),
+        "mapped_seconds": round(best["mapped"], 6),
+        "overhead_ratio": round(ratio, 3),
+        "lines_written": lines_written,
+        "cache_lines": MAPPED_CACHE_LINES,
+    }
+
+
+def run_mapped_suite() -> dict:
+    row = measure_mapped_writeback()
+    print(f"mapped   writeback {row['overhead_ratio']:10.2f}x overhead "
+          f"(memory {row['memory_seconds'] * 1e3:8.1f} ms, "
+          f"mapped {row['mapped_seconds'] * 1e3:8.1f} ms, "
+          f"{row['lines_written']} lines)")
+    return row
+
+
 def measure(setup_fn, engine_name: str) -> dict:
     """Blocks/sec of one engine on one workload (fresh state, best of 3)."""
     best = float("inf")
@@ -234,7 +313,8 @@ def run_suite() -> dict:
     return suite
 
 
-def check_against_baseline(suite: dict, recovery: dict | None = None) -> int:
+def check_against_baseline(suite: dict, recovery: dict | None = None,
+                           mapped: dict | None = None) -> int:
     if not BASELINE_PATH.exists():
         print(f"no baseline at {BASELINE_PATH}; run without --check first",
               file=sys.stderr)
@@ -267,6 +347,14 @@ def check_against_baseline(suite: dict, recovery: dict | None = None) -> int:
                 f"blocks/sec < {floor:,.1f} (baseline "
                 f"{base['validate_blocks_per_sec']:,.1f} - {TOLERANCE:.0%})"
             )
+    if mapped is not None \
+            and mapped["overhead_ratio"] > MAPPED_OVERHEAD_LIMIT:
+        failures.append(
+            f"mapped_writeback: {mapped['overhead_ratio']:.2f}x "
+            f"overhead > {MAPPED_OVERHEAD_LIMIT:.1f}x limit "
+            f"(memory {mapped['memory_seconds'] * 1e3:.1f} ms, "
+            f"mapped {mapped['mapped_seconds'] * 1e3:.1f} ms)"
+        )
     if failures:
         print("PERF REGRESSION:\n  " + "\n  ".join(failures),
               file=sys.stderr)
@@ -284,15 +372,18 @@ def main(argv: list[str] | None = None) -> int:
 
     suite = run_suite()
     recovery = run_recovery_suite()
+    mapped = run_mapped_suite()
     if args.check:
-        return check_against_baseline(suite, recovery)
+        return check_against_baseline(suite, recovery, mapped)
 
     BASELINE_PATH.write_text(json.dumps({
         "benchmark": "launch-engine throughput smoke",
         "command": "PYTHONPATH=src python benchmarks/perf_smoke.py",
         "tolerance": TOLERANCE,
+        "mapped_overhead_limit": MAPPED_OVERHEAD_LIMIT,
         "workloads": suite,
         "recovery": recovery,
+        "mapped_writeback": mapped,
     }, indent=2) + "\n")
     print(f"wrote {BASELINE_PATH}")
     return 0

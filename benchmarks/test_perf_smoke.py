@@ -28,9 +28,18 @@ def recovery_suite():
     return perf_smoke.run_recovery_suite()
 
 
+@pytest.fixture(scope="module")
+def mapped_suite():
+    if not perf_smoke.BASELINE_PATH.exists():
+        pytest.skip(f"no baseline at {perf_smoke.BASELINE_PATH}")
+    return perf_smoke.run_mapped_suite()
+
+
 @pytest.mark.tier2
-def test_no_regression_vs_baseline(suite, recovery_suite):
-    assert perf_smoke.check_against_baseline(suite, recovery_suite) == 0
+def test_no_regression_vs_baseline(suite, recovery_suite, mapped_suite):
+    assert perf_smoke.check_against_baseline(
+        suite, recovery_suite, mapped_suite
+    ) == 0
 
 
 @pytest.mark.tier2
@@ -47,4 +56,13 @@ def test_batched_validation_speedup(recovery_suite):
     speedup = recovery_suite["batched"]["validate_speedup_vs_serial"]
     assert speedup >= 5.0, (
         f"recovery: batched validation only {speedup:.2f}x vs serial"
+    )
+
+
+@pytest.mark.tier2
+def test_mapped_writeback_overhead(mapped_suite):
+    ratio = mapped_suite["overhead_ratio"]
+    assert ratio <= perf_smoke.MAPPED_OVERHEAD_LIMIT, (
+        f"mapped heap write-back costs {ratio:.2f}x the in-memory "
+        f"shadow (limit {perf_smoke.MAPPED_OVERHEAD_LIMIT:.1f}x)"
     )

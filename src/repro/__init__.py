@@ -26,6 +26,9 @@ Public surface
   instrumentation (checksums, reduction, checksum table).
 * :class:`RecoveryManager` — post-crash validation + eager recovery.
 * :class:`CrashPlan` / :class:`FaultInjector` — failure models.
+* :class:`MappedShadow` / :mod:`repro.harness` — the durable
+  mmap-backed NVM heap and the out-of-process crash-kill harness
+  (``python -m repro crash-test``).
 * :mod:`repro.workloads` — the paper's nine benchmarks.
 * :mod:`repro.compiler` — the ``#pragma nvm`` directive compiler.
 * :mod:`repro.bench` — the experiment harness for every table/figure.
@@ -69,6 +72,7 @@ from repro.gpu.kernel import BlockContext, ExecMode, Kernel, LaunchConfig
 from repro.gpu.spec import GPUSpec, NVMSpec
 from repro.nvm.audit import AuditReport, audit_crash_consistency
 from repro.nvm.crash import CrashPlan, FaultInjector
+from repro.nvm.mapped import MappedShadow
 
 from repro import obs  # noqa: E402  (re-export subpackage)
 from repro import workloads  # noqa: E402  (re-export subpackage)
@@ -101,6 +105,7 @@ __all__ = [
     "LockMode",
     "LPConfig",
     "LPRuntime",
+    "MappedShadow",
     "NVMSpec",
     "ParallelEngine",
     "RecoveryManager",

@@ -16,6 +16,11 @@ Commands
 ``profile <workload> [--scale S] [--crash-after N]``
     Run a workload with the flight recorder on and print a per-phase
     wall-time / modeled-cycles / NVM-traffic breakdown.
+``crash-test [--workloads ...] [--engines ...] [--rounds N]``
+    Out-of-process durability proof: SIGKILL child processes mid-launch
+    against an mmap-backed heap, reopen the heap cold, validate and
+    recover, and verify against the crash-free reference. Writes a JSON
+    report with ``--out``; exits 1 if any grid cell fails to converge.
 ``report [path]``
     Regenerate EXPERIMENTS.md.
 ``lint [targets...] [--format text|json] [--oracle]``
@@ -285,6 +290,39 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return report.exit_code
 
 
+def _cmd_crash_test(args: argparse.Namespace) -> int:
+    from repro.harness import render_text, run_grid, write_report
+
+    def progress(label: str) -> None:
+        if not args.json:
+            print(f"crash-test: {label}", flush=True)
+
+    report = run_grid(
+        workloads=args.workloads,
+        engines=args.engines,
+        configs=args.configs,
+        scale=args.scale,
+        seed=args.seed,
+        kill_rounds=args.rounds,
+        trigger=args.trigger,
+        jobs=args.jobs,
+        cache_lines=args.cache_lines,
+        timeout=args.timeout,
+        progress=progress,
+    )
+    if args.out:
+        write_report(report, args.out)
+        if not args.json:
+            print(f"report written to {args.out}")
+    if args.json:
+        import json
+
+        print(json.dumps(report, indent=2))
+    else:
+        print(render_text(report))
+    return 0 if report["converged"] else 1
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.bench.make_experiments_md import main as make_md
 
@@ -353,6 +391,40 @@ def build_parser() -> argparse.ArgumentParser:
                         help="cross-check builtin verdicts against the "
                              "dynamic re-execution oracle")
     p_lint.set_defaults(fn=_cmd_lint)
+
+    p_ct = sub.add_parser(
+        "crash-test",
+        help="SIGKILL child processes against a durable mmap heap and "
+             "prove recovery end to end")
+    p_ct.add_argument("--workloads", nargs="+", default=["spmv", "tmm"],
+                      help="workloads to kill (default: spmv tmm)")
+    p_ct.add_argument("--engines", nargs="+", default=["serial",
+                      "parallel", "batched"],
+                      choices=("serial", "parallel", "batched"),
+                      help="launch engines to cover")
+    p_ct.add_argument("--configs", nargs="+", default=["global-array"],
+                      choices=("global-array", "quadratic", "cuckoo"),
+                      help="LP configs / checksum tables to cover")
+    p_ct.add_argument("--scale", default="small",
+                      choices=("tiny", "small", "medium"))
+    p_ct.add_argument("--rounds", type=int, default=2, metavar="N",
+                      help="kill rounds per cell: 1 mid-launch kill + "
+                           "N-1 mid-recovery re-kills (default 2)")
+    p_ct.add_argument("--trigger", default="writebacks:6",
+                      help="kill trigger: writebacks:N | blocks:N | "
+                           "walltime:SECONDS (default writebacks:6)")
+    p_ct.add_argument("--cache-lines", type=int, default=4,
+                      help="write-back cache capacity (small values "
+                           "make kills lose more)")
+    p_ct.add_argument("--seed", type=int, default=0)
+    p_ct.add_argument("--jobs", type=int, default=None, metavar="N")
+    p_ct.add_argument("--timeout", type=float, default=120.0,
+                      help="per-child deadline in seconds")
+    p_ct.add_argument("--out", default=None, metavar="FILE",
+                      help="write the JSON report here")
+    p_ct.add_argument("--json", action="store_true",
+                      help="print the JSON report to stdout")
+    p_ct.set_defaults(fn=_cmd_crash_test)
 
     p_rep = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
     p_rep.add_argument("path", nargs="?", default=None)

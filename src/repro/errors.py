@@ -69,6 +69,57 @@ class DuplicateKeyError(TableError):
     """A key was inserted twice into a table that forbids duplicates."""
 
 
+class HeapError(MemoryError_):
+    """Base class for durable (mmap-backed) heap errors."""
+
+
+class HeapFormatError(HeapError):
+    """A heap file's header or directory is not in the expected format.
+
+    Raised for a wrong magic number, nonsensical geometry fields, or an
+    undecodable buffer directory.
+    """
+
+
+class HeapVersionError(HeapError):
+    """A heap file was written by an incompatible format version."""
+
+
+class HeapTruncatedError(HeapError):
+    """A heap file is shorter than its own directory says it must be."""
+
+
+class HeapCorruptError(HeapError):
+    """A heap file's directory checksum does not match its contents."""
+
+
+class HeapLayoutError(HeapError):
+    """A heap file's buffer directory disagrees with the live memory
+    layout it is being adopted into (names, dtypes, shapes or
+    addresses diverged)."""
+
+
+class HeapFullError(HeapError):
+    """The heap file cannot hold another allocation (directory region
+    exhausted)."""
+
+
+class HarnessError(ReproError):
+    """Base class for out-of-process crash-harness errors."""
+
+
+class ChildStartupError(HarnessError):
+    """A harness child process kept dying before reporting ready.
+
+    Raised once the bounded retry/backoff spawn loop is exhausted.
+    """
+
+
+class ChildTimeoutError(HarnessError):
+    """A harness child neither finished nor got killed within its
+    deadline (the harness kills its process group before raising)."""
+
+
 class RecoveryError(ReproError):
     """Crash recovery could not restore a consistent state."""
 

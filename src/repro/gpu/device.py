@@ -101,6 +101,11 @@ class Device:
         instance, an engine name (``"serial"`` / ``"parallel"`` /
         ``"batched"``), or ``None`` for serial. All engines are
         bit-identical in results; see :mod:`repro.gpu.engine`.
+    shadow:
+        Optional durable write-back target (a
+        :class:`~repro.nvm.mapped.MappedShadow`). When given, every
+        persistent buffer's NVM image lives in the heap file and
+        survives the death of this process.
     """
 
     spec: GPUSpec = field(default_factory=GPUSpec.v100)
@@ -109,6 +114,7 @@ class Device:
     block_order: str = "sequential"
     seed: int = 0
     engine: LaunchEngine | str | None = None
+    shadow: object | None = None
 
     def __post_init__(self) -> None:
         if self.block_order not in ("sequential", "shuffled"):
@@ -118,12 +124,17 @@ class Device:
         if capacity is None:
             capacity = self.spec.l2_bytes // self.spec.line_size
         self.memory = GlobalMemory(
-            line_size=self.spec.line_size, cache_capacity_lines=capacity
+            line_size=self.spec.line_size, cache_capacity_lines=capacity,
+            shadow=self.shadow,
         )
         self.cost_model = CostModel(spec=self.spec, nvm=self.nvm)
         self.crashed = False
         #: The most recent crash's :class:`CrashReport` (forensics input).
         self.last_crash_report: CrashReport | None = None
+        #: Optional callback fired once per completed block (with the
+        #: cumulative completed-block count) by every engine — the
+        #: crash harness's "kill after N blocks" trigger point.
+        self.block_hook = None
         self._rng = np.random.default_rng(self.seed)
         self._launch_counter = 0
 
@@ -198,6 +209,7 @@ class Device:
             block_ids=order,
             fence_latency=fence_latency,
             fence_concurrency=fence_concurrency,
+            block_hook=self.block_hook,
         )
         rec = _recorder()
         with rec.trace.span(

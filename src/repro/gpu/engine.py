@@ -84,6 +84,11 @@ class LaunchPlan:
     block_ids: list[int]
     fence_latency: float = 660.0
     fence_concurrency: int = 1
+    #: Optional callback fired with the cumulative completed-block
+    #: count each time a block's effects land in the plan's memory
+    #: (serial execution, parallel replay, batched application alike).
+    #: The crash harness's "kill after N blocks" trigger point.
+    block_hook: object | None = None
 
     def new_tally(self) -> Tally:
         """A zeroed launch-level tally with this plan's geometry."""
@@ -175,6 +180,8 @@ class SerialEngine(LaunchEngine):
                 kernel.run_block(ctx)
             tally.merge(ctx.finalize_tally())
             completed.append(block_id)
+            if plan.block_hook is not None:
+                plan.block_hook(len(completed))
 
 
 # ---------------------------------------------------------------------------
@@ -287,6 +294,12 @@ def _run_worker_chunk(block_ids: list[int]) -> ChunkRecord:
     """Worker entry: run a chunk of blocks against the forked snapshot."""
     plan = _WORKER_PLAN
     assert plan is not None, "worker forked without a launch plan"
+    # A MAP_SHARED durable heap is shared with the parent across the
+    # fork — writing through inherited mapped shadows would corrupt the
+    # parent's heap file. Workers simulate against private copies;
+    # effects reach the parent only through the replayed op log.
+    if plan.memory.shadow_backend is not None:
+        plan.memory.privatize_shadow()
     # A private atomic unit: contention accounting happens in the
     # parent during replay, against the launch's real AtomicUnit.
     atomics = AtomicUnit(plan.memory)
@@ -452,6 +465,8 @@ class ParallelEngine(LaunchEngine):
                 else:  # pragma: no cover - defensive
                     raise LaunchError(f"unknown replay op {code!r}")
             completed.append(block_id)
+            if plan.block_hook is not None:
+                plan.block_hook(len(completed))
 
 
 # ---------------------------------------------------------------------------
@@ -524,6 +539,10 @@ class BatchedEngine(LaunchEngine):
                 tally.merge(bctx.finalize_tally())
                 self._apply_group(plan, bctx, tally)
             completed.extend(group)
+            if plan.block_hook is not None:
+                for n in range(len(completed) - len(group) + 1,
+                               len(completed) + 1):
+                    plan.block_hook(n)
             if rec.metrics.active:
                 rec.metrics.inc("engine.scheduling.groups",
                                 engine=self.name)

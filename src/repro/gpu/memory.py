@@ -140,12 +140,23 @@ class GlobalMemory:
         line_size: int = 128,
         cache_capacity_lines: int = DEFAULT_CACHE_LINES,
         write_stats: WriteStats | None = None,
+        shadow=None,
     ) -> None:
         if line_size <= 0 or line_size & (line_size - 1):
             raise AllocationError("line_size must be a positive power of two")
+        if shadow is not None and shadow.line_size != line_size:
+            raise AllocationError(
+                f"shadow backend line size {shadow.line_size} != memory "
+                f"line size {line_size}"
+            )
         self.line_size = line_size
         self.cache = WriteBackCache(cache_capacity_lines)
         self.write_stats = write_stats or WriteStats(line_size=line_size)
+        #: Durable write-back target (e.g. an
+        #: :class:`~repro.nvm.mapped.MappedShadow`). When set, every
+        #: persistent allocation's NVM image is a view into the backend
+        #: and write-backs are journalled through ``arm``/``commit``.
+        self.shadow_backend = shadow
         self._buffers: dict[str, Buffer] = {}
         self._next_addr = 0
         # Parallel arrays for bisect: first-line of each live buffer,
@@ -190,6 +201,9 @@ class GlobalMemory:
             if buf.shadow is not None:
                 buf.shadow[:] = buf.data
 
+        if buf.persistent and self.shadow_backend is not None:
+            buf.shadow = self.shadow_backend.attach(buf)
+
         self._next_addr += buf.padded_bytes
         self._buffers[name] = buf
         self._index_first_lines.append(buf.first_line)
@@ -203,6 +217,8 @@ class GlobalMemory:
             raise AllocationError(f"no buffer named {name!r}")
         lines = range(buf.first_line, buf.first_line + buf.n_lines)
         self.cache.discard(lines)
+        if buf.persistent and self.shadow_backend is not None:
+            self.shadow_backend.detach(name)
         pos = self._index_buffers.index(buf)
         del self._index_first_lines[pos]
         del self._index_buffers[pos]
@@ -245,10 +261,17 @@ class GlobalMemory:
     # ------------------------------------------------------------------
 
     def drain(self) -> int:
-        """Write back every dirty line; returns how many were written."""
+        """Write back every dirty line; returns how many were written.
+
+        With a durable shadow backend this is also the durability
+        point: the backend is synced so the heap file reflects every
+        drained line.
+        """
         with _recorder().trace.span("nvm.drain", cat="nvm", track="nvm"):
             lines = self.cache.drain()
             self._write_back(lines, WritebackReason.DRAIN)
+            if self.shadow_backend is not None:
+                self.shadow_backend.sync()
         return len(lines)
 
     def flush(self, buf: Buffer, flat_idx: np.ndarray) -> int:
@@ -343,9 +366,39 @@ class GlobalMemory:
             raise OutOfBoundsError(f"line {line_id} maps to no live buffer")
         return buf
 
+    def privatize_shadow(self) -> None:
+        """Detach from the durable backend, copying shadows private.
+
+        Called in forked worker processes: a ``MAP_SHARED`` mapping is
+        shared with the parent across ``fork``, so a worker that kept
+        the mapped views would write through to the parent's heap file.
+        Workers simulate their chunk against private copies; effects
+        reach the parent only through the recorded-op replay.
+        """
+        for buf in self._buffers.values():
+            if buf.persistent and buf.shadow is not None:
+                buf.shadow = np.array(buf.shadow, copy=True)
+        self.shadow_backend = None
+
     def _write_back(self, line_ids: list[int], reason: WritebackReason) -> None:
+        """Copy dirty lines to their NVM images.
+
+        With a durable backend the copy is bracketed by the backend's
+        torn-write journal: intent is armed before any byte moves and
+        committed after the last — a process killed in between leaves
+        an armed journal for :meth:`~repro.nvm.mapped.MappedShadow.open`
+        to surface.
+        """
         if not line_ids:
             return
+        backend = self.shadow_backend
+        if backend is not None:
+            backend.arm(line_ids)
+        self._copy_back(line_ids, reason)
+        if backend is not None:
+            backend.commit(len(line_ids))
+
+    def _copy_back(self, line_ids: list[int], reason: WritebackReason) -> None:
         metrics = _recorder().metrics
         if len(line_ids) <= 4:
             # Scalar path for the common per-store eviction trickle.

@@ -1,0 +1,41 @@
+"""Out-of-process crash harness: real SIGKILLs against the durable heap.
+
+Layers:
+
+* :mod:`repro.harness.tmpdir` — managed temp directories so nothing a
+  killed child created outlives the harness.
+* :mod:`repro.harness.crashproc` — spawn a child running a launch (or a
+  recovery) against an mmap-backed heap and SIGKILL its process group
+  on a trigger; bounded retry/backoff around child startup.
+* :mod:`repro.harness.scenarios` — the kill → reopen → validate →
+  recover → re-kill loop over workloads × engines × configs, emitting
+  the ``crash-test`` JSON report.
+"""
+
+from repro.harness.crashproc import (
+    ChildOutcome,
+    ChildSpec,
+    build_run,
+    parse_trigger,
+    run_child,
+)
+from repro.harness.scenarios import (
+    render_text,
+    run_cell,
+    run_grid,
+    write_report,
+)
+from repro.harness.tmpdir import ManagedTmpdir
+
+__all__ = [
+    "ChildOutcome",
+    "ChildSpec",
+    "ManagedTmpdir",
+    "build_run",
+    "parse_trigger",
+    "render_text",
+    "run_cell",
+    "run_child",
+    "run_grid",
+    "write_report",
+]

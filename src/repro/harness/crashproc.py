@@ -1,0 +1,346 @@
+"""Out-of-process crash injection: run a launch in a child, SIGKILL it.
+
+Everything before this module simulated crashes politely, inside one
+Python process. Here the failure is real: a **child process** runs a
+workload launch against an mmap-backed heap
+(:class:`~repro.nvm.mapped.MappedShadow`) and kills its own process
+group — ``SIGKILL``, no handlers, no cleanup — when a trigger fires:
+
+* ``writebacks:N`` — after the Nth cache line reaches the heap file
+  (fires *inside* the write-back journal window, so the reopened heap
+  shows a torn write);
+* ``blocks:N`` — after N thread blocks' effects have landed (fires via
+  the engines' block hook, journal clean);
+* ``walltime:T`` — T seconds into the run (a timer thread; lands
+  wherever it lands).
+
+The parent (:func:`run_child`) spawns the child in its **own session**
+so the child's ``os.kill(0, SIGKILL)`` takes out any ``ParallelEngine``
+pool workers with it — nothing survives to corrupt the next round.
+Child startup (interpreter boot, imports, heap setup) is distinguished
+from the run itself by a *ready marker* file: a child that dies before
+the marker appears is retried with bounded backoff
+(:class:`~repro.errors.ChildStartupError` once exhausted), while a
+death after the marker is a result. All child artifacts — spec, heap,
+marker, and anything the child's engine writes to ``TMPDIR`` — live in
+the parent's :class:`~repro.harness.tmpdir.ManagedTmpdir`.
+
+The child entry point is ``python -m repro.harness.crashproc
+<spec.json>``; :class:`ChildSpec` is the wire format.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+from repro.errors import ChildStartupError, ChildTimeoutError, HarnessError
+
+#: Trigger kinds and whether their threshold is an int count.
+TRIGGER_KINDS = ("writebacks", "blocks", "walltime")
+
+#: Default per-round child deadline. Generous: tiny-scale launches run
+#: in well under a second; the deadline only catches hangs.
+DEFAULT_TIMEOUT = 120.0
+
+
+def parse_trigger(text: str) -> tuple[str, float]:
+    """Parse ``kind:threshold`` into a validated (kind, value) pair."""
+    kind, sep, raw = text.partition(":")
+    if not sep or kind not in TRIGGER_KINDS:
+        raise HarnessError(
+            f"bad trigger {text!r}; expected one of "
+            + ", ".join(f"{k}:N" for k in TRIGGER_KINDS)
+        )
+    try:
+        value = float(raw)
+    except ValueError:
+        raise HarnessError(f"bad trigger threshold in {text!r}") from None
+    if value <= 0 or (kind != "walltime" and value != int(value)):
+        raise HarnessError(
+            f"trigger {text!r} needs a positive "
+            + ("duration" if kind == "walltime" else "integer count")
+        )
+    return kind, value
+
+
+@dataclass
+class ChildSpec:
+    """Everything a harness child needs to run one kill round."""
+
+    workload: str
+    scale: str
+    seed: int
+    config: str
+    engine: str
+    jobs: int | None
+    cache_lines: int
+    heap_path: str
+    ready_path: str
+    #: ``"launch"`` — fresh heap, forward launch; ``"recover"`` — reopen
+    #: the heap cold, adopt, run validate+recover.
+    phase: str
+    #: ``kind:threshold`` per :func:`parse_trigger`, or ``None`` to run
+    #: the phase to completion (the crash-free reference round).
+    trigger: str | None
+
+    def to_json(self) -> str:
+        return json.dumps(asdict(self), indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ChildSpec":
+        return cls(**json.loads(text))
+
+
+@dataclass
+class ChildOutcome:
+    """How one child round ended, as seen from the parent."""
+
+    returncode: int
+    attempts: int
+    stderr: str
+
+    @property
+    def killed(self) -> bool:
+        """True when the round ended in the trigger's SIGKILL."""
+        return self.returncode == -signal.SIGKILL
+
+    @property
+    def completed(self) -> bool:
+        """True when the child outran its trigger and exited cleanly."""
+        return self.returncode == 0
+
+
+# ---------------------------------------------------------------------------
+# Child side
+# ---------------------------------------------------------------------------
+
+def build_run(spec: ChildSpec, shadow=None):
+    """Deterministic device + instrumented-kernel construction.
+
+    Used by the child for the live run and by the parent to rebuild the
+    *same memory layout* before adopting a reopened heap — workload
+    setup and LP instrumentation allocate identically given identical
+    parameters, which is what makes the adopt path sound.
+    """
+    import repro
+    from repro.workloads import make_workload
+
+    configs = {
+        "global-array": repro.LPConfig.paper_best,
+        "quadratic": repro.LPConfig.naive_quadratic,
+        "cuckoo": repro.LPConfig.naive_cuckoo,
+    }
+    if spec.config not in configs:
+        raise HarnessError(f"unknown LP config {spec.config!r}")
+    engine = repro.make_engine(spec.engine, jobs=spec.jobs)
+    device = repro.Device(cache_capacity_lines=spec.cache_lines,
+                          engine=engine, shadow=shadow)
+    work = make_workload(spec.workload, scale=spec.scale, seed=spec.seed)
+    kernel = work.setup(device)
+    lp_kernel = repro.LPRuntime(
+        device, configs[spec.config]()
+    ).instrument(kernel)
+    return device, work, lp_kernel
+
+
+def _die() -> None:
+    """Kill the whole process group — the power failure."""
+    os.kill(0, signal.SIGKILL)
+
+
+def _install_trigger(spec: ChildSpec, device, heap) -> None:
+    if spec.trigger is None:
+        return
+    kind, value = parse_trigger(spec.trigger)
+    if kind == "writebacks":
+        threshold = int(value)
+
+        def on_writeback(cumulative_lines: int) -> None:
+            if cumulative_lines >= threshold:
+                _die()
+
+        heap.writeback_listener = on_writeback
+    elif kind == "blocks":
+        threshold = int(value)
+
+        def on_block(cumulative_blocks: int) -> None:
+            if cumulative_blocks >= threshold:
+                _die()
+
+        device.block_hook = on_block
+    else:  # walltime
+        timer = threading.Timer(value, _die)
+        timer.daemon = True
+        timer.start()
+
+
+def child_main(spec_path: str) -> int:
+    """Entry point of the killed-on-purpose process."""
+    from repro.core.recovery import RecoveryManager
+    from repro.nvm.mapped import MappedShadow
+
+    spec = ChildSpec.from_json(Path(spec_path).read_text())
+    if spec.phase == "launch":
+        heap = MappedShadow.create(spec.heap_path)
+        device, work, lp_kernel = build_run(spec, shadow=heap)
+    elif spec.phase == "recover":
+        heap = MappedShadow.open(spec.heap_path)
+        device, work, lp_kernel = build_run(spec)
+        heap.adopt(device.memory)
+    else:
+        raise HarnessError(f"unknown child phase {spec.phase!r}")
+
+    _install_trigger(spec, device, heap)
+    # Setup is done; from here on a death is a result, not a flake.
+    Path(spec.ready_path).touch()
+
+    if spec.phase == "launch":
+        device.launch(lp_kernel)
+    else:
+        RecoveryManager(device, lp_kernel).recover()
+    device.drain()
+    heap.close()
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Parent side
+# ---------------------------------------------------------------------------
+
+def _child_env(tmpdir: Path) -> dict[str, str]:
+    """Child environment: importable ``repro``, temp files in ``tmpdir``."""
+    import repro
+
+    src_root = str(Path(repro.__file__).resolve().parents[1])
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        src_root if not existing
+        else src_root + os.pathsep + existing
+    )
+    # Engine pools and any tempfile use inside the child land in the
+    # managed dir, so a SIGKILLed child leaks nothing the parent's
+    # cleanup doesn't remove.
+    env["TMPDIR"] = str(tmpdir)
+    return env
+
+
+def run_child(
+    spec: ChildSpec,
+    tmpdir,
+    timeout: float = DEFAULT_TIMEOUT,
+    startup_retries: int = 3,
+    backoff: float = 0.25,
+) -> ChildOutcome:
+    """Run one child round, retrying startup failures with backoff.
+
+    A child that dies (for any reason other than the trigger's SIGKILL)
+    *before* touching its ready marker is treated as a startup flake
+    and respawned, with the backoff doubling each attempt; after
+    ``startup_retries`` extra attempts, :class:`ChildStartupError`.
+    Once the marker exists, the child's fate is the round's result. A
+    child that does neither within ``timeout`` has its process group
+    killed and :class:`ChildTimeoutError` raised.
+    """
+    from repro.obs import current as _recorder
+
+    spec_path = tmpdir.file(f"spec-{spec.phase}.json")
+    ready = Path(spec.ready_path)
+    attempts = 0
+    delay = backoff
+    rec = _recorder()
+    while True:
+        attempts += 1
+        ready.unlink(missing_ok=True)
+        spec_path.write_text(spec.to_json())
+        with rec.trace.span(
+            "harness.child", cat="harness", track="harness",
+            phase=spec.phase, workload=spec.workload, engine=spec.engine,
+            trigger=spec.trigger or "none", attempt=attempts,
+        ):
+            outcome = _run_once(spec_path, ready, tmpdir, timeout)
+        if outcome is not None:
+            if rec.metrics.active and outcome.killed:
+                rec.metrics.inc("harness.kill", phase=spec.phase,
+                                workload=spec.workload,
+                                engine=spec.engine)
+            return ChildOutcome(outcome.returncode, attempts,
+                                outcome.stderr)
+        if attempts > startup_retries:
+            raise ChildStartupError(
+                f"harness child for {spec.workload}/{spec.engine} "
+                f"({spec.phase}) died before ready "
+                f"{attempts} times; giving up"
+            )
+        if rec.metrics.active:
+            rec.metrics.inc("harness.startup_retries")
+        time.sleep(delay)
+        delay *= 2
+
+
+def _run_once(spec_path: Path, ready: Path, tmpdir,
+              timeout: float) -> ChildOutcome | None:
+    """One spawn attempt; ``None`` means a pre-ready death (retry)."""
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.harness.crashproc", str(spec_path)],
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.PIPE,
+        env=_child_env(tmpdir.path),
+        start_new_session=True,
+    )
+    deadline = time.monotonic() + timeout
+    try:
+        while not ready.exists():
+            rc = proc.poll()
+            if rc is not None:
+                stderr = proc.stderr.read().decode(errors="replace")
+                if rc == -signal.SIGKILL:
+                    # Trigger fired before the marker hit disk — a
+                    # result, not a startup failure.
+                    return ChildOutcome(rc, 1, stderr)
+                return None
+            if time.monotonic() > deadline:
+                _kill_group(proc)
+                raise ChildTimeoutError(
+                    f"harness child never became ready within {timeout}s"
+                )
+            time.sleep(0.005)
+        remaining = max(0.1, deadline - time.monotonic())
+        try:
+            _, stderr_bytes = proc.communicate(timeout=remaining)
+        except subprocess.TimeoutExpired:
+            _kill_group(proc)
+            proc.communicate()
+            raise ChildTimeoutError(
+                f"harness child still running after {timeout}s"
+            ) from None
+        return ChildOutcome(proc.returncode, 1,
+                            stderr_bytes.decode(errors="replace"))
+    finally:
+        if proc.poll() is None:
+            _kill_group(proc)
+            proc.communicate()
+
+
+def _kill_group(proc: subprocess.Popen) -> None:
+    """SIGKILL the child's whole session (pool workers included)."""
+    try:
+        os.killpg(proc.pid, signal.SIGKILL)
+    except ProcessLookupError:
+        pass
+
+
+if __name__ == "__main__":
+    if len(sys.argv) != 2:
+        print("usage: python -m repro.harness.crashproc <spec.json>",
+              file=sys.stderr)
+        raise SystemExit(2)
+    raise SystemExit(child_main(sys.argv[1]))

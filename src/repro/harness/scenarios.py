@@ -1,0 +1,239 @@
+"""Crash-kill scenarios: the kill → reopen → recover → re-kill loop.
+
+One scenario *cell* proves end-to-end durability for one (workload,
+engine, LP config) combination:
+
+1. **kill round 0** — a child process runs the forward launch against a
+   fresh mapped heap and is SIGKILLed by its trigger mid-launch.
+2. **measure** — the parent reopens the heap file cold
+   (:meth:`MappedShadow.open`), rebuilds the device deterministically,
+   adopts the persisted images, and runs a validation pass: the failed
+   blocks are what the crash *actually* lost, and the journal reports
+   any torn write-back.
+3. **kill rounds 1..k-1** — a fresh child reopens the heap and runs the
+   recovery pipeline, and is killed again mid-recovery; the measure
+   step repeats. Recovery progress persists across its own death —
+   each round's failed set can only shrink.
+4. **final** — the parent itself recovers in-process (same pluggable
+   engine), drains, and verifies both the volatile output and the
+   persisted NVM image against the workload's crash-free reference.
+
+:func:`run_grid` drives cells across workloads × engines × configs and
+builds the JSON report consumed by ``python -m repro crash-test`` and
+the CI smoke job: per-round blocks lost, blocks recovered, torn lines,
+and rounds to convergence.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.errors import HarnessError
+from repro.harness.crashproc import (
+    DEFAULT_TIMEOUT,
+    ChildSpec,
+    build_run,
+    parse_trigger,
+    run_child,
+)
+from repro.harness.tmpdir import ManagedTmpdir
+from repro.obs import current as _recorder
+
+#: Grid defaults: two workloads with different store shapes (regular
+#: row-per-block SPMV, strided tile-output TMM), every engine, the
+#: paper-best table.
+DEFAULT_WORKLOADS = ("spmv", "tmm")
+DEFAULT_ENGINES = ("serial", "parallel", "batched")
+DEFAULT_CONFIGS = ("global-array",)
+#: Small write-back cache so the eviction trickle (and therefore kill
+#: triggers and real data loss) starts early even at small scale.
+DEFAULT_CACHE_LINES = 4
+DEFAULT_TRIGGER = "writebacks:6"
+
+
+def _measure(spec: ChildSpec) -> dict:
+    """Reopen the heap cold and take stock: torn lines, failed blocks."""
+    from repro.core.recovery import RecoveryManager
+    from repro.nvm.mapped import MappedShadow
+
+    heap = MappedShadow.open(spec.heap_path)
+    try:
+        torn_lines = heap.torn.n_lines if heap.torn is not None else 0
+        torn_by_buffer = heap.torn_by_buffer()
+        device, _work, lp_kernel = build_run(spec)
+        heap.adopt(device.memory)
+        report = RecoveryManager(device, lp_kernel).validate()
+        return {
+            "torn_lines": torn_lines,
+            "torn_by_buffer": torn_by_buffer,
+            "blocks_failed": report.n_failed,
+            "missing_checksums": len(report.missing_checksums),
+        }
+    finally:
+        heap.close()
+
+
+def _final_recover(spec: ChildSpec) -> dict:
+    """Parent-side convergence: recover in-process, drain, verify."""
+    from repro.core.recovery import RecoveryManager
+    from repro.errors import RecoveryError
+    from repro.nvm.mapped import MappedShadow
+
+    heap = MappedShadow.open(spec.heap_path)
+    try:
+        device, work, lp_kernel = build_run(spec)
+        heap.adopt(device.memory)
+        try:
+            report = RecoveryManager(device, lp_kernel).recover()
+        except RecoveryError as exc:
+            return {"converged": False, "error": str(exc),
+                    "verified": False, "verified_persisted": False,
+                    "blocks_recovered": 0, "recovery_launches": 0}
+        device.drain()
+        return {
+            "converged": report.recovered,
+            "blocks_recovered": len(report.recovered_blocks),
+            "recovery_launches": len(report.recovery_launches),
+            "verified": work.matches(device),
+            "verified_persisted": work.matches(device, persisted=True),
+            "forensics": None if report.forensics is None
+            else report.forensics.to_dict(),
+        }
+    finally:
+        heap.close()
+
+
+def run_cell(
+    workload: str,
+    engine: str,
+    config: str,
+    scale: str = "small",
+    seed: int = 0,
+    kill_rounds: int = 2,
+    trigger: str = DEFAULT_TRIGGER,
+    jobs: int | None = None,
+    cache_lines: int = DEFAULT_CACHE_LINES,
+    timeout: float = DEFAULT_TIMEOUT,
+    keep_tmp: bool = False,
+) -> dict:
+    """Run the full kill loop for one grid cell; returns its report."""
+    parse_trigger(trigger)  # fail fast on bad input
+    if kill_rounds < 1:
+        raise HarnessError(f"kill_rounds must be >= 1, got {kill_rounds}")
+    rec = _recorder()
+    rounds: list[dict] = []
+    with ManagedTmpdir(keep=keep_tmp) as tmp, rec.trace.span(
+        "harness.cell", cat="harness", track="harness",
+        workload=workload, engine=engine, config=config,
+    ):
+        base = dict(
+            workload=workload, scale=scale, seed=seed, config=config,
+            engine=engine, jobs=jobs, cache_lines=cache_lines,
+            heap_path=str(tmp.file("heap.lpnv")),
+            ready_path=str(tmp.file("ready")),
+            trigger=trigger,
+        )
+        for round_no in range(kill_rounds):
+            phase = "launch" if round_no == 0 else "recover"
+            spec = ChildSpec(phase=phase, **base)
+            outcome = run_child(spec, tmp, timeout=timeout)
+            measured = _measure(spec)
+            rounds.append({
+                "phase": phase,
+                "killed": outcome.killed,
+                "returncode": outcome.returncode,
+                "spawn_attempts": outcome.attempts,
+                **measured,
+            })
+            if rec.metrics.active:
+                rec.metrics.inc("harness.rounds", phase=phase,
+                                workload=workload, engine=engine)
+            if outcome.completed and measured["blocks_failed"] == 0:
+                # The child outran its trigger and left a fully
+                # consistent heap; further kill rounds would be no-ops.
+                break
+        final = _final_recover(ChildSpec(phase="recover", **base))
+    return {
+        "workload": workload,
+        "engine": engine,
+        "config": config,
+        "rounds": rounds,
+        "final": final,
+        #: Process generations from first kill to a verified state.
+        "rounds_to_convergence": len(rounds) + 1,
+        "ok": bool(final["converged"] and final["verified"]
+                   and final["verified_persisted"]),
+    }
+
+
+def run_grid(
+    workloads=DEFAULT_WORKLOADS,
+    engines=DEFAULT_ENGINES,
+    configs=DEFAULT_CONFIGS,
+    scale: str = "small",
+    seed: int = 0,
+    kill_rounds: int = 2,
+    trigger: str = DEFAULT_TRIGGER,
+    jobs: int | None = None,
+    cache_lines: int = DEFAULT_CACHE_LINES,
+    timeout: float = DEFAULT_TIMEOUT,
+    progress=None,
+) -> dict:
+    """Run every cell of the grid; returns the full JSON-able report."""
+    cells = []
+    for workload in workloads:
+        for engine in engines:
+            for config in configs:
+                if progress is not None:
+                    progress(f"{workload} × {engine} × {config}")
+                cells.append(run_cell(
+                    workload, engine, config, scale=scale, seed=seed,
+                    kill_rounds=kill_rounds, trigger=trigger, jobs=jobs,
+                    cache_lines=cache_lines, timeout=timeout,
+                ))
+    return {
+        "suite": "crash-test",
+        "scale": scale,
+        "seed": seed,
+        "trigger": trigger,
+        "kill_rounds": kill_rounds,
+        "cache_lines": cache_lines,
+        "cells": cells,
+        "converged": all(cell["ok"] for cell in cells),
+    }
+
+
+def write_report(report: dict, path) -> None:
+    """Write the grid report as pretty JSON."""
+    with open(Path(path), "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+
+
+def render_text(report: dict) -> str:
+    """Human-readable summary table of a grid report."""
+    lines = [
+        f"crash-test: trigger {report['trigger']}, "
+        f"{report['kill_rounds']} kill round(s), "
+        f"scale {report['scale']}",
+        f"{'workload':10s} {'engine':9s} {'config':13s} "
+        f"{'kills':>5s} {'torn':>5s} {'lost':>5s} {'recov':>6s} "
+        f"{'rounds':>6s}  status",
+    ]
+    for cell in report["cells"]:
+        kills = sum(1 for r in cell["rounds"] if r["killed"])
+        torn = sum(r["torn_lines"] for r in cell["rounds"])
+        lost = cell["rounds"][0]["blocks_failed"] if cell["rounds"] else 0
+        lines.append(
+            f"{cell['workload']:10s} {cell['engine']:9s} "
+            f"{cell['config']:13s} {kills:5d} {torn:5d} {lost:5d} "
+            f"{cell['final'].get('blocks_recovered', 0):6d} "
+            f"{cell['rounds_to_convergence']:6d}  "
+            + ("ok" if cell["ok"] else "FAILED")
+        )
+    lines.append(
+        "all cells converged and verified."
+        if report["converged"] else "SOME CELLS FAILED."
+    )
+    return "\n".join(lines)

@@ -17,6 +17,9 @@ _LAZY = {
     "generate_schedules": "repro.nvm.audit",
     "CrashPlan": "repro.nvm.crash",
     "FaultInjector": "repro.nvm.crash",
+    "MappedShadow": "repro.nvm.mapped",
+    "HeapEntry": "repro.nvm.mapped",
+    "TornWindow": "repro.nvm.mapped",
 }
 
 __all__ = [

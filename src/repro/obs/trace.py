@@ -37,6 +37,7 @@ TRACKS = {
     "ep": 6,
     "megakv": 7,
     "forensics": 8,
+    "harness": 9,
 }
 
 #: ``pid`` used for every event (one simulated device per trace).

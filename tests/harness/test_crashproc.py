@@ -1,0 +1,193 @@
+"""Out-of-process crash harness tests: real SIGKILLs, real reopens.
+
+The end-to-end matrix here is the PR's acceptance test: a child
+process running a workload launch against a mapped heap is SIGKILLed
+mid-launch, the parent reopens the heap file cold, runs the
+engine-pluggable validate+recover pipeline, and the recovered buffers
+equal a crash-free run's output — across workloads × engines.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import ChildStartupError, HarnessError
+from repro.harness import (
+    ChildSpec,
+    ManagedTmpdir,
+    parse_trigger,
+    run_cell,
+    run_child,
+    run_grid,
+)
+from repro.harness.scenarios import render_text, write_report
+
+# ---------------------------------------------------------------------------
+# Trigger parsing
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("text,expected", [
+    ("writebacks:6", ("writebacks", 6.0)),
+    ("blocks:12", ("blocks", 12.0)),
+    ("walltime:0.5", ("walltime", 0.5)),
+])
+def test_parse_trigger_accepts_valid(text, expected):
+    assert parse_trigger(text) == expected
+
+
+@pytest.mark.parametrize("text", [
+    "writebacks", "writebacks:", "writebacks:abc", "writebacks:-3",
+    "writebacks:2.5", "blocks:0", "walltime:0", "sigkill:3", "6",
+])
+def test_parse_trigger_rejects_invalid(text):
+    with pytest.raises(HarnessError):
+        parse_trigger(text)
+
+
+# ---------------------------------------------------------------------------
+# Managed tmpdir (the no-leaked-state satellite)
+# ---------------------------------------------------------------------------
+
+def test_managed_tmpdir_removes_contents_on_exit():
+    with ManagedTmpdir() as tmp:
+        path = tmp.path
+        tmp.file("heap.lpnv").write_bytes(b"x" * 64)
+        (path / "nested").mkdir()
+        (path / "nested" / "worker.tmp").write_text("leak?")
+        assert path.exists()
+    assert not path.exists()
+
+
+def test_managed_tmpdir_cleanup_is_idempotent():
+    tmp = ManagedTmpdir()
+    tmp.cleanup()
+    tmp.cleanup()
+    assert not tmp.path.exists()
+
+
+def test_managed_tmpdir_keep_leaves_directory():
+    tmp = ManagedTmpdir(keep=True)
+    marker = tmp.file("marker")
+    marker.touch()
+    tmp.cleanup()
+    try:
+        assert marker.exists()
+    finally:
+        import shutil
+
+        shutil.rmtree(tmp.path, ignore_errors=True)
+
+
+# ---------------------------------------------------------------------------
+# Startup retry/backoff
+# ---------------------------------------------------------------------------
+
+def _spec(tmp, **overrides):
+    base = dict(
+        workload="spmv", scale="tiny", seed=0, config="global-array",
+        engine="serial", jobs=None, cache_lines=8,
+        heap_path=str(tmp.file("heap.lpnv")),
+        ready_path=str(tmp.file("ready")),
+        phase="launch", trigger=None,
+    )
+    base.update(overrides)
+    return ChildSpec(**base)
+
+
+def test_child_that_dies_before_ready_exhausts_bounded_retries():
+    with ManagedTmpdir() as tmp:
+        # An unknown workload makes the child exit during setup, before
+        # it ever touches its ready marker — a startup failure.
+        spec = _spec(tmp, workload="no-such-workload")
+        with pytest.raises(ChildStartupError) as excinfo:
+            run_child(spec, tmp, timeout=60.0, startup_retries=1,
+                      backoff=0.01)
+        assert "2 times" in str(excinfo.value)
+
+
+def test_child_spec_round_trips_through_json():
+    with ManagedTmpdir() as tmp:
+        spec = _spec(tmp, trigger="blocks:3")
+        assert ChildSpec.from_json(spec.to_json()) == spec
+
+
+def test_clean_child_completes_and_leaves_consistent_heap():
+    import numpy as np
+
+    from repro.harness.crashproc import build_run
+    from repro.nvm.mapped import MappedShadow
+
+    with ManagedTmpdir() as tmp:
+        spec = _spec(tmp)  # no trigger: the child survives
+        outcome = run_child(spec, tmp, timeout=60.0)
+        assert outcome.completed and not outcome.killed
+        with MappedShadow.open(spec.heap_path) as heap:
+            assert heap.torn is None
+            device, work, _ = build_run(spec)
+            heap.adopt(device.memory)
+            for name, expect in work.reference().items():
+                got = device.memory[name].array.reshape(expect.shape)
+                assert np.allclose(got, expect, rtol=1e-4, atol=1e-5)
+
+
+# ---------------------------------------------------------------------------
+# End-to-end kill matrix: the acceptance criterion
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("engine", ["serial", "parallel", "batched"])
+@pytest.mark.parametrize("workload", ["spmv", "tmm"])
+def test_kill_midlaunch_reopen_recover_verify(workload, engine):
+    cell = run_cell(workload, engine, "global-array", kill_rounds=1,
+                    trigger="writebacks:6")
+    (round0,) = cell["rounds"]
+    assert round0["killed"], "the trigger must actually SIGKILL the child"
+    assert round0["returncode"] == -9
+    assert round0["blocks_failed"] > 0, "the kill must lose real state"
+    final = cell["final"]
+    assert final["converged"]
+    assert final["blocks_recovered"] > 0
+    assert final["verified"], "recovered output != crash-free reference"
+    assert final["verified_persisted"]
+    assert cell["ok"]
+
+
+def test_rekill_during_recovery_still_converges():
+    cell = run_cell("tmm", "serial", "global-array", kill_rounds=2,
+                    trigger="writebacks:6")
+    assert [r["phase"] for r in cell["rounds"]] == ["launch", "recover"]
+    assert all(r["killed"] for r in cell["rounds"])
+    assert cell["final"]["converged"] and cell["ok"]
+    assert cell["rounds_to_convergence"] == 3
+
+
+def test_blocks_trigger_kills_after_n_blocks():
+    cell = run_cell("tmm", "serial", "global-array", kill_rounds=1,
+                    trigger="blocks:3")
+    (round0,) = cell["rounds"]
+    assert round0["killed"]
+    # A block-boundary kill happens outside the write-back window:
+    # no torn lines, but plenty of lost blocks.
+    assert round0["torn_lines"] == 0
+    assert round0["blocks_failed"] > 0
+    assert cell["ok"]
+
+
+def test_writebacks_trigger_leaves_a_torn_window():
+    cell = run_cell("tmm", "serial", "global-array", kill_rounds=1,
+                    trigger="writebacks:6")
+    assert cell["rounds"][0]["torn_lines"] > 0
+    assert cell["rounds"][0]["torn_by_buffer"]
+    assert cell["ok"]
+
+
+def test_grid_report_shape_and_render(tmp_path):
+    report = run_grid(workloads=("spmv",), engines=("serial",),
+                      kill_rounds=1)
+    assert report["suite"] == "crash-test"
+    assert len(report["cells"]) == 1
+    assert report["converged"]
+    out = tmp_path / "report.json"
+    write_report(report, out)
+    assert json.loads(out.read_text())["converged"]
+    text = render_text(report)
+    assert "spmv" in text and "ok" in text

@@ -88,10 +88,14 @@ CHECKSUM_KINDS = {
 }
 
 
-def _recover_with_engine(engine_name, config):
+def _recover_with_engine(engine_name, config, shadow=None):
     """Crash deterministically (serial NORMAL launch), then run the
-    validate → recover → re-validate pipeline under ``engine_name``."""
-    device = repro.Device(cache_capacity_lines=16, seed=13)
+    validate → recover → re-validate pipeline under ``engine_name``.
+
+    ``shadow`` optionally routes the NVM images through a durable
+    mapped heap — the backend must be semantically invisible."""
+    device = repro.Device(cache_capacity_lines=16, seed=13,
+                          shadow=shadow)
     work = make_workload("spmv", scale="tiny")
     kernel = work.setup(device)
     lp_kernel = LPRuntime(device, config).instrument(kernel)
@@ -107,7 +111,7 @@ def _recover_with_engine(engine_name, config):
         b: device.memory[b].array.copy()
         for b in kernel.protected_buffers
     }
-    return report, outputs
+    return report, outputs, device
 
 
 def _assert_details_equal(ref, got):
@@ -131,8 +135,8 @@ def test_recovery_pipeline_engine_parity(engine_name, table_name,
     config = TABLES[table_name].with_(
         checksums=CHECKSUM_KINDS[checksum_name]
     )
-    ref_report, ref_out = _recover_with_engine("serial", config)
-    report, out = _recover_with_engine(engine_name, config)
+    ref_report, ref_out, _ = _recover_with_engine("serial", config)
+    report, out, _ = _recover_with_engine(engine_name, config)
 
     for phase in ("initial", "final"):
         ref_val = getattr(ref_report, phase)
@@ -152,4 +156,55 @@ def test_recovery_pipeline_engine_parity(engine_name, table_name,
     for buf, ref_arr in ref_out.items():
         assert np.array_equal(out[buf], ref_arr)
     # The parity is only meaningful if the crash actually broke blocks.
+    assert ref_report.initial.failed_blocks
+
+
+# -- mapped-backend column ------------------------------------------------------
+#
+# Routing the NVM images through the durable mmap heap must change
+# nothing observable: same failed sets, same forensics, same recovered
+# memory, and an NVM image (in memory AND in the reopened heap file)
+# bit-identical to the in-memory backend under the same CrashPlan seed.
+
+@pytest.mark.parametrize("table_name", sorted(TABLES))
+@pytest.mark.parametrize("engine_name", ["serial", "parallel", "batched"])
+def test_recovery_mapped_backend_parity(engine_name, table_name,
+                                        tmp_path):
+    config = TABLES[table_name]
+    ref_report, ref_out, ref_device = _recover_with_engine(
+        engine_name, config)
+    heap_path = tmp_path / "heap.lpnv"
+    heap = repro.MappedShadow.create(heap_path)
+    report, out, device = _recover_with_engine(
+        engine_name, config, shadow=heap)
+
+    for phase in ("initial", "final"):
+        ref_val = getattr(ref_report, phase)
+        val = getattr(report, phase)
+        assert val.failed_blocks == ref_val.failed_blocks
+        assert val.missing_checksums == ref_val.missing_checksums
+        _assert_details_equal(ref_val.failure_details,
+                              val.failure_details)
+    if ref_report.forensics is None:
+        assert report.forensics is None
+    else:
+        assert report.forensics.to_dict() == ref_report.forensics.to_dict()
+    for buf, ref_arr in ref_out.items():
+        assert np.array_equal(out[buf], ref_arr)
+
+    # NVM images: in-memory shadow vs mapped view, then vs a cold reopen.
+    ref_device.drain()
+    device.drain()
+    persistent = {
+        name: buf.shadow.tobytes()
+        for name, buf in ref_device.memory.buffers.items()
+        if buf.persistent
+    }
+    for name, ref_bytes in persistent.items():
+        assert device.memory[name].shadow.tobytes() == ref_bytes
+    heap.close()
+    with repro.MappedShadow.open(heap_path) as reopened:
+        assert sorted(reopened.entries) == sorted(persistent)
+        for name, ref_bytes in persistent.items():
+            assert reopened.view(name).tobytes() == ref_bytes
     assert ref_report.initial.failed_blocks

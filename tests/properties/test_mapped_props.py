@@ -1,0 +1,94 @@
+"""Property: the mapped heap is indistinguishable from the in-memory
+shadow.
+
+For an arbitrary store sequence, any cache capacity, and every dtype
+the workloads and checksum tables allocate, draining through a
+:class:`MappedShadow` and reopening the file cold must reproduce the
+in-memory ``Buffer.shadow`` image bit for bit. This is the contract
+that lets the whole LP pipeline run unchanged on top of the durable
+heap.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpu.memory import GlobalMemory
+from repro.nvm.mapped import MappedShadow
+
+#: Every dtype allocated anywhere in the workloads or checksum tables.
+WORKLOAD_DTYPES = (
+    np.uint8, np.int32, np.uint32, np.int64, np.uint64,
+    np.float32, np.float64,
+)
+
+N_ELEMS = 300
+
+write_sequences = st.lists(
+    st.tuples(
+        st.integers(0, N_ELEMS - 1),          # start index
+        st.integers(1, 24),                    # run length
+        st.integers(-(2 ** 31), 2 ** 31 - 1),  # raw value
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+def _apply(mem, buf, writes):
+    for start, length, raw in writes:
+        idx = np.arange(start, min(start + length, N_ELEMS))
+        # Cast through the buffer dtype: unsigned wraps, floats round —
+        # both sides of the comparison get identical bit patterns.
+        values = np.full(idx.size, raw).astype(buf.dtype)
+        mem.write(buf, idx, values)
+
+
+@pytest.mark.parametrize("dtype", WORKLOAD_DTYPES,
+                         ids=lambda d: np.dtype(d).name)
+@given(writes=write_sequences, capacity=st.integers(1, 12))
+@settings(max_examples=25, deadline=None)
+def test_store_drain_reopen_matches_in_memory_shadow(
+    tmp_path_factory, dtype, writes, capacity
+):
+    # In-memory reference.
+    ref_mem = GlobalMemory(cache_capacity_lines=capacity)
+    ref_buf = ref_mem.alloc("x", (N_ELEMS,), dtype)
+    _apply(ref_mem, ref_buf, writes)
+    ref_mem.drain()
+
+    # Mapped run: same stores, drained into a heap file.
+    path = tmp_path_factory.mktemp("heap") / "heap.lpnv"
+    heap = MappedShadow.create(path)
+    mem = GlobalMemory(cache_capacity_lines=capacity, shadow=heap)
+    buf = mem.alloc("x", (N_ELEMS,), dtype)
+    _apply(mem, buf, writes)
+    mem.drain()
+    heap.close()
+
+    with MappedShadow.open(path) as reopened:
+        view = reopened.view("x")
+        assert view.dtype == np.dtype(dtype)
+        assert view.tobytes() == ref_buf.shadow.tobytes()
+
+
+@given(writes=write_sequences, capacity=st.integers(1, 12))
+@settings(max_examples=25, deadline=None)
+def test_undrained_lines_are_the_only_divergence(tmp_path_factory,
+                                                 writes, capacity):
+    """Without a drain, the heap may lag the volatile image but must
+    still equal the in-memory shadow (same eviction sequence)."""
+    ref_mem = GlobalMemory(cache_capacity_lines=capacity)
+    ref_buf = ref_mem.alloc("x", (N_ELEMS,), np.int64)
+    _apply(ref_mem, ref_buf, writes)
+
+    path = tmp_path_factory.mktemp("heap") / "heap.lpnv"
+    heap = MappedShadow.create(path)
+    mem = GlobalMemory(cache_capacity_lines=capacity, shadow=heap)
+    buf = mem.alloc("x", (N_ELEMS,), np.int64)
+    _apply(mem, buf, writes)
+    heap.close()
+
+    with MappedShadow.open(path) as reopened:
+        assert reopened.view("x").tobytes() == ref_buf.shadow.tobytes()
