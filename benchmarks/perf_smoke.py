@@ -1,10 +1,12 @@
 """Launch-engine throughput smoke: blocks/sec per engine, per workload.
 
-Times the three launch engines (serial, parallel, batched) on the two
+Times the three launch engines (serial, parallel, batched) on the
 reference hot paths the engines were built for:
 
 * LP-instrumented SPMV at 1024 blocks (the paper-shape streaming
-  kernel: disjoint row ranges, pure store traffic), and
+  kernel: disjoint row ranges, pure store traffic),
+* LP-instrumented tiled matmul at 1024 blocks (the paper's running
+  example: shared-memory staging, barrier-heavy), and
 * an LP-instrumented MEGA-KV search batch (hash probes, dedup'd bucket
   reads, host-side stat accounting).
 
@@ -39,17 +41,20 @@ import numpy as np
 import repro
 from repro.megakv.kernels import KVInsertKernel, KVSearchKernel, alloc_results
 from repro.megakv.store import MegaKVStore
-from repro.workloads.generators import sparse_csr, unit_floats
+from repro.workloads.generators import small_ints, sparse_csr, unit_floats
 from repro.workloads.spmv import SPMVKernel
+from repro.workloads.tmm import TiledMatMulKernel
 
 BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_sim.json"
 
 #: Regression tolerance for ``--check``: fail below 70 % of baseline.
 TOLERANCE = 0.30
 
+#: jobs=None — the container-aware CPU budget, so the parallel engine
+#: sizes its pool to what the runner actually grants.
 ENGINES = {
     "serial": lambda: repro.make_engine("serial"),
-    "parallel": lambda: repro.make_engine("parallel", jobs=4),
+    "parallel": lambda: repro.make_engine("parallel"),
     "batched": lambda: repro.make_engine("batched"),
 }
 
@@ -75,6 +80,23 @@ def setup_spmv(engine, shadow=None, cache_lines=None):
         device, repro.LPConfig.paper_best()
     ).instrument(kernel)
     return device, lp_kernel, ("spmv_y",)
+
+
+def setup_tmm(engine):
+    """LP-instrumented tiled matmul, 1024 blocks (512x512, tile 16)."""
+    n, tile = 512, 16
+    rng = np.random.default_rng(5)
+    a = small_ints(rng, (n, n))
+    b = small_ints(rng, (n, n))
+    device = repro.Device(engine=engine)
+    device.alloc("tmm_A", (n, n), np.int32, persistent=True, init=a)
+    device.alloc("tmm_B", (n, n), np.int32, persistent=True, init=b)
+    device.alloc("tmm_C", (n, n), np.int32, persistent=True)
+    kernel = TiledMatMulKernel(n, tile)
+    lp_kernel = repro.LPRuntime(
+        device, repro.LPConfig.paper_best()
+    ).instrument(kernel)
+    return device, lp_kernel, ("tmm_C",)
 
 
 def setup_megakv(engine):
@@ -103,7 +125,7 @@ def setup_megakv(engine):
     return device, lp_kernel, ("results",)
 
 
-WORKLOADS = {"spmv": setup_spmv, "megakv": setup_megakv}
+WORKLOADS = {"spmv": setup_spmv, "tmm": setup_tmm, "megakv": setup_megakv}
 
 
 def measure_recovery(engine_name: str) -> dict:
@@ -313,6 +335,45 @@ def run_suite() -> dict:
     return suite
 
 
+#: Workloads whose parallel-vs-serial speedup is a gated headline claim.
+PARALLEL_SPEEDUP_WORKLOADS = ("spmv", "tmm")
+
+#: Floor on the gated parallel speedups: the shared-memory engine must
+#: beat serial by at least this factor on the workloads above.
+PARALLEL_SPEEDUP_FLOOR = 2.0
+
+#: Floor on parallel(batched chunks) vs the batched engine alone. The
+#: composed mode ships the same vectorized groups through the pool, so
+#: it may trail batched only by chunking + slot overhead — generous
+#: here because single-core runners get no fan-out to amortize it.
+PARALLEL_VS_BATCHED_FLOOR = 0.5
+
+
+def derive_parallel_speedup(suite: dict, recovery: dict) -> dict:
+    """The ``parallel_speedup`` scenario: headline ratios, no re-timing.
+
+    Derived from the suite's parity-checked measurements: parallel vs
+    serial and parallel vs batched per gated workload, plus the
+    post-crash validation speedup.
+    """
+    rows: dict = {}
+    for workload in PARALLEL_SPEEDUP_WORKLOADS:
+        par = suite[workload]["parallel"]
+        bat = suite[workload]["batched"]
+        rows[workload] = {
+            "speedup_vs_serial": par["speedup_vs_serial"],
+            "vs_batched": round(
+                par["blocks_per_sec"] / bat["blocks_per_sec"], 3
+            ),
+        }
+        print(f"parallel_speedup {workload:8s} "
+              f"{rows[workload]['speedup_vs_serial']:6.2f}x vs serial, "
+              f"{rows[workload]['vs_batched']:6.2f}x vs batched")
+    rows["validate_speedup_vs_serial"] = \
+        recovery["parallel"]["validate_speedup_vs_serial"]
+    return rows
+
+
 def check_against_baseline(suite: dict, recovery: dict | None = None,
                            mapped: dict | None = None) -> int:
     if not BASELINE_PATH.exists():
@@ -373,6 +434,7 @@ def main(argv: list[str] | None = None) -> int:
     suite = run_suite()
     recovery = run_recovery_suite()
     mapped = run_mapped_suite()
+    speedup = derive_parallel_speedup(suite, recovery)
     if args.check:
         return check_against_baseline(suite, recovery, mapped)
 
@@ -381,9 +443,11 @@ def main(argv: list[str] | None = None) -> int:
         "command": "PYTHONPATH=src python benchmarks/perf_smoke.py",
         "tolerance": TOLERANCE,
         "mapped_overhead_limit": MAPPED_OVERHEAD_LIMIT,
+        "parallel_speedup_floor": PARALLEL_SPEEDUP_FLOOR,
         "workloads": suite,
         "recovery": recovery,
         "mapped_writeback": mapped,
+        "parallel_speedup": speedup,
     }, indent=2) + "\n")
     print(f"wrote {BASELINE_PATH}")
     return 0

@@ -3,10 +3,12 @@
 Re-measures :mod:`perf_smoke` and fails on a >30 % blocks/sec
 regression against ``BENCH_sim.json``. Also pins the headline claims of
 the engine work: the batched engine is at least 3x faster than serial
-on both reference workloads, and batched post-crash *validation* is at
-least 5x faster than serial on the recovery scenario (with
-bit-identical results — parity is asserted inside the measurements
-themselves).
+on the reference workloads, the shared-memory parallel engine is at
+least 2x faster than serial on spmv and tmm (and within tolerance of
+the batched engine it composes with), and post-crash *validation* is
+at least 5x (batched) / 1x (parallel) faster than serial on the
+recovery scenario — all with bit-identical results; parity is asserted
+inside the measurements themselves.
 """
 
 import pytest
@@ -56,6 +58,36 @@ def test_batched_validation_speedup(recovery_suite):
     speedup = recovery_suite["batched"]["validate_speedup_vs_serial"]
     assert speedup >= 5.0, (
         f"recovery: batched validation only {speedup:.2f}x vs serial"
+    )
+
+
+@pytest.mark.tier2
+@pytest.mark.parametrize("workload", perf_smoke.PARALLEL_SPEEDUP_WORKLOADS)
+def test_parallel_engine_speedup(suite, workload):
+    speedup = suite[workload]["parallel"]["speedup_vs_serial"]
+    assert speedup >= perf_smoke.PARALLEL_SPEEDUP_FLOOR, (
+        f"{workload}: parallel engine only {speedup:.2f}x vs serial "
+        f"(floor {perf_smoke.PARALLEL_SPEEDUP_FLOOR:.1f}x)"
+    )
+
+
+@pytest.mark.tier2
+@pytest.mark.parametrize("workload", perf_smoke.PARALLEL_SPEEDUP_WORKLOADS)
+def test_parallel_of_batched_tracks_batched(suite, workload):
+    ratio = (suite[workload]["parallel"]["blocks_per_sec"]
+             / suite[workload]["batched"]["blocks_per_sec"])
+    assert ratio >= perf_smoke.PARALLEL_VS_BATCHED_FLOOR, (
+        f"{workload}: parallel(batched) at {ratio:.2f}x of batched "
+        f"(floor {perf_smoke.PARALLEL_VS_BATCHED_FLOOR:.1f}x)"
+    )
+
+
+@pytest.mark.tier2
+def test_parallel_validation_not_slower_than_serial(recovery_suite):
+    speedup = recovery_suite["parallel"]["validate_speedup_vs_serial"]
+    assert speedup >= 1.0, (
+        f"recovery: parallel validation {speedup:.2f}x vs serial — "
+        "the parallel pipeline must never lose to serial"
     )
 
 

@@ -361,7 +361,8 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=("serial", "parallel", "batched"),
                        help="launch engine (all are bit-identical)")
         p.add_argument("--jobs", type=int, default=None, metavar="N",
-                       help="worker count (parallel) / "
+                       help="worker count (parallel; default: the "
+                            "container-aware CPU budget) / "
                             "group size (batched)")
         p.add_argument("--trace", default=None, metavar="FILE",
                        help="write a Chrome/Perfetto trace JSON file")

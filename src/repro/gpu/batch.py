@@ -198,6 +198,14 @@ class BatchBlockContext:
         n = self.n_threads if active_threads is None else active_threads
         self.tally.alu_ops += per_thread * n * self.n_blocks_in_batch
 
+    def syncthreads(self) -> None:
+        """Charge one block-wide barrier (once per block in the group)."""
+        self.tally.syncthreads += self.n_blocks_in_batch
+
+    def charge_shared(self, nbytes: float) -> None:
+        """Charge shared-memory traffic: ``nbytes`` per block."""
+        self.tally.shared_bytes += nbytes * self.n_blocks_in_batch
+
     def finalize_tally(self) -> Tally:
         """Return the group's accumulated tally."""
         return self.tally

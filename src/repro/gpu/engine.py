@@ -9,15 +9,29 @@ property here. :class:`~repro.gpu.device.Device.launch` delegates the
 block loop to a :class:`LaunchEngine`:
 
 * :class:`SerialEngine` — the original one-block-at-a-time loop.
-* :class:`ParallelEngine` — fans blocks out across a ``multiprocessing``
-  worker pool. Workers run blocks against copy-on-write snapshots of
-  device memory (a ``fork`` start method gives read-only snapshots for
-  free) and send back per-block *operation records*: the stores,
-  atomics and deferred checksum-table insertions each block issued,
-  plus its cost tally. The parent then applies every record **in the
-  launch's block order**, so cache recency, eviction order, NVM shadow
-  state, write statistics, checksum tables and crash semantics are
-  bit-identical to the serial engine.
+* :class:`ParallelEngine` — the zero-copy shared-memory engine. A
+  *persistent* pool of forked workers shares the device's volatile
+  image through a named POSIX shared-memory segment (see
+  :mod:`repro.gpu.shm`): every buffer's ``data`` array is a view into
+  one segment, so workers read inputs — and, between the launches of a
+  recovery pipeline, each other's replayed results — with no
+  copy-on-write duplication and no pickled arrays. Tasks travel to
+  workers as compact block-group descriptors over pipes; results come
+  back through a preallocated per-chunk *slot array* (status, payload
+  length, busy time, the full cost tally) plus a per-chunk arena
+  region carrying the variable-size payload in the
+  :class:`~repro.gpu.shm.PayloadWriter` binary codec. Two worker-side
+  execution shapes exist: the composed **vectorized chunk** path
+  (``batchable`` kernels run whole chunks through one
+  :class:`~repro.gpu.batch.BatchBlockContext`, the multiplicative fast
+  path) and the block-granular op-log path for merely
+  ``parallel_safe`` kernels. Either way the parent applies every
+  chunk's deferred effects **in the launch's block order**, so cache
+  recency, eviction order, NVM shadow state, write statistics,
+  checksum tables and crash semantics are bit-identical to the serial
+  engine. With one job (or a launch too small to farm out) the same
+  vectorized chunks run inline, making ``parallel`` at worst the
+  batched engine under a different chunking.
 * :class:`BatchedEngine` — vectorizes *groups* of homogeneous blocks
   across an extra numpy axis in-process (see
   :class:`~repro.gpu.batch.BatchBlockContext`), for kernels whose
@@ -41,25 +55,36 @@ deferred to launch-order application).
 
 Engines *fall back to serial* whenever the contract cannot be kept
 cheaply: kernels that opt out (``parallel_safe`` / ``batchable``),
-degenerate launches, or platforms without ``fork``.
+degenerate launches, or platforms without ``fork``. A worker that dies
+or raises mid-launch triggers *serial continuation*: already-replayed
+chunks keep their effects and the remaining blocks re-run serially —
+safe because workers never touch the persistence domain (stores
+scribble the shared volatile image at most, and only for idempotent
+kernels whose re-execution overwrites them deterministically).
 """
 
 from __future__ import annotations
 
 import abc
+import dataclasses
 import multiprocessing
-import os
-from dataclasses import dataclass, field
+import pickle
+import time
+import weakref
+from dataclasses import dataclass
+from multiprocessing import connection as mp_connection
 
 import numpy as np
 
 from repro.errors import LaunchError
+from repro.gpu import shm
 from repro.gpu.atomics import AtomicUnit
 from repro.gpu.batch import BatchBlockContext
 from repro.gpu.costs import Tally
 from repro.gpu.kernel import BlockContext, ExecMode, Kernel, LaunchConfig
 from repro.gpu.memory import GlobalMemory
 from repro.obs import current as _recorder
+from repro.obs import install as _install_recorder
 
 #: Block-group granularity of serial/replay tracing spans: fine enough
 #: to see progress, coarse enough that a 10k-block launch stays a
@@ -185,45 +210,87 @@ class SerialEngine(LaunchEngine):
 
 
 # ---------------------------------------------------------------------------
-# Parallel (process pool + deterministic replay)
+# Shared vectorized-group machinery (batched engine + parallel chunks)
 # ---------------------------------------------------------------------------
 
-@dataclass
-class ChunkRecord:
-    """One worker chunk's externally visible effects.
+def _apply_batch_records(plan: LaunchPlan, block_ids, store_records,
+                         table_inserts, tally: Tally,
+                         completed: list[int]) -> None:
+    """Apply a vectorized group's deferred effects, per block in order.
 
-    A chunk covers a contiguous slice of the launch's block order, so
-    applying chunks in submission order *is* launch-order application.
-    Shipping one record (and one merged tally) per chunk instead of one
-    per block is what keeps worker→parent IPC off the per-block path.
-
-    ``ops[i]`` preserves block ``block_ids[i]``'s issue order; each
-    entry is a tuple headed by an op code:
-
-    * ``("st", buffer_name, idx, values)`` — a global store.
-    * ``("atomic_add" | "atomic_max", buffer_name, idx, values)``.
-    * ``("table", key, lanes)`` — a deferred checksum-table insertion
-      (applied through :meth:`Kernel.apply_table_insert`).
-
-    ``outcomes`` carries the per-block validation records of a
-    ``VALIDATE``-mode chunk (``None`` otherwise).
+    ``store_records``/``table_inserts`` follow the
+    :class:`BatchBlockContext` shapes (leading store axis = block;
+    insert lanes keyed by block id). Used identically for groups
+    executed in-process and for groups decoded from a worker payload.
     """
+    memory = plan.memory
+    for row, block_id in enumerate(block_ids):
+        bid = int(block_id)
+        for name, idx, vals, mask in store_records:
+            row_idx = idx[row]
+            row_vals = vals[row]
+            if mask is not None:
+                keep = mask[row]
+                row_idx = row_idx[keep]
+                row_vals = row_vals[keep]
+            if row_idx.size:
+                memory.write(memory[name], row_idx, row_vals)
+        for lanes in table_inserts.get(bid, ()):
+            ctx = plan.block_context(bid)
+            plan.kernel.apply_table_insert(ctx, bid, lanes)
+            tally.merge(ctx.finalize_tally())
+    completed.extend(int(b) for b in block_ids)
+    if plan.block_hook is not None:
+        for n in range(len(completed) - len(block_ids) + 1,
+                       len(completed) + 1):
+            plan.block_hook(n)
 
-    block_ids: list[int]
-    ops: list = field(default_factory=list)
-    tally: Tally = field(default_factory=Tally)
-    outcomes: list | None = None
+
+def _run_batch_group(plan: LaunchPlan, group, tally: Tally,
+                     completed: list[int], outcomes: list) -> None:
+    """Execute one vectorized block group in-process and apply it."""
+    bctx = BatchBlockContext(
+        plan.memory, plan.config, group, mode=plan.mode,
+        fence_latency_cycles=plan.fence_latency,
+        fence_concurrency=plan.fence_concurrency,
+    )
+    if plan.mode is ExecMode.VALIDATE:
+        outcomes.extend(plan.kernel.validate_block_batch(bctx))
+    elif plan.mode is ExecMode.RECOVER:
+        plan.kernel.recover_block_batch(bctx)
+    else:
+        plan.kernel.run_block_batch(bctx)
+    tally.merge(bctx.finalize_tally())
+    _apply_batch_records(plan, group, bctx.store_records,
+                         bctx.table_inserts, tally, completed)
+
+
+# ---------------------------------------------------------------------------
+# Worker-side block recording (op-log path)
+# ---------------------------------------------------------------------------
+
+#: Op codes of the block-granular worker log (codec framing).
+_OP_ST = 0
+_OP_ATOMIC_ADD = 1
+_OP_ATOMIC_MAX = 2
+_OP_TABLE = 3
 
 
 class RecordingBlockContext(BlockContext):
     """A block context that logs externally visible effects for replay.
 
-    Runs inside a worker process against a copy-on-write memory
-    snapshot: operations apply *locally* (so the block observes its own
-    writes, exactly as under serial execution) and are appended to the
-    record the parent later replays. Reads are not logged — a
+    Runs inside a pool worker against the *shared* device image:
+    ordinary stores apply locally (so the block observes its own
+    writes, exactly as under serial execution — the shared image makes
+    this a scribble the parent's deterministic replay later overwrites
+    with the same values) and are appended to the op log. Atomics are
+    **log-only**: applying them worker-side into the shared image and
+    again during parent replay would double-apply, so only the traffic
+    charge lands here and the single application happens in the parent
+    (``atomic_add``/``atomic_max`` return nothing, so no kernel can
+    observe the difference). Reads are not logged — a
     ``parallel_safe`` kernel's loads depend only on pre-launch state
-    and the block's own stores, both of which the snapshot reproduces.
+    and the block's own stores.
 
     Operations whose *result* depends on other blocks' progress
     (``atomic_cas`` / ``atomic_exch``) or on cache state shared across
@@ -237,7 +304,7 @@ class RecordingBlockContext(BlockContext):
         self.table_insert_deferral = self._defer_table_insert
 
     def _defer_table_insert(self, key: int, lanes: np.ndarray) -> None:
-        self.ops.append(("table", int(key), np.array(lanes, copy=True)))
+        self.ops.append((_OP_TABLE, int(key), np.array(lanes, copy=True)))
 
     def st(self, buf, idx, values, slots=None):
         buf = self.buffer(buf)
@@ -250,22 +317,25 @@ class RecordingBlockContext(BlockContext):
         # context (memory contents feed the observer instead); logging
         # them would wrongly apply them during parent replay.
         if not (self.mode is ExecMode.VALIDATE and buf.persistent):
-            self.ops.append(("st", buf.name, idx_arr.copy(), vals))
+            self.ops.append((_OP_ST, buf.name, idx_arr.copy(), vals))
         super().st(buf, idx_arr, vals, slots=slots)
 
-    def atomic_add(self, buf, idx, values):
+    def _log_atomic(self, code: int, buf, idx, values):
         buf = self.buffer(buf)
+        self._guard_persistent_atomic(buf)
         idx_arr = np.atleast_1d(np.asarray(idx))
         vals = np.array(np.asarray(values), copy=True)
-        self.ops.append(("atomic_add", buf.name, idx_arr.copy(), vals))
-        super().atomic_add(buf, idx_arr, values)
+        self.ops.append((code, buf.name, idx_arr.copy(), vals))
+        # Traffic is charged here (it is per-issue, like the base
+        # context); the contention accounting happens in the parent,
+        # against the launch's real AtomicUnit, during replay.
+        self.tally.global_write_bytes += idx_arr.size * buf.dtype.itemsize
+
+    def atomic_add(self, buf, idx, values):
+        self._log_atomic(_OP_ATOMIC_ADD, buf, idx, values)
 
     def atomic_max(self, buf, idx, values):
-        buf = self.buffer(buf)
-        idx_arr = np.atleast_1d(np.asarray(idx))
-        vals = np.array(np.asarray(values), copy=True)
-        self.ops.append(("atomic_max", buf.name, idx_arr.copy(), vals))
-        super().atomic_max(buf, idx_arr, values)
+        self._log_atomic(_OP_ATOMIC_MAX, buf, idx, values)
 
     def atomic_cas(self, buf, index, compare, value):
         raise LaunchError(
@@ -286,147 +356,551 @@ class RecordingBlockContext(BlockContext):
         )
 
 
-#: Plan inherited by forked pool workers (set just before the fork).
-_WORKER_PLAN: LaunchPlan | None = None
+# ---------------------------------------------------------------------------
+# Chunk payload codec (worker → parent, no pickle on the data path)
+# ---------------------------------------------------------------------------
+
+def _encode_outcomes(w: shm.PayloadWriter, outcomes) -> None:
+    if outcomes is None:
+        w.u8(0)
+        return
+    w.u8(1)
+    w.u32(len(outcomes))
+    for outcome in outcomes:
+        if outcome is None:
+            w.u8(0)
+        elif (isinstance(outcome, tuple) and len(outcome) == 2
+              and isinstance(outcome[0], (int, np.integer))
+              and isinstance(outcome[1], np.ndarray)):
+            # The LP wrapper's (block_id, lanes) record — the hot shape.
+            w.u8(1)
+            w.i64(int(outcome[0]))
+            w.array(outcome[1])
+        else:  # pragma: no cover - exotic kernel-defined records
+            w.u8(2)
+            w.bytes_(pickle.dumps(outcome))
 
 
-def _run_worker_chunk(block_ids: list[int]) -> ChunkRecord:
-    """Worker entry: run a chunk of blocks against the forked snapshot."""
-    plan = _WORKER_PLAN
-    assert plan is not None, "worker forked without a launch plan"
-    # A MAP_SHARED durable heap is shared with the parent across the
-    # fork — writing through inherited mapped shadows would corrupt the
-    # parent's heap file. Workers simulate against private copies;
-    # effects reach the parent only through the replayed op log.
-    if plan.memory.shadow_backend is not None:
-        plan.memory.privatize_shadow()
-    # A private atomic unit: contention accounting happens in the
-    # parent during replay, against the launch's real AtomicUnit.
-    atomics = AtomicUnit(plan.memory)
-    record = ChunkRecord(
-        list(block_ids),
-        outcomes=[] if plan.mode is ExecMode.VALIDATE else None,
-    )
-    for block_id in block_ids:
-        ctx = RecordingBlockContext(
-            plan.memory, atomics, plan.config, block_id, plan.mode,
-            fence_latency_cycles=plan.fence_latency,
-            fence_concurrency=plan.fence_concurrency,
-        )
-        if plan.mode is ExecMode.VALIDATE:
-            record.outcomes.append(plan.kernel.validate_block(ctx))
-        elif plan.mode is ExecMode.RECOVER:
-            plan.kernel.recover_block(ctx)
+def _decode_outcomes(r: shm.PayloadReader):
+    if not r.u8():
+        return None
+    outcomes = []
+    for _ in range(r.u32()):
+        tag = r.u8()
+        if tag == 0:
+            outcomes.append(None)
+        elif tag == 1:
+            block_id = r.i64()
+            outcomes.append((block_id, r.array()))
+        else:  # pragma: no cover - exotic kernel-defined records
+            outcomes.append(pickle.loads(r.bytes_()))
+    return outcomes
+
+
+def _encode_batch_chunk(bctx: BatchBlockContext, outcomes) -> bytes:
+    """Serialize a vectorized chunk's deferred effects."""
+    w = shm.PayloadWriter()
+    w.u32(len(bctx.store_records))
+    for name, idx, vals, mask in bctx.store_records:
+        w.str_(name)
+        w.array(idx)
+        w.array(vals)
+        w.optional_array(mask)
+    w.u32(len(bctx.table_inserts))
+    for block_id, lane_list in bctx.table_inserts.items():
+        w.i64(int(block_id))
+        w.u32(len(lane_list))
+        for lanes in lane_list:
+            w.array(lanes)
+    _encode_outcomes(w, outcomes)
+    return w.getvalue()
+
+
+def _decode_batch_chunk(buf):
+    r = shm.PayloadReader(buf)
+    store_records = []
+    for _ in range(r.u32()):
+        name = r.str_()
+        idx = r.array()
+        vals = r.array()
+        mask = r.optional_array()
+        store_records.append((name, idx, vals, mask))
+    table_inserts: dict[int, list[np.ndarray]] = {}
+    for _ in range(r.u32()):
+        block_id = r.i64()
+        table_inserts[block_id] = [r.array() for _ in range(r.u32())]
+    return store_records, table_inserts, _decode_outcomes(r)
+
+
+def _encode_block_chunk(blocks_ops: list, outcomes) -> bytes:
+    """Serialize a block-granular chunk's op logs."""
+    w = shm.PayloadWriter()
+    w.u32(len(blocks_ops))
+    for ops in blocks_ops:
+        w.u32(len(ops))
+        for op in ops:
+            w.u8(op[0])
+            if op[0] == _OP_TABLE:
+                w.i64(op[1])
+                w.array(op[2])
+            else:
+                w.str_(op[1])
+                w.array(op[2])
+                w.array(op[3])
+    _encode_outcomes(w, outcomes)
+    return w.getvalue()
+
+
+def _decode_block_chunk(buf):
+    r = shm.PayloadReader(buf)
+    blocks_ops = []
+    for _ in range(r.u32()):
+        ops = []
+        for _ in range(r.u32()):
+            code = r.u8()
+            if code == _OP_TABLE:
+                ops.append((code, r.i64(), r.array()))
+            else:
+                ops.append((code, r.str_(), r.array(), r.array()))
+        blocks_ops.append(ops)
+    return blocks_ops, _decode_outcomes(r)
+
+
+# ---------------------------------------------------------------------------
+# Slot array layout (one record per chunk, shared with workers)
+# ---------------------------------------------------------------------------
+
+_TALLY_FIELDS = tuple(f.name for f in dataclasses.fields(Tally))
+_SLOT_STATUS = 0
+_SLOT_PAYLOAD_LEN = 1
+_SLOT_BUSY_NS = 2
+_SLOT_TALLY0 = 3
+_SLOT_F64 = _SLOT_TALLY0 + len(_TALLY_FIELDS)
+_STATUS_DONE = 1.0
+
+#: Fixed arena region per chunk slot; payloads that outgrow it ride the
+#: worker's done-message instead (rare, and still codec bytes).
+ARENA_SLOT_BYTES = 1 << 20
+
+#: Chunks per worker per launch — a little headroom for load balance.
+_CHUNKS_PER_JOB = 4
+
+
+def _tally_to_slot(slot: np.ndarray, tally: Tally) -> None:
+    for i, name in enumerate(_TALLY_FIELDS):
+        slot[_SLOT_TALLY0 + i] = float(getattr(tally, name))
+
+
+def _tally_from_slot(slot: np.ndarray) -> Tally:
+    tally = Tally()
+    for i, name in enumerate(_TALLY_FIELDS):
+        value = float(slot[_SLOT_TALLY0 + i])
+        # The first two fields are launch geometry and integer-typed;
+        # the rest accumulate as floats exactly like the serial tally.
+        if name in ("n_blocks", "threads_per_block"):
+            setattr(tally, name, int(value))
         else:
-            plan.kernel.run_block(ctx)
-        record.tally.merge(ctx.finalize_tally())
-        record.ops.append(ctx.ops)
-    return record
+            setattr(tally, name, value)
+    return tally
 
+
+# ---------------------------------------------------------------------------
+# Persistent worker pool
+# ---------------------------------------------------------------------------
+
+class _PoolBroken(Exception):
+    """A worker died or raised; the launch must continue serially."""
+
+
+def _run_chunk_in_worker(pool: "_WorkerPool", ids: list[int],
+                         mode: ExecMode, vectorized: bool,
+                         fence_latency: float,
+                         fence_concurrency: int) -> tuple[bytes, Tally]:
+    kernel, config, memory = pool.kernel, pool.config, pool.memory
+    if vectorized:
+        bctx = BatchBlockContext(
+            memory, config, ids, mode=mode,
+            fence_latency_cycles=fence_latency,
+            fence_concurrency=fence_concurrency,
+        )
+        outcomes = None
+        if mode is ExecMode.VALIDATE:
+            outcomes = kernel.validate_block_batch(bctx)
+        elif mode is ExecMode.RECOVER:
+            kernel.recover_block_batch(bctx)
+        else:
+            kernel.run_block_batch(bctx)
+        tally = bctx.finalize_tally()
+        return _encode_batch_chunk(bctx, outcomes), tally
+
+    # Block-granular op-log path. The private AtomicUnit is only a
+    # constructor requirement — recording contexts never apply atomics.
+    atomics = AtomicUnit(memory)
+    tally = Tally()
+    blocks_ops: list = []
+    outcomes = [] if mode is ExecMode.VALIDATE else None
+    for block_id in ids:
+        ctx = RecordingBlockContext(
+            memory, atomics, config, block_id, mode,
+            fence_latency_cycles=fence_latency,
+            fence_concurrency=fence_concurrency,
+        )
+        if mode is ExecMode.VALIDATE:
+            outcomes.append(kernel.validate_block(ctx))
+        elif mode is ExecMode.RECOVER:
+            kernel.recover_block(ctx)
+        else:
+            kernel.run_block(ctx)
+        tally.merge(ctx.finalize_tally())
+        blocks_ops.append(ctx.ops)
+    return _encode_block_chunk(blocks_ops, outcomes), tally
+
+
+def _worker_main(pool: "_WorkerPool", conn, worker_index: int) -> None:
+    """Pool worker loop: inherited state in, slot records + payloads out."""
+    # The forked child inherits the parent's recorder and segment
+    # registry; neither may act here. Observability belongs to the
+    # parent, and segment ownership (unlink rights) stays with the
+    # creating pid.
+    _install_recorder(None)
+    shm.disown_all()
+    pool.memory.enter_worker_mode()
+    arena = pool.arena_seg.ndarray(
+        np.uint8, (pool.capacity, ARENA_SLOT_BYTES))
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            break
+        if msg[0] == "stop":
+            break
+        (_, seq, chunk_index, mode_value, ids, vectorized,
+         fence_latency, fence_concurrency) = msg
+        t0 = time.perf_counter_ns()
+        try:
+            payload, tally = _run_chunk_in_worker(
+                pool, list(ids), ExecMode(mode_value), vectorized,
+                fence_latency, fence_concurrency,
+            )
+        except LaunchError as exc:
+            conn.send(("err", seq, chunk_index, str(exc)))
+            continue
+        busy_ns = time.perf_counter_ns() - t0
+        slot = pool.slots[chunk_index]
+        slot[_SLOT_PAYLOAD_LEN] = len(payload)
+        slot[_SLOT_BUSY_NS] = busy_ns
+        _tally_to_slot(slot, tally)
+        if len(payload) <= ARENA_SLOT_BYTES:
+            arena[chunk_index, :len(payload)] = np.frombuffer(
+                payload, dtype=np.uint8)
+            inline = None
+        else:
+            inline = payload
+        slot[_SLOT_STATUS] = _STATUS_DONE
+        conn.send(("done", seq, chunk_index, inline))
+    conn.close()
+
+
+def _release_pool_resources(procs, conns, segments,
+                            memory: GlobalMemory) -> None:
+    """Tear a pool down: stop workers, reclaim the image, unlink SHM."""
+    for conn in conns:
+        try:
+            conn.send(("stop",))
+        except (OSError, ValueError, BrokenPipeError):
+            pass
+    for proc in procs:
+        proc.join(timeout=2.0)
+        if proc.is_alive():  # pragma: no cover - wedged worker
+            proc.terminate()
+            proc.join(timeout=2.0)
+    for conn in conns:
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+    # Re-point every buffer at private arrays *before* the segments go
+    # away, so the memory outlives its pool.
+    memory.materialize_data()
+    for seg in segments:
+        seg.destroy()
+
+
+class _WorkerPool:
+    """A persistent forked worker pool sharing one device image.
+
+    Created lazily by :class:`ParallelEngine` on the first launch that
+    can use it and kept across launches (the recovery pipeline's
+    NORMAL → VALIDATE → RECOVER sequence reuses one pool; only an
+    allocation-epoch change or a different kernel/memory re-forks).
+    All segments are created by the parent *before* the fork, so
+    workers inherit the mappings and never create segments of their
+    own — worker death can leak nothing.
+    """
+
+    def __init__(self, jobs: int, kernel: Kernel, config: LaunchConfig,
+                 memory: GlobalMemory) -> None:
+        self.jobs = jobs
+        self.kernel = kernel
+        self.config = config
+        self.memory = memory
+        self.version = memory.version
+        self.capacity = jobs * _CHUNKS_PER_JOB
+        self.broken = False
+        # Opportunistic janitor pass: segments abandoned by SIGKILLed
+        # processes (harness children) are reaped before we allocate.
+        shm.reap_orphans()
+        self.image_seg = shm.SharedSegment.create(
+            "img", max(1, memory.image_nbytes))
+        memory.export_data_image(self.image_seg.buf)
+        self.slot_seg = shm.SharedSegment.create(
+            "slots", self.capacity * _SLOT_F64 * 8)
+        self.slots = self.slot_seg.ndarray(
+            np.float64, (self.capacity, _SLOT_F64))
+        self.arena_seg = shm.SharedSegment.create(
+            "arena", self.capacity * ARENA_SLOT_BYTES)
+        self.arena = self.arena_seg.ndarray(
+            np.uint8, (self.capacity, ARENA_SLOT_BYTES))
+        self.bytes_shared = (self.image_seg.nbytes + self.slot_seg.nbytes
+                             + self.arena_seg.nbytes)
+        self._seq = 0
+        ctx = multiprocessing.get_context("fork")
+        self.workers = []
+        for index in range(jobs):
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(
+                target=_worker_main, args=(self, child_conn, index),
+                daemon=True,
+            )
+            proc.start()
+            child_conn.close()
+            self.workers.append((proc, parent_conn))
+        self._worker_of = {conn: i
+                           for i, (_, conn) in enumerate(self.workers)}
+        self._outstanding = 0
+        self._finalizer = weakref.finalize(
+            self, _release_pool_resources,
+            [proc for proc, _ in self.workers],
+            [conn for _, conn in self.workers],
+            (self.image_seg, self.slot_seg, self.arena_seg),
+            memory,
+        )
+
+    def compatible(self, plan: LaunchPlan) -> bool:
+        """Whether this pool's forked snapshot still matches ``plan``."""
+        return (
+            not self.broken
+            and self.kernel is plan.kernel
+            and self.memory is plan.memory
+            and self.config == plan.config
+            and self.version == plan.memory.version
+        )
+
+    def close(self) -> None:
+        """Stop workers, reclaim the device image, unlink segments."""
+        self._finalizer()
+
+    # -- launch driving --------------------------------------------------
+
+    def _send_task(self, worker: int, seq: int, chunk_index: int,
+                   plan: LaunchPlan, ids, vectorized: bool) -> None:
+        _, conn = self.workers[worker]
+        conn.send((
+            "task", seq, chunk_index, plan.mode.value,
+            tuple(int(b) for b in ids), vectorized,
+            plan.fence_latency, plan.fence_concurrency,
+        ))
+        self._outstanding += 1
+
+    def _drain_stale(self) -> None:
+        """Absorb responses left over from an abandoned launch."""
+        conns = [conn for _, conn in self.workers]
+        while self._outstanding > 0:
+            for conn in mp_connection.wait(conns):
+                try:
+                    conn.recv()
+                except (EOFError, OSError):
+                    self.broken = True
+                    raise _PoolBroken("pool worker died") from None
+                self._outstanding -= 1
+
+    def iter_chunk_results(self, plan: LaunchPlan, chunks: list,
+                           vectorized: bool):
+        """Yield ``(chunk_index, payload, slot_copy)`` in chunk order.
+
+        Chunks are dispatched dynamically (each worker gets a new chunk
+        as it finishes its last) while results are surfaced strictly in
+        submission order — chunks are contiguous slices of the launch's
+        block order, so in-order consumption *is* launch-order replay.
+        Raises :class:`_PoolBroken` on worker death or a worker-side
+        :class:`~repro.errors.LaunchError`.
+        """
+        n = len(chunks)
+        if n > self.capacity:  # pragma: no cover - chunker invariant
+            raise LaunchError(
+                f"{n} chunks exceed pool slot capacity {self.capacity}")
+        for proc, _ in self.workers:
+            if not proc.is_alive():
+                self.broken = True
+                raise _PoolBroken(f"pool worker pid {proc.pid} is gone")
+        self._drain_stale()
+        self._seq += 1
+        seq = self._seq
+        self.slots[:n] = 0.0
+        next_chunk = 0
+        delivered = 0
+        ready: dict[int, bytes] = {}
+        for worker in range(min(self.jobs, n)):
+            self._send_task(worker, seq, next_chunk, plan,
+                            chunks[next_chunk], vectorized)
+            next_chunk += 1
+        conns = [conn for _, conn in self.workers]
+        while delivered < n:
+            if delivered in ready:
+                payload = ready.pop(delivered)
+                yield delivered, payload, np.array(self.slots[delivered])
+                delivered += 1
+                continue
+            for conn in mp_connection.wait(conns):
+                try:
+                    msg = conn.recv()
+                except (EOFError, OSError):
+                    self.broken = True
+                    raise _PoolBroken("pool worker died") from None
+                self._outstanding -= 1
+                kind = msg[0]
+                if msg[1] != seq:  # pragma: no cover - abandoned launch
+                    continue
+                if kind == "err":
+                    self.broken = True
+                    raise _PoolBroken(
+                        f"worker chunk failed: {msg[3]}")
+                chunk_index = msg[2]
+                inline = msg[3]
+                if inline is not None:
+                    ready[chunk_index] = inline
+                else:
+                    plen = int(self.slots[chunk_index, _SLOT_PAYLOAD_LEN])
+                    ready[chunk_index] = \
+                        self.arena[chunk_index, :plen].tobytes()
+                if next_chunk < n:
+                    self._send_task(self._worker_of[conn], seq,
+                                    next_chunk, plan, chunks[next_chunk],
+                                    vectorized)
+                    next_chunk += 1
+
+
+# ---------------------------------------------------------------------------
+# Parallel (persistent shared-memory pool + deterministic replay)
+# ---------------------------------------------------------------------------
 
 class ParallelEngine(LaunchEngine):
-    """Fan blocks out across a process pool; replay deterministically.
+    """Zero-copy shared-memory parallel execution with in-order replay.
 
-    Workers are forked per launch, inheriting the pre-launch memory
-    image copy-on-write; they execute disjoint contiguous chunks of the
-    block list and ship back one :class:`ChunkRecord` log per chunk
-    (group-granular IPC — per-block record pickling is what used to eat
-    the speedup). The parent applies the records in the launch's block
-    order through the real memory system and atomic unit, reproducing
-    the serial engine's cache recency, evictions, write statistics and
-    table state exactly. ``VALIDATE`` and ``RECOVER`` launches
-    parallelize the same way: validation blocks return outcome records
-    (no host mutation, no table access in workers) that merge after
-    replay, and recovery's table refreshes are deferred ops like any
-    forward insert.
+    The engine owns at most one :class:`_WorkerPool` at a time,
+    attached lazily on the first pool-worthy launch and kept until the
+    kernel, memory identity or allocation epoch changes (or
+    :meth:`close` runs). Workers share the device's volatile image
+    through a named segment and return per-chunk results through the
+    slot array + arena — no pickled arrays in either direction.
 
-    Falls back to :class:`SerialEngine` when the plan cannot be
-    parallelized faithfully: kernels with ``parallel_safe = False``,
-    launches smaller than two blocks per worker, or platforms without
-    the ``fork`` start method. A worker raising
-    :class:`~repro.errors.LaunchError` (an unreplayable primitive) also
-    falls back — worker memory is copy-on-write, so the parent image is
-    untouched and serial re-execution is safe.
+    Execution shape per launch:
+
+    * ``batchable`` kernels run **vectorized chunks** — each worker
+      executes a contiguous chunk through one
+      :class:`~repro.gpu.batch.BatchBlockContext` and ships the
+      deferred stores/table inserts back for in-order application (the
+      composed parallel(batched) fast path). With ``jobs=1``, no fork
+      or a too-small launch, the same chunks run inline in-process.
+    * ``parallel_safe`` (but unbatchable) kernels run block-granular
+      chunks under :class:`RecordingBlockContext`, shipping op logs.
+      This path additionally requires ``idempotent`` kernels: workers
+      scribble the shared volatile image, and the serial-continuation
+      fallback after a worker failure re-executes scribbled blocks.
+    * Everything else (and every failure) falls back to
+      :class:`SerialEngine` semantics — mid-launch failures continue
+      serially from the first unreplayed chunk, keeping effects
+      exactly-once.
+
+    ``VALIDATE`` and ``RECOVER`` launches ride the same paths, so
+    post-crash validation parallelizes identically to forward
+    execution.
     """
 
     name = "parallel"
 
-    def __init__(self, jobs: int = 4) -> None:
+    def __init__(self, jobs: int | None = None) -> None:
+        if jobs is None:
+            jobs = shm.cpu_budget()
         if jobs < 1:
             raise LaunchError(f"ParallelEngine needs jobs >= 1, got {jobs}")
         self.jobs = jobs
         self._serial = SerialEngine()
+        self._pool: _WorkerPool | None = None
+
+    # -- lifecycle -------------------------------------------------------
+
+    def close(self) -> None:
+        """Detach: stop pool workers and unlink every shared segment."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    def __enter__(self) -> "ParallelEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _ensure_pool(self, plan: LaunchPlan) -> _WorkerPool:
+        if self._pool is not None and not self._pool.compatible(plan):
+            self.close()
+        if self._pool is None:
+            rec = _recorder()
+            with rec.trace.span(
+                "engine.shm.attach", cat="engine", track="engine",
+                engine=self.name, jobs=self.jobs,
+            ):
+                self._pool = _WorkerPool(
+                    self.jobs, plan.kernel, plan.config, plan.memory)
+            if rec.metrics.active:
+                rec.metrics.set_gauge(
+                    "engine.shm.bytes_shared", self._pool.bytes_shared,
+                    engine=self.name,
+                )
+        return self._pool
+
+    # -- execution -------------------------------------------------------
 
     def execute(self, plan: LaunchPlan) -> tuple[list[int], Tally]:
-        if not self._can_parallelize(plan):
+        vectorized = bool(plan.kernel.batchable)
+        use_pool = (
+            self.jobs > 1
+            and plan.kernel.parallel_safe
+            and (vectorized or plan.kernel.idempotent)
+            and len(plan.block_ids) >= 2 * self.jobs
+            and "fork" in multiprocessing.get_all_start_methods()
+        )
+        if not use_pool and not vectorized:
             return self._serial.execute(plan)
-        try:
-            records = self._run_workers(plan)
-        except LaunchError:
-            return self._serial.execute(plan)
-        return self._apply(plan, records)
 
-    # -- worker phase ---------------------------------------------------
-
-    def _can_parallelize(self, plan: LaunchPlan) -> bool:
-        if not plan.kernel.parallel_safe:
-            return False
-        if self.jobs <= 1 or len(plan.block_ids) < 2 * self.jobs:
-            return False
-        if "fork" not in multiprocessing.get_all_start_methods():
-            return False
-        return True
-
-    def _run_workers(self, plan: LaunchPlan) -> list[ChunkRecord]:
-        global _WORKER_PLAN
-        chunks = self._chunk(plan.block_ids)
-        rec = _recorder()
-        if rec.metrics.active:
-            rec.metrics.inc("engine.scheduling.chunks", len(chunks),
-                            engine=self.name)
-        ctx = multiprocessing.get_context("fork")
-        _WORKER_PLAN = plan
-        try:
-            with ctx.Pool(processes=self.jobs) as pool, rec.trace.span(
-                "engine.workers", cat="engine", track="engine",
-                engine=self.name, jobs=self.jobs, chunks=len(chunks),
-            ):
-                # ``map`` preserves chunk submission order, and chunks
-                # are contiguous slices of ``plan.block_ids`` — so
-                # iterating the results in order replays the launch's
-                # exact block order.
-                return pool.map(_run_worker_chunk, chunks)
-        finally:
-            _WORKER_PLAN = None
-
-    def _chunk(self, block_ids: list[int]) -> list[list[int]]:
-        """Contiguous chunks, a few per worker for load balance."""
-        n = len(block_ids)
-        n_chunks = min(n, self.jobs * 4)
-        size = -(-n // n_chunks)
-        return [block_ids[i:i + size] for i in range(0, n, size)]
-
-    # -- deterministic replay -------------------------------------------
-
-    def _apply(
-        self, plan: LaunchPlan, records: list[ChunkRecord]
-    ) -> tuple[list[int], Tally]:
         tally = plan.new_tally()
         completed: list[int] = []
         outcomes: list = []
         rec = _recorder()
-        for record in records:
-            # Replay in per-chunk spans (the worker scheduling
-            # granularity) so the timeline shows the deterministic-apply
-            # phase block range by block range.
-            with rec.trace.span(
-                "engine.replay", cat="engine", track="engine",
-                engine=self.name, first=record.block_ids[0],
-                count=len(record.block_ids),
-            ):
-                self._replay_chunk(plan, record, tally, completed)
-            if record.outcomes is not None:
-                outcomes.extend(record.outcomes)
+        chunks = self._chunk(plan.block_ids)
+        if use_pool:
+            self._execute_pooled(plan, chunks, vectorized, tally,
+                                 completed, outcomes, rec)
+        else:
+            for group in chunks:
+                with rec.trace.span(
+                    "engine.group", cat="engine", track="engine",
+                    engine=self.name, mode=plan.mode.name,
+                    first=group[0], count=len(group),
+                ):
+                    _run_batch_group(plan, group, tally, completed,
+                                     outcomes)
         if plan.mode is ExecMode.VALIDATE:
             with rec.trace.span(
                 "engine.validate.merge", cat="engine", track="engine",
@@ -439,28 +913,98 @@ class ParallelEngine(LaunchEngine):
                             engine=self.name)
         return completed, tally
 
-    def _replay_chunk(
-        self, plan: LaunchPlan, record: ChunkRecord,
-        tally: Tally, completed: list[int],
-    ) -> None:
+    def _chunk(self, block_ids: list[int]) -> list[list[int]]:
+        """Contiguous chunks, a few per worker for load balance."""
+        n = len(block_ids)
+        if n == 0:
+            return []
+        n_chunks = min(n, self.jobs * _CHUNKS_PER_JOB)
+        size = -(-n // n_chunks)
+        return [block_ids[i:i + size] for i in range(0, n, size)]
+
+    def _execute_pooled(self, plan: LaunchPlan, chunks: list,
+                        vectorized: bool, tally: Tally,
+                        completed: list[int], outcomes: list,
+                        rec) -> None:
+        pool = self._ensure_pool(plan)
+        if rec.metrics.active:
+            rec.metrics.inc("engine.scheduling.chunks", len(chunks),
+                            engine=self.name)
+        replayed = 0
+        busy_ns = 0.0
+        merge_ns = 0
+        t0 = time.perf_counter_ns()
+        try:
+            with rec.trace.span(
+                "engine.workers", cat="engine", track="engine",
+                engine=self.name, jobs=self.jobs, chunks=len(chunks),
+                vectorized=vectorized,
+            ):
+                for chunk_index, payload, slot in pool.iter_chunk_results(
+                        plan, chunks, vectorized):
+                    group = chunks[chunk_index]
+                    m0 = time.perf_counter_ns()
+                    busy_ns += slot[_SLOT_BUSY_NS]
+                    tally.merge(_tally_from_slot(slot))
+                    with rec.trace.span(
+                        "engine.replay", cat="engine", track="engine",
+                        engine=self.name, first=group[0],
+                        count=len(group),
+                    ):
+                        if vectorized:
+                            stores, inserts, outs = \
+                                _decode_batch_chunk(payload)
+                            _apply_batch_records(
+                                plan, group, stores, inserts, tally,
+                                completed)
+                        else:
+                            blocks_ops, outs = _decode_block_chunk(payload)
+                            self._replay_block_ops(
+                                plan, group, blocks_ops, tally, completed)
+                    if outs is not None:
+                        outcomes.extend(outs)
+                    merge_ns += time.perf_counter_ns() - m0
+                    replayed += 1
+        except _PoolBroken:
+            # Exactly-once continuation: replayed chunks keep their
+            # effects; everything from the first unreplayed chunk on
+            # re-runs serially (worker-side scribbles are overwritten
+            # by the deterministic re-execution).
+            self.close()
+            remaining = [b for chunk in chunks[replayed:] for b in chunk]
+            with rec.trace.span(
+                "engine.serial_continuation", cat="engine",
+                track="engine", engine=self.name, blocks=len(remaining),
+            ):
+                self._serial._run_blocks(plan, remaining, tally,
+                                         completed, outcomes)
+            return
+        wall_ns = time.perf_counter_ns() - t0
+        if rec.metrics.active:
+            rec.metrics.inc("engine.slots.merge_ns", merge_ns,
+                            engine=self.name)
+            if wall_ns > 0:
+                rec.metrics.set_gauge(
+                    "engine.shm.worker_busy_frac",
+                    busy_ns / (wall_ns * self.jobs), engine=self.name,
+                )
+
+    def _replay_block_ops(self, plan: LaunchPlan, block_ids,
+                          blocks_ops: list, tally: Tally,
+                          completed: list[int]) -> None:
         memory = plan.memory
-        tally.merge(record.tally)
-        for block_id, block_ops in zip(record.block_ids, record.ops):
+        for block_id, block_ops in zip(block_ids, blocks_ops):
             for op in block_ops:
                 code = op[0]
-                if code == "st":
-                    _, name, idx, vals = op
-                    memory.write(memory[name], idx, vals)
-                elif code == "atomic_add":
-                    _, name, idx, vals = op
-                    plan.atomics.add(memory[name], idx, vals)
-                elif code == "atomic_max":
-                    _, name, idx, vals = op
-                    plan.atomics.max_(memory[name], idx, vals)
-                elif code == "table":
-                    _, key, lanes = op
+                if code == _OP_ST:
+                    memory.write(memory[op[1]], op[2], op[3])
+                elif code == _OP_ATOMIC_ADD:
+                    plan.atomics.add(memory[op[1]], op[2], op[3])
+                elif code == _OP_ATOMIC_MAX:
+                    plan.atomics.max_(memory[op[1]], op[2], op[3])
+                elif code == _OP_TABLE:
                     ctx = plan.block_context(block_id)
-                    plan.kernel.apply_table_insert(ctx, key, lanes)
+                    plan.kernel.apply_table_insert(ctx, op[1], op[2])
                     tally.merge(ctx.finalize_tally())
                 else:  # pragma: no cover - defensive
                     raise LaunchError(f"unknown replay op {code!r}")
@@ -525,24 +1069,7 @@ class BatchedEngine(LaunchEngine):
                 engine=self.name, mode=plan.mode.name,
                 first=group[0], count=len(group),
             ):
-                bctx = BatchBlockContext(
-                    plan.memory, plan.config, group, mode=plan.mode,
-                    fence_latency_cycles=plan.fence_latency,
-                    fence_concurrency=plan.fence_concurrency,
-                )
-                if plan.mode is ExecMode.VALIDATE:
-                    outcomes.extend(plan.kernel.validate_block_batch(bctx))
-                elif plan.mode is ExecMode.RECOVER:
-                    plan.kernel.recover_block_batch(bctx)
-                else:
-                    plan.kernel.run_block_batch(bctx)
-                tally.merge(bctx.finalize_tally())
-                self._apply_group(plan, bctx, tally)
-            completed.extend(group)
-            if plan.block_hook is not None:
-                for n in range(len(completed) - len(group) + 1,
-                               len(completed) + 1):
-                    plan.block_hook(n)
+                _run_batch_group(plan, group, tally, completed, outcomes)
             if rec.metrics.active:
                 rec.metrics.inc("engine.scheduling.groups",
                                 engine=self.name)
@@ -558,41 +1085,19 @@ class BatchedEngine(LaunchEngine):
                             engine=self.name)
         return completed, tally
 
-    def _apply_group(
-        self, plan: LaunchPlan, bctx: BatchBlockContext, tally: Tally
-    ) -> None:
-        """Apply a group's stores + table inserts, per block in order."""
-        memory = plan.memory
-        for row, block_id in enumerate(bctx.block_ids):
-            for name, idx, vals, mask in bctx.store_records:
-                row_idx = idx[row]
-                row_vals = vals[row]
-                if mask is not None:
-                    keep = mask[row]
-                    row_idx = row_idx[keep]
-                    row_vals = row_vals[keep]
-                if row_idx.size:
-                    memory.write(memory[name], row_idx, row_vals)
-            for lanes in bctx.table_inserts.get(int(block_id), ()):
-                ctx = plan.block_context(int(block_id))
-                plan.kernel.apply_table_insert(ctx, int(block_id), lanes)
-                tally.merge(ctx.finalize_tally())
-
 
 # ---------------------------------------------------------------------------
 # Resolution
 # ---------------------------------------------------------------------------
-
-_DEFAULT_JOBS = max(1, min(4, os.cpu_count() or 1))
-
 
 def make_engine(
     spec: LaunchEngine | str | None, jobs: int | None = None
 ) -> LaunchEngine:
     """Resolve an engine spec: instance, name, or ``None`` (serial).
 
-    ``jobs`` applies to ``"parallel"`` (worker count, default
-    ``min(4, cpu_count)``) and ``"batched"`` (group size, default 256).
+    ``jobs`` applies to ``"parallel"`` (worker count; ``None`` means
+    the container-aware :func:`repro.gpu.shm.cpu_budget`) and
+    ``"batched"`` (group size, default 256).
     """
     if spec is None:
         return SerialEngine()
@@ -601,7 +1106,7 @@ def make_engine(
     if spec == "serial":
         return SerialEngine()
     if spec == "parallel":
-        return ParallelEngine(jobs=jobs or _DEFAULT_JOBS)
+        return ParallelEngine(jobs=jobs or None)
     if spec == "batched":
         return BatchedEngine(**({"group_size": jobs} if jobs else {}))
     raise LaunchError(

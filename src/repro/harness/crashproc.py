@@ -42,6 +42,7 @@ from dataclasses import asdict, dataclass
 from pathlib import Path
 
 from repro.errors import ChildStartupError, ChildTimeoutError, HarnessError
+from repro.gpu import shm
 
 #: Trigger kinds and whether their threshold is an int count.
 TRIGGER_KINDS = ("writebacks", "blocks", "walltime")
@@ -268,6 +269,10 @@ def run_child(
         ):
             outcome = _run_once(spec_path, ready, tmpdir, timeout)
         if outcome is not None:
+            # A SIGKILLed child (and its engine pool workers, killed
+            # with the session) never ran its shared-memory atexit
+            # sweep; reap any segments its dead pids left in /dev/shm.
+            shm.reap_orphans()
             if rec.metrics.active and outcome.killed:
                 rec.metrics.inc("harness.kill", phase=spec.phase,
                                 workload=spec.workload,

@@ -198,6 +198,7 @@ class MappedShadow:
         #: (re-attached after a grow remaps the file).
         self._attached: dict[str, object] = {}
         self._closed = False
+        self._sealed = False
 
     # ------------------------------------------------------------------
     # Construction
@@ -351,6 +352,7 @@ class MappedShadow:
         ``buf.shadow``.
         """
         self._check_open()
+        self._check_writable()
         if buf.name in self.entries:
             raise AllocationError(
                 f"buffer {buf.name!r} already lives in heap {self.path}"
@@ -455,6 +457,7 @@ class MappedShadow:
     def arm(self, line_ids) -> None:
         """Record write-back intent for ``line_ids`` before the copy."""
         self._check_open()
+        self._check_writable()
         n = len(line_ids)
         if n <= JOURNAL_CAPACITY:
             payload = _JOURNAL_HEAD.pack(_JOURNAL_EXACT, n) + struct.pack(
@@ -476,6 +479,7 @@ class MappedShadow:
         leaves the journal armed, exactly like a power failure inside
         the copy.
         """
+        self._check_writable()
         self.lines_written += n_lines
         listener = self.writeback_listener
         if listener is not None:
@@ -530,9 +534,22 @@ class MappedShadow:
     # Durability and lifecycle
     # ------------------------------------------------------------------
 
+    def seal(self) -> None:
+        """Forbid further persistence through this handle (fork safety).
+
+        A pool worker inherits the parent's ``MAP_SHARED`` mapping —
+        zero-copy reads of the heap images stay valid, but the
+        persistence domain (directory, journal, write-backs, msync)
+        belongs to the parent alone. ``GlobalMemory.enter_worker_mode``
+        seals the inherited handle so any accidental write-back in a
+        worker fails loudly instead of corrupting the shared file.
+        """
+        self._sealed = True
+
     def sync(self) -> None:
         """``msync`` the whole heap (drain-time durability point)."""
         self._check_open()
+        self._check_writable()
         with _recorder().trace.span("heap.sync", cat="nvm", track="nvm"):
             self._mm.flush()
 
@@ -566,6 +583,13 @@ class MappedShadow:
     def _check_open(self) -> None:
         if self._closed:
             raise HeapFormatError(f"heap {self.path} is closed")
+
+    def _check_writable(self) -> None:
+        if self._sealed:
+            raise HeapFormatError(
+                f"heap {self.path} is sealed in a worker process; only "
+                "the parent may persist"
+            )
 
     def _write_directory(self) -> None:
         payload = json.dumps(

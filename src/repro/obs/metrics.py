@@ -38,9 +38,14 @@ from dataclasses import dataclass
 #: * ``time.`` — wall-clock observations; never deterministic.
 #: * ``engine.scheduling.`` — how an engine carved the launch into
 #:   chunks/groups is the engine's own business (serial has no chunks).
+#: * ``engine.shm.`` — shared-memory pool bookkeeping (segment bytes,
+#:   worker busy fractions); only the parallel engine emits it.
+#: * ``engine.slots.`` — slot-array merge timing; wall clock, and only
+#:   the parallel engine's pooled path has slots at all.
 #:
 #: Everything else must match across serial/parallel/batched engines.
-ORDER_SENSITIVE_PREFIXES = ("time.", "engine.scheduling.")
+ORDER_SENSITIVE_PREFIXES = ("time.", "engine.scheduling.",
+                            "engine.shm.", "engine.slots.")
 
 #: Labels whose *values* are identity, not semantics: the ``engine``
 #: label names which engine ran the launch, and differs by construction

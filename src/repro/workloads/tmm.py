@@ -37,6 +37,7 @@ class TiledMatMulKernel(Kernel):
     protected_buffers = ("tmm_C",)
     idempotent = True
     parallel_safe = True
+    batchable = True
 
     def __init__(self, n: int, tile: int) -> None:
         if n % tile:
@@ -86,6 +87,39 @@ class TiledMatMulKernel(Kernel):
             ctx.syncthreads()
 
         ctx.st("tmm_C", row * n + col, acc.astype(np.int32), slots=ctx.tid)
+
+    def run_block_batch(self, bctx) -> None:
+        n, tile = self.n, self.tile
+        grid_x = n // tile
+        bx = bctx.block_ids % grid_x
+        by = bctx.block_ids // grid_x
+        tid = bctx.tid
+        tx = tid % tile
+        ty = tid // tile
+        row = (by * tile)[:, None] + ty
+        col = (bx * tile)[:, None] + tx
+        n_batch = bctx.n_blocks_in_batch
+
+        acc = np.zeros((n_batch, bctx.n_threads), dtype=np.int64)
+        for kt in range(n // tile):
+            a_idx = row * n + (kt * tile + tx)
+            b_idx = (kt * tile + ty)[None, :] * n + col
+            # Row-major reshape recovers each block's shared_[ty, tx]
+            # staging layout (tid = ty * tile + tx).
+            tile_a = bctx.ld("tmm_A", a_idx).reshape(n_batch, tile, tile)
+            tile_b = bctx.ld("tmm_B", b_idx).reshape(n_batch, tile, tile)
+            bctx.charge_shared(bctx.n_threads * 2 * 4)
+            bctx.syncthreads()
+
+            partial = np.matmul(tile_a.astype(np.int64),
+                                tile_b.astype(np.int64))
+            acc += partial.reshape(n_batch, -1)
+            bctx.flops(2 * tile)
+            bctx.charge_shared(bctx.n_threads * 2 * tile * 4)
+            bctx.syncthreads()
+
+        bctx.st("tmm_C", row * n + col, acc.astype(np.int32),
+                slots=bctx.tid)
 
 
 class TMMWorkload(Workload):

@@ -11,12 +11,15 @@ contract across block orders and mid-kernel crashes.
 """
 
 import dataclasses
+import os
+import signal
 
 import numpy as np
 import pytest
 
 import repro
 from repro.errors import LaunchError
+from repro.gpu import shm
 from repro.gpu.engine import (
     BatchedEngine,
     ParallelEngine,
@@ -140,9 +143,10 @@ def run_megakv_search(engine):
     return device, result, store
 
 
-def test_megakv_search_batched_parity():
+@pytest.mark.parametrize("engine", ENGINES)
+def test_megakv_search_engine_parity(engine):
     dev_s, res_s, store_s = run_megakv_search("serial")
-    dev_b, res_b, store_b = run_megakv_search("batched")
+    dev_b, res_b, store_b = run_megakv_search(engine)
     assert_same_launch((dev_s, res_s), (dev_b, res_b))
     # Host-side probe accounting must match too, including the
     # dedup'd probe width when both hash choices coincide.
@@ -196,3 +200,116 @@ def test_make_engine_resolution():
 def test_device_accepts_engine_name():
     device = repro.Device(engine="batched")
     assert isinstance(device.engine, BatchedEngine)
+
+
+def test_parallel_jobs_default_is_container_aware():
+    engine = ParallelEngine()
+    assert engine.jobs == shm.cpu_budget()
+    with pytest.raises(LaunchError, match="jobs >= 1"):
+        ParallelEngine(jobs=0)
+
+
+# ---------------------------------------------------------------------------
+# Shared-memory pool mechanics.
+
+
+def _forked_engine(jobs=2):
+    if "fork" not in __import__("multiprocessing").get_all_start_methods():
+        pytest.skip("no fork on this platform")
+    return ParallelEngine(jobs=jobs)
+
+
+@pytest.mark.parametrize("config_name", ["paper_best", "naive_quadratic"])
+def test_forked_pool_vectorized_parity(config_name):
+    """jobs=2 forces real worker processes through the batched path."""
+    config = getattr(repro.LPConfig, config_name)()
+    engine = _forked_engine()
+    try:
+        ref = run_spmv("serial", config, "shuffled")
+        got = run_spmv(engine, config, "shuffled")
+        assert engine._pool is not None, "pool path was not exercised"
+        assert_same_launch(ref, got)
+    finally:
+        engine.close()
+    assert not shm.leaked_segments()
+
+
+def test_forked_pool_block_granular_parity():
+    """Adler-32 lanes disable batching: workers ship per-block op logs."""
+    config = repro.LPConfig(
+        checksums=(repro.ChecksumKind.ADLER32,),
+        reduction=repro.ReductionMode.SEQUENTIAL_MEMORY,
+    )
+    engine = _forked_engine()
+    try:
+        ref = run_spmv("serial", config)
+        got = run_spmv(engine, config)
+        assert engine._pool is not None, "pool path was not exercised"
+        assert_same_launch(ref, got)
+    finally:
+        engine.close()
+    assert not shm.leaked_segments()
+
+
+def test_engine_is_reentrant_and_reuses_its_pool():
+    """Two launches on one engine instance: one fork, identical results."""
+    engine = _forked_engine()
+    try:
+        device = repro.Device(cache_capacity_lines=64, seed=7,
+                              engine=engine)
+        work = SPMVWorkload(scale="small", seed=3)
+        kernel = work.setup(device)
+        lp_kernel = repro.LPRuntime(
+            device, repro.LPConfig.paper_best()).instrument(kernel)
+        device.launch(lp_kernel)
+        first_pool = engine._pool
+        assert first_pool is not None
+        first_pids = [p.pid for p, _ in first_pool.workers]
+        device.launch(lp_kernel)
+        assert engine._pool is first_pool, "pool must persist across launches"
+        assert [p.pid for p, _ in engine._pool.workers] == first_pids
+        work.verify(device)
+    finally:
+        engine.close()
+    assert not shm.leaked_segments()
+
+
+def test_sigkilled_worker_falls_back_and_leaks_nothing():
+    """Killing a pool worker must not lose blocks or /dev/shm segments."""
+    engine = _forked_engine()
+    try:
+        device = repro.Device(cache_capacity_lines=64, seed=7,
+                              engine=engine)
+        work = SPMVWorkload(scale="small", seed=3)
+        kernel = work.setup(device)
+        lp_kernel = repro.LPRuntime(
+            device, repro.LPConfig.paper_best()).instrument(kernel)
+        device.launch(lp_kernel)
+        pool = engine._pool
+        assert pool is not None
+        victim = pool.workers[0][0]
+        os.kill(victim.pid, signal.SIGKILL)
+        victim.join(timeout=5.0)
+
+        result = device.launch(lp_kernel)
+        assert engine._pool is None, "broken pool must be torn down"
+        assert result.completed_blocks == list(
+            range(kernel.launch_config().n_blocks))
+        work.verify(device)
+    finally:
+        engine.close()
+    shm.reap_orphans()
+    assert not shm.leaked_segments()
+
+
+def test_engine_close_unlinks_every_segment():
+    engine = _forked_engine()
+    config = repro.LPConfig.paper_best()
+    run_spmv(engine, config)
+    assert engine._pool is not None
+    created = {engine._pool.image_seg.name, engine._pool.slot_seg.name,
+               engine._pool.arena_seg.name}
+    assert created <= set(shm.leaked_segments())
+    engine.close()
+    assert not created & set(shm.leaked_segments())
+    assert engine._pool is None

@@ -208,3 +208,73 @@ def test_recovery_mapped_backend_parity(engine_name, table_name,
         for name, ref_bytes in persistent.items():
             assert reopened.view(name).tobytes() == ref_bytes
     assert ref_report.initial.failed_blocks
+
+
+# -- full parity matrix ---------------------------------------------------------
+#
+# The shared-memory parallel engine drives the *whole* pipeline — the
+# crashed NORMAL launch, validation, recovery — across every workload,
+# every table, and both shadow backends, and must land bit-identically
+# on the serial reference: recovered volatile + NVM images, failed
+# sets, forensics, everything.
+
+def _full_pipeline(engine_name, workload_name, config, shadow=None):
+    device = repro.Device(cache_capacity_lines=16, block_order="shuffled",
+                          seed=13, engine=engine_name, shadow=shadow)
+    work = make_workload(workload_name, scale="tiny")
+    kernel = work.setup(device)
+    lp_kernel = LPRuntime(device, config).instrument(kernel)
+    n_blocks = kernel.launch_config().n_blocks
+    device.launch(
+        lp_kernel,
+        crash_plan=repro.CrashPlan(after_blocks=max(1, n_blocks // 3),
+                                   persist_fraction=0.35, seed=21),
+    )
+    report = RecoveryManager(device, lp_kernel).recover()
+    assert report.recovered
+    work.verify(device)
+    device.drain()
+    images = {
+        name: (buf.data.tobytes(),
+               None if buf.shadow is None else buf.shadow.tobytes())
+        for name, buf in device.memory.buffers.items()
+    }
+    return report, images
+
+
+@pytest.mark.parametrize("shadow_kind", ["memory", "mapped"])
+@pytest.mark.parametrize("table_name", sorted(TABLES))
+@pytest.mark.parametrize("workload_name", sorted(WORKLOADS))
+def test_parallel_engine_parity_matrix(workload_name, table_name,
+                                       shadow_kind, tmp_path):
+    config = TABLES[table_name]
+
+    def shadow():
+        if shadow_kind == "memory":
+            return None
+        return repro.MappedShadow.create(
+            tmp_path / f"heap-{len(list(tmp_path.iterdir()))}.lpnv")
+
+    ref_report, ref_images = _full_pipeline(
+        "serial", workload_name, config, shadow=shadow())
+    report, images = _full_pipeline(
+        "parallel", workload_name, config, shadow=shadow())
+
+    for phase in ("initial", "final"):
+        ref_val = getattr(ref_report, phase)
+        val = getattr(report, phase)
+        assert val.n_blocks == ref_val.n_blocks
+        assert val.failed_blocks == ref_val.failed_blocks
+        assert val.missing_checksums == ref_val.missing_checksums
+        _assert_details_equal(ref_val.failure_details,
+                              val.failure_details)
+    assert report.recovered_blocks == ref_report.recovered_blocks
+    if ref_report.forensics is None:
+        assert report.forensics is None
+    else:
+        assert report.forensics.to_dict() == ref_report.forensics.to_dict()
+    assert images.keys() == ref_images.keys()
+    for name, (ref_data, ref_shadow) in ref_images.items():
+        data, shadow_bytes = images[name]
+        assert data == ref_data, (name, "volatile image")
+        assert shadow_bytes == ref_shadow, (name, "NVM image")

@@ -87,7 +87,8 @@ def test_exemptions_are_documented_and_narrow():
     This pins the exemption list: adding a prefix here must come with a
     justification in docs/observability.md.
     """
-    assert ORDER_SENSITIVE_PREFIXES == ("time.", "engine.scheduling.")
+    assert ORDER_SENSITIVE_PREFIXES == (
+        "time.", "engine.scheduling.", "engine.shm.", "engine.slots.")
 
 
 def test_scheduling_series_differ_but_are_exempt():
