@@ -1,0 +1,131 @@
+"""Tier-2 gate: static race verdicts vs. the crash model checker.
+
+``mc_verdicts.json`` pins, for every builtin workload plus the three
+seeded race offenders, (a) which persistency race rules (LP002/LP003/
+LP008/LP009/LP010) the static analyzer fires and (b) whether the
+bounded crash-state enumeration found a counterexample. The invariant
+under test is the one lplint promises: the static verdict is **never
+less conservative** than the model checker — wherever enumeration
+found a non-converging crash state, at least one race rule fired.
+
+Regenerate after an intentional change with:
+
+    PYTHONPATH=src python benchmarks/test_mc_verdicts.py
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+VERDICTS_PATH = Path(__file__).parent / "mc_verdicts.json"
+FIXTURES = Path(__file__).parent.parent / "tests" / "fixtures" / "lint"
+
+#: Small bounded runs: tiny/cache=1 maximizes eviction events for the
+#: workloads; the offenders need cache=2 (their hazards live in torn
+#: multi-line write-backs).
+WORKLOAD_BUDGET = 400
+OFFENDER_BUDGET = 400
+
+
+def _offenders_module():
+    spec = importlib.util.spec_from_file_location(
+        "lp_offenders", FIXTURES / "lp_offenders.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def compute_verdicts() -> dict:
+    from repro.analysis.crashmc import (
+        MCOptions,
+        RACE_RULES,
+        check_case,
+        check_workload,
+    )
+    from repro.analysis.py_rules import lint_kernel_object
+    from repro.workloads import WORKLOADS
+
+    table = {}
+    options = MCOptions(scale="tiny", cache_lines=1, budget=WORKLOAD_BUDGET)
+    for name in sorted(WORKLOADS):
+        from repro.compiler.pydsl import lazy_persistent
+        from repro.gpu.device import Device
+        from repro.workloads import make_workload
+
+        device = Device()
+        kernel = make_workload(name, scale="tiny", seed=0).setup(device)
+        findings = lint_kernel_object(lazy_persistent(device, kernel),
+                                      device=device)
+        report = check_workload(name, options)
+        table[name] = {
+            "static_race_rules": sorted(
+                {f.rule for f in findings if f.rule in RACE_RULES
+                 and not f.suppressed}
+            ),
+            "mc_counterexample": not report.converged,
+            "mc_states_explored": report.states_explored,
+        }
+
+    module = _offenders_module()
+    for name in module.OFFENDERS:
+        device, lp_kernel = module.make_offender_case(name)
+        findings = lint_kernel_object(lp_kernel, device=device)
+        report = check_case(
+            lambda shadow, _n=name: module.make_offender_case(
+                _n, shadow=shadow, cache_lines=2
+            ),
+            name,
+            MCOptions(cache_lines=2, budget=OFFENDER_BUDGET),
+        )
+        table[name] = {
+            "static_race_rules": sorted(
+                {f.rule for f in findings if f.rule in RACE_RULES
+                 and not f.suppressed}
+            ),
+            "mc_counterexample": not report.converged,
+            "mc_states_explored": report.states_explored,
+        }
+    return table
+
+
+@pytest.mark.tier2
+def test_verdict_table_matches_committed_fixture():
+    expected = json.loads(VERDICTS_PATH.read_text())["cases"]
+    actual = compute_verdicts()
+    assert actual == expected
+
+
+@pytest.mark.tier2
+def test_committed_table_is_never_less_conservative_than_mc():
+    # The LP007 invariant, pinned on the fixture itself: wherever the
+    # model checker reached a non-converging crash state, the static
+    # analyzer flagged a race rule.
+    cases = json.loads(VERDICTS_PATH.read_text())["cases"]
+    for name, verdict in cases.items():
+        if verdict["mc_counterexample"]:
+            assert verdict["static_race_rules"], name
+    # The clean workloads stay clean on both sides...
+    from repro.workloads import WORKLOADS
+
+    for name in WORKLOADS:
+        assert not cases[name]["mc_counterexample"], name
+        assert not cases[name]["static_race_rules"], name
+    # ...and the seeded offenders prove each side can actually fail.
+    assert cases["lp008-wrap"]["mc_counterexample"]
+    assert "LP008" in cases["lp008-wrap"]["static_race_rules"]
+    assert cases["lp009-feedback"]["mc_counterexample"]
+    assert "LP009" in cases["lp009-feedback"]["static_race_rules"]
+    # LP010 is the conservative case: statically flagged, dynamically
+    # unreproducible under the uniform simulator.
+    assert not cases["lp010-shared-escape"]["mc_counterexample"]
+    assert "LP010" in cases["lp010-shared-escape"]["static_race_rules"]
+
+
+if __name__ == "__main__":
+    VERDICTS_PATH.write_text(
+        json.dumps({"cases": compute_verdicts()}, indent=2) + "\n"
+    )
+    print(f"wrote {VERDICTS_PATH}")

@@ -23,11 +23,20 @@ Commands
     report with ``--out``; exits 1 if any grid cell fails to converge.
 ``report [path]``
     Regenerate EXPERIMENTS.md.
-``lint [targets...] [--format text|json] [--oracle]``
+``lint [targets...] [--format text|json] [--oracle] [--races]``
     Run the lplint static analyzer over kernel sources. Targets are
     ``builtin`` (every built-in workload + MegaKV kernel, the default),
     ``.cu``/``.cuh`` files (directive front-end), ``.py`` files, or
-    directories. Exits 1 on unsuppressed findings.
+    directories. ``--races`` cross-checks the persistency race rules
+    (LP008-LP010) against a quick bounded crash-state enumeration.
+    Exits 1 on unsuppressed findings.
+``mc [--workloads ...] [--budget N] [--engine E] [--scale S]``
+    Bounded crash-state model checker: enumerate every reachable
+    post-crash heap image of a workload launch (write-back prefixes ×
+    torn-line windows × crash-race lotteries), run the real
+    validate → recover pipeline on each distinct state, and report any
+    state that fails to converge as a minimized counterexample. Exits
+    1 if any counterexample is found.
 """
 
 from __future__ import annotations
@@ -269,7 +278,9 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 
     targets = args.targets or ["builtin"]
     try:
-        report, verdicts = run_lint(targets, oracle=args.oracle)
+        report, verdicts, mc_reports = run_lint(
+            targets, oracle=args.oracle, races=args.races
+        )
     except FileNotFoundError as exc:
         print(str(exc), file=sys.stderr)
         return 2
@@ -280,6 +291,10 @@ def _cmd_lint(args: argparse.Namespace) -> int:
                 name: verdict.to_dict()
                 for name, verdict in verdicts.items()
             }
+        if mc_reports:
+            payload["mc"] = {
+                name: mc.to_dict() for name, mc in mc_reports.items()
+            }
         print(json.dumps(payload, indent=2))
     else:
         print(render_text(report))
@@ -287,7 +302,75 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             state = "idempotent" if verdict.idempotent else "NON-IDEMPOTENT"
             print(f"oracle: {name}: {state} over blocks "
                   f"{verdict.tested_blocks}")
+        for name, mc in mc_reports.items():
+            state = ("converged" if mc.converged
+                     else f"{len(mc.counterexamples)} COUNTEREXAMPLE(S)")
+            print(f"mc: {name}: {state} over {mc.states_explored} "
+                  f"distinct crash states")
     return report.exit_code
+
+
+def _cmd_mc(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.analysis.crashmc import MCOptions, fixture_dict, run_mc
+
+    options = MCOptions(
+        scale=args.scale, seed=args.seed, config=args.config,
+        engine=args.engine, jobs=args.jobs, cache_lines=args.cache_lines,
+        budget=args.budget,
+    )
+    report = run_mc(list(args.workloads), options)
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(report, fh, indent=2)
+            fh.write("\n")
+        if not args.json:
+            print(f"report written to {args.out}")
+    if args.json:
+        print(json.dumps(report, indent=2))
+    else:
+        print(f"mc: budget {options.budget}, engine {options.engine}, "
+              f"scale {options.scale}, cache {options.cache_lines} lines")
+        print(f"{'case':14s} {'events':>6s} {'distinct':>8s} "
+              f"{'pruned':>6s} {'elapsed':>8s}  status")
+        for case in report["cases"]:
+            status = ("ok" if case["converged"]
+                      else f"{len(case['counterexamples'])} "
+                           f"counterexample(s)")
+            if case["budget_exhausted"]:
+                status += " (budget exhausted)"
+            print(f"{case['case']:14s} {case['events']:6d} "
+                  f"{case['states_explored']:8d} "
+                  f"{case['states_pruned']:6d} "
+                  f"{case['elapsed_s']:7.1f}s  {status}")
+        total = report["total"]
+        print(f"total: {total['states_explored']} distinct states, "
+              f"{total['states_pruned']} pruned, "
+              f"{total['counterexamples']} counterexample(s)")
+    if not report["converged"] and args.fixtures_dir:
+        from pathlib import Path
+
+        outdir = Path(args.fixtures_dir)
+        outdir.mkdir(parents=True, exist_ok=True)
+        for case in report["cases"]:
+            for i, ce_dict in enumerate(case["counterexamples"]):
+                from repro.analysis.crashmc import Counterexample, CrashState
+
+                ce = Counterexample(
+                    case=ce_dict["case"],
+                    state=CrashState.from_dict(ce_dict["state"]),
+                    journal=ce_dict["journal"],
+                    reason=ce_dict["reason"],
+                    image_digest=ce_dict["image_digest"],
+                )
+                path = outdir / f"{ce.case}-{i}.json"
+                with open(path, "w") as fh:
+                    json.dump(fixture_dict(ce, options), fh, indent=2)
+                    fh.write("\n")
+                if not args.json:
+                    print(f"counterexample fixture written to {path}")
+    return 0 if report["converged"] else 1
 
 
 def _cmd_crash_test(args: argparse.Namespace) -> int:
@@ -309,6 +392,7 @@ def _cmd_crash_test(args: argparse.Namespace) -> int:
         cache_lines=args.cache_lines,
         timeout=args.timeout,
         progress=progress,
+        kill_seed=args.kill_seed,
     )
     if args.out:
         write_report(report, args.out)
@@ -391,7 +475,43 @@ def build_parser() -> argparse.ArgumentParser:
     p_lint.add_argument("--oracle", action="store_true",
                         help="cross-check builtin verdicts against the "
                              "dynamic re-execution oracle")
+    p_lint.add_argument("--races", action="store_true",
+                        help="cross-check the persistency race rules "
+                             "(LP008-LP010) against a quick bounded "
+                             "crash-state enumeration")
     p_lint.set_defaults(fn=_cmd_lint)
+
+    p_mc = sub.add_parser(
+        "mc",
+        help="bounded crash-state model checker: enumerate reachable "
+             "post-crash heap images and prove recovery converges on "
+             "every one")
+    p_mc.add_argument("--workloads", nargs="+", default=["spmv", "histo"],
+                      help="workloads to check (default: spmv histo)")
+    p_mc.add_argument("--budget", type=int, default=4000, metavar="N",
+                      help="max candidate crash states per workload "
+                           "(default 4000)")
+    p_mc.add_argument("--engine", default="serial",
+                      choices=("serial", "parallel", "batched"))
+    p_mc.add_argument("--scale", default="small",
+                      choices=("tiny", "small", "medium"))
+    p_mc.add_argument("--config", default="global-array",
+                      choices=("global-array", "quadratic", "cuckoo"))
+    p_mc.add_argument("--cache-lines", type=int, default=2,
+                      help="write-back cache capacity; small values "
+                           "maximize eviction events and therefore the "
+                           "reachable crash-state space (default 2)")
+    p_mc.add_argument("--seed", type=int, default=7)
+    p_mc.add_argument("--jobs", type=int, default=None, metavar="N")
+    p_mc.add_argument("--out", default=None, metavar="FILE",
+                      help="write the JSON report here")
+    p_mc.add_argument("--json", action="store_true",
+                      help="print the JSON report to stdout")
+    p_mc.add_argument("--fixtures-dir", default="tests/fixtures/crashmc",
+                      metavar="DIR",
+                      help="where minimized counterexamples are "
+                           "serialized (default tests/fixtures/crashmc)")
+    p_mc.set_defaults(fn=_cmd_mc)
 
     p_ct = sub.add_parser(
         "crash-test",
@@ -418,6 +538,12 @@ def build_parser() -> argparse.ArgumentParser:
                       help="write-back cache capacity (small values "
                            "make kills lose more)")
     p_ct.add_argument("--seed", type=int, default=0)
+    p_ct.add_argument("--kill-seed", type=int, default=None, metavar="N",
+                      help="derive each round's kill threshold from a "
+                           "deterministic per-cell stream seeded here, "
+                           "instead of the fixed --trigger threshold; "
+                           "per-round triggers land in the JSON report "
+                           "for exact replay")
     p_ct.add_argument("--jobs", type=int, default=None, metavar="N")
     p_ct.add_argument("--timeout", type=float, default=120.0,
                       help="per-child deadline in seconds")

@@ -13,6 +13,17 @@ conservative than the machine.
 Entry point: ``python -m repro lint <target>``.
 """
 
+from repro.analysis.crashmc import (
+    Counterexample,
+    CrashState,
+    MCOptions,
+    MCReport,
+    check_case,
+    check_workload,
+    cross_check_mc,
+    replay_fixture,
+    run_mc,
+)
 from repro.analysis.findings import (
     PAYLOAD_VERSION,
     Finding,
@@ -20,6 +31,7 @@ from repro.analysis.findings import (
     RULES,
     Severity,
     apply_suppressions,
+    finalize_findings,
     findings_to_payload,
     payload_to_findings,
     render_text,
@@ -29,20 +41,30 @@ from repro.analysis.oracle import OracleVerdict, cross_check, dynamic_oracle
 from repro.analysis.runner import builtin_cases, lint_builtin, run_lint
 
 __all__ = [
+    "Counterexample",
+    "CrashState",
     "Finding",
     "LintReport",
+    "MCOptions",
+    "MCReport",
     "OracleVerdict",
     "PAYLOAD_VERSION",
     "RULES",
     "Severity",
     "apply_suppressions",
     "builtin_cases",
+    "check_case",
+    "check_workload",
     "cross_check",
+    "cross_check_mc",
     "dynamic_oracle",
+    "finalize_findings",
     "findings_to_payload",
     "lint_builtin",
     "payload_to_findings",
     "render_text",
+    "replay_fixture",
     "run_lint",
+    "run_mc",
     "validate_payload",
 ]

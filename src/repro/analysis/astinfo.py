@@ -32,6 +32,9 @@ from dataclasses import dataclass, field
 
 #: ``ctx`` attribute names that carry block identity.
 _BLOCK_ATTRS = ("block_id", "block_xy", "block_coords")
+#: ``ctx`` attribute names that carry *thread* identity (uniform values
+#: like ``n_threads`` deliberately excluded).
+_THREAD_ATTRS = ("tid", "thread_xy", "lane")
 #: Conventional names of the block-context parameter.
 _CTX_PARAM_NAMES = ("ctx", "bctx", "context")
 #: Maximum depth of ``self.method()`` inlining.
@@ -47,6 +50,11 @@ class StoreOp:
     index: ast.expr | None
     lineno: int
     atomic: str | None = None   # "add"/"max"/"cas"/"exch" for atomics
+    value: ast.expr | None = None
+    #: Buffers whose ``ctx.ld`` values flow into the stored value.
+    value_buffers: set[str] = field(default_factory=set)
+    #: True when the stored value derives from shared memory.
+    value_uses_shared: bool = False
 
 
 @dataclass
@@ -71,6 +79,17 @@ class PyKernelEffects:
     clwb_lines: list[int] = field(default_factory=list)
     #: Local names whose values (may) depend on block identity.
     block_tainted: set[str] = field(default_factory=set)
+    #: Local names whose values (may) depend on thread identity.
+    thread_tainted: set[str] = field(default_factory=set)
+    #: Local names whose values (may) derive from shared memory.
+    shared_tainted: set[str] = field(default_factory=set)
+    #: Local name -> buffers whose loaded values flow into it.
+    load_sources: dict[str, set[str]] = field(default_factory=dict)
+    #: Line numbers of every ``ctx.syncthreads()`` call.
+    sync_lines: list[int] = field(default_factory=list)
+    #: ``syncthreads`` calls lexically inside an ``if``/``while`` whose
+    #: condition depends on thread identity — divergent barriers.
+    divergent_sync_lines: list[int] = field(default_factory=list)
     #: True when an unresolvable construct forced conservatism.
     has_unresolved: bool = False
 
@@ -227,36 +246,139 @@ class _BodyWalker:
                 return True
         return False
 
-    def _taint_targets(self, target: ast.expr) -> None:
+    def _mentions_thread(self, node: ast.expr, ctx_name: str) -> bool:
+        """Narrow (lexical) thread-identity check: explicit ``ctx.tid``
+        style attributes or names already thread-tainted. Deliberately
+        does not use the call over-approximation of block taint — LP010
+        only fires on provable divergence."""
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Attribute):
+                chain = _attr_chain(sub)
+                if chain and chain[0] == ctx_name and any(
+                    part in _THREAD_ATTRS for part in chain[1:]
+                ):
+                    return True
+            if isinstance(sub, ast.Name) and sub.id in self.effects.thread_tainted:
+                return True
+        return False
+
+    def _mentions_shared(self, node: ast.expr, ctx_name: str) -> bool:
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Attribute):
+                chain = _attr_chain(sub)
+                if chain and chain[0] == ctx_name and "shared" in chain[1:]:
+                    return True
+            if isinstance(sub, ast.Name) and sub.id in self.effects.shared_tainted:
+                return True
+        return False
+
+    def _value_sources(self, node: ast.expr, ctx_name: str) -> set[str]:
+        """Buffers whose ``ctx.ld`` results flow (lexically) into ``node``."""
+        sources: set[str] = set()
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Call) and isinstance(sub.func, ast.Attribute):
+                chain = _attr_chain(sub.func)
+                if chain and chain[0] == ctx_name and chain[-1] == "ld" and sub.args:
+                    resolved = self.resolver.resolve(sub.args[0])
+                    sources.add(resolved if resolved is not None
+                                else ast.unparse(sub.args[0]))
+            if isinstance(sub, ast.Name):
+                sources |= self.effects.load_sources.get(sub.id, set())
+        return sources
+
+    def _taint_targets(self, target: ast.expr, kind: str = "block") -> None:
+        tainted = {
+            "block": self.effects.block_tainted,
+            "thread": self.effects.thread_tainted,
+            "shared": self.effects.shared_tainted,
+        }[kind]
         if isinstance(target, ast.Name):
-            self.effects.block_tainted.add(target.id)
+            tainted.add(target.id)
         elif isinstance(target, (ast.Tuple, ast.List)):
             for el in target.elts:
-                self._taint_targets(el)
+                self._taint_targets(el, kind)
+
+    def _flow_sources(self, target: ast.expr, sources: set[str]) -> None:
+        if isinstance(target, ast.Name):
+            self.effects.load_sources.setdefault(target.id, set()).update(sources)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for el in target.elts:
+                self._flow_sources(el, sources)
 
     def _taint_pass(self, node: ast.FunctionDef, ctx_name: str) -> None:
-        """Propagate block taint through assignments until fixpoint."""
+        """Propagate block/thread/shared/load taint until fixpoint."""
         for _ in range(10):
-            before = set(self.effects.block_tainted)
+            before = (
+                set(self.effects.block_tainted),
+                set(self.effects.thread_tainted),
+                set(self.effects.shared_tainted),
+                {k: set(v) for k, v in self.effects.load_sources.items()},
+            )
             for sub in ast.walk(node):
-                if isinstance(sub, ast.Assign):
-                    if self._mentions_block(sub.value, ctx_name):
-                        for tgt in sub.targets:
-                            self._taint_targets(tgt)
-                elif isinstance(sub, ast.AugAssign):
-                    if self._mentions_block(sub.value, ctx_name):
-                        self._taint_targets(sub.target)
+                if isinstance(sub, (ast.Assign, ast.AugAssign)):
+                    value = sub.value
+                    targets = (
+                        sub.targets if isinstance(sub, ast.Assign)
+                        else [sub.target]
+                    )
+                    flags = (
+                        ("block", self._mentions_block(value, ctx_name)),
+                        ("thread", self._mentions_thread(value, ctx_name)),
+                        ("shared", self._mentions_shared(value, ctx_name)),
+                    )
+                    sources = self._value_sources(value, ctx_name)
+                    for tgt in targets:
+                        for kind, hit in flags:
+                            if hit:
+                                self._taint_targets(tgt, kind)
+                        if sources:
+                            self._flow_sources(tgt, sources)
                 elif isinstance(sub, (ast.For, ast.comprehension)):
                     iter_node = sub.iter
-                    if self._mentions_block(iter_node, ctx_name):
-                        self._taint_targets(sub.target)
-            if self.effects.block_tainted == before:
+                    for kind, check in (
+                        ("block", self._mentions_block),
+                        ("thread", self._mentions_thread),
+                        ("shared", self._mentions_shared),
+                    ):
+                        if check(iter_node, ctx_name):
+                            self._taint_targets(sub.target, kind)
+            after = (
+                self.effects.block_tainted,
+                self.effects.thread_tainted,
+                self.effects.shared_tainted,
+                self.effects.load_sources,
+            )
+            if (before[0] == after[0] and before[1] == after[1]
+                    and before[2] == after[2]
+                    and before[3] == {k: set(v) for k, v in after[3].items()}):
                 break
+
+    def _divergence_pass(
+        self, node: ast.stmt, ctx_name: str, divergent: bool = False
+    ) -> None:
+        """Record ``syncthreads`` calls under thread-dependent branches."""
+        for child in ast.iter_child_nodes(node):
+            child_div = divergent
+            if isinstance(child, (ast.If, ast.While)):
+                child_div = divergent or self._mentions_thread(
+                    child.test, ctx_name
+                )
+            if isinstance(child, ast.Call) and isinstance(
+                child.func, ast.Attribute
+            ):
+                chain = _attr_chain(child.func)
+                if (chain and chain[0] == ctx_name
+                        and chain[-1] == "syncthreads"):
+                    self.effects.sync_lines.append(child.lineno)
+                    if divergent:
+                        self.effects.divergent_sync_lines.append(child.lineno)
+            self._divergence_pass(child, ctx_name, child_div)
 
     # -- effect extraction ----------------------------------------------
 
     def walk(self, node: ast.FunctionDef, ctx_name: str, depth: int = 0) -> None:
         self._taint_pass(node, ctx_name)
+        self._divergence_pass(node, ctx_name)
         for sub in ast.walk(node):
             if isinstance(sub, ast.Call):
                 self._handle_call(sub, ctx_name, depth)
@@ -297,20 +419,39 @@ class _BodyWalker:
 
     def _handle_ctx_call(self, call: ast.Call, attr: str) -> None:
         args = call.args
+        ctx_name = call.func.value.id  # guarded by caller
 
         def arg(i: int) -> ast.expr | None:
             return args[i] if len(args) > i else None
 
-        if attr == "st":
+        def store(value: ast.expr | None, atomic: str | None = None) -> None:
             buf = arg(0)
             if buf is None:
                 return
+            if value is None:
+                for kw in call.keywords:
+                    if kw.arg in ("values", "value"):
+                        value = kw.value
+                        break
             self.effects.stores.append(StoreOp(
                 buffer=self.resolver.resolve(buf),
                 buffer_text=ast.unparse(buf),
                 index=arg(1),
                 lineno=call.lineno,
+                atomic=atomic,
+                value=value,
+                value_buffers=(
+                    self._value_sources(value, ctx_name)
+                    if value is not None else set()
+                ),
+                value_uses_shared=(
+                    value is not None
+                    and self._mentions_shared(value, ctx_name)
+                ),
             ))
+
+        if attr == "st":
+            store(arg(2))
         elif attr == "ld":
             buf = arg(0)
             if buf is None:
@@ -321,16 +462,8 @@ class _BodyWalker:
                 lineno=call.lineno,
             ))
         elif attr in ("atomic_add", "atomic_max", "atomic_cas", "atomic_exch"):
-            buf = arg(0)
-            if buf is None:
-                return
-            self.effects.stores.append(StoreOp(
-                buffer=self.resolver.resolve(buf),
-                buffer_text=ast.unparse(buf),
-                index=arg(1),
-                lineno=call.lineno,
-                atomic=attr.removeprefix("atomic_"),
-            ))
+            store(arg(3) if attr == "atomic_cas" else arg(2),
+                  atomic=attr.removeprefix("atomic_"))
         elif attr == "clwb":
             self.effects.clwb_lines.append(call.lineno)
 

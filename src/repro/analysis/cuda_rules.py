@@ -4,9 +4,11 @@ Operates on a parsed :class:`~repro.compiler.model.ProgramSource`.
 Rules implemented here: LP001 (uncovered persistent store), LP002
 (non-idempotent region with default re-execution recovery), LP003
 (cross-block write race on a covered store), LP004 (checksum-table
-sizing vs. grid size) and LP006 (parity-only checksum over float
-stores). LP005 is a Python-front-end rule — the directive compiler has
-no ``parallel_safe`` declaration to contradict.
+sizing vs. grid size), LP006 (parity-only checksum over float stores)
+and LP008 (block identity wrapped modulo K < grid — overlapping
+per-block write sets). LP005 is a Python-front-end rule — the
+directive compiler has no ``parallel_safe`` declaration to contradict;
+LP009/LP010 need the Python AST's value dataflow.
 
 All rules follow the analyzer's conservatism contract: a rule fires
 only on *provable* violations; anything unresolvable (symbolic grid
@@ -229,6 +231,84 @@ def _check_lp003(kernel: KernelSource, path: str) -> list[Finding]:
     return findings
 
 
+_BLOCK_REF_RE = re.compile(r"blockIdx\.[xyz]")
+_BLOCK_MOD_RE = re.compile(r"blockIdx\.[xyz]\s*%\s*(\d+)")
+
+
+def _wrap_modulus(kernel: KernelSource, index_expr: str) -> int | None:
+    """Largest K when every ``blockIdx`` reference feeding the index
+    sits directly under ``% K`` with a numeric literal; None otherwise."""
+    closure = set(identifiers(index_expr))
+    texts = [index_expr]
+    for _ in range(len(kernel.body) + 1):
+        grew = False
+        for line in kernel.body:
+            definition = statement_definition(line)
+            if definition is None:
+                continue
+            name, rhs = definition
+            if name in closure:
+                if rhs not in texts:
+                    texts.append(rhs)
+                new = identifiers(rhs) - closure
+                if new:
+                    closure |= new
+                    grew = True
+        if not grew:
+            break
+    blob = " ; ".join(texts)
+    refs = _BLOCK_REF_RE.findall(blob)
+    if not refs:
+        return None
+    mods = _BLOCK_MOD_RE.findall(blob)
+    if len(mods) != len(refs):
+        return None  # some block reference escapes a constant modulus
+    return max(int(k) for k in mods)
+
+
+def _check_lp008(
+    program: ProgramSource, kernel: KernelSource, path: str
+) -> list[Finding]:
+    """Covered store whose index wraps block identity modulo K < grid.
+
+    Blocks ``b`` and ``b + K`` then write the same elements — a
+    cross-block persist race the per-block checksums cannot arbitrate
+    (the Python front-end's LP008 proves the same property from
+    ``block_output_map`` overlap).
+    """
+    findings: list[Finding] = []
+    n_blocks = _launch_blocks(program, kernel.name)
+    if n_blocks is None or n_blocks <= 1:
+        return findings
+    for directive in kernel.checksums:
+        if not directive.target_statement:
+            continue
+        try:
+            target = parse_store_target(directive.target_statement)
+        except SliceError:
+            continue
+        k = _wrap_modulus(kernel, target.index_expr)
+        if k is not None and 0 < k < n_blocks:
+            findings.append(Finding(
+                rule="LP008",
+                severity=Severity.ERROR,
+                message=(
+                    f"protected store '{target.lhs}' wraps block identity "
+                    f"modulo {k} but the launch has {n_blocks} blocks: "
+                    f"blocks b and b+{k} write the same NVM lines "
+                    "without atomics"
+                ),
+                file=path,
+                line=directive.line_no + 1,
+                kernel=kernel.name,
+                fix_hint=(
+                    "remove the modulus (or raise it to the grid size) "
+                    "so per-block write sets are disjoint"
+                ),
+            ))
+    return findings
+
+
 def _check_lp004(
     program: ProgramSource, kernel: KernelSource, path: str
 ) -> list[Finding]:
@@ -338,6 +418,7 @@ def lint_program(program: ProgramSource, path: str = "<source>") -> list[Finding
         findings.extend(_check_lp003(kernel, path))
         findings.extend(_check_lp004(program, kernel, path))
         findings.extend(_check_lp006(kernel, path))
+        findings.extend(_check_lp008(program, kernel, path))
     return findings
 
 

@@ -43,7 +43,14 @@ RULES: dict[str, str] = {
              "declaring parallel_safe = True",
     "LP006": "parity (XOR) checksum over float stores without the "
              "ordered-integer conversion",
-    "LP007": "static verdict contradicted by the dynamic oracle",
+    "LP007": "static verdict contradicted by a dynamic oracle "
+             "(re-execution or crash-state enumeration)",
+    "LP008": "cross-block write race to the same NVM data without "
+             "atomics (overlapping per-block write sets)",
+    "LP009": "recovery-idempotence violation: a recovered store reads "
+             "a location the kernel itself mutates",
+    "LP010": "shared-memory value escapes to a persistent store after "
+             "divergent syncthreads",
 }
 
 
@@ -136,6 +143,28 @@ def apply_suppressions(
             f.suppressed = True
             f.suppress_reason = reason
     return findings
+
+
+def finalize_findings(findings: list[Finding]) -> list[Finding]:
+    """Deterministic output order: sort by (file, line, rule) and dedupe.
+
+    The CUDA and Python front-ends can both lint the same source (e.g. a
+    ``.cu`` file reached through two targets, or an object-mode kernel
+    whose class file is also linted); identical findings collapse to one
+    so JSON payloads diff cleanly across runs and front-ends.
+    """
+    seen: set[tuple] = set()
+    unique: list[Finding] = []
+    for f in findings:
+        key = (f.rule, f.severity.value, f.message, f.file, f.line,
+               f.kernel, f.suppressed, f.suppress_reason)
+        if key in seen:
+            continue
+        seen.add(key)
+        unique.append(f)
+    unique.sort(key=lambda f: (f.file or "", f.line or 0, f.rule,
+                               f.kernel or "", f.message))
+    return unique
 
 
 # ---------------------------------------------------------------------------

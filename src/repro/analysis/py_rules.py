@@ -196,6 +196,248 @@ def _check_lp005(kernel, effects: PyKernelEffects) -> list[Finding]:
     ]
 
 
+def _resolve_int(node: ast.expr, kernel) -> int | None:
+    """Best-effort constant resolution of an index subexpression."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, int):
+        return node.value
+    chain = None
+    if isinstance(node, ast.Attribute):
+        from repro.analysis.astinfo import _attr_chain
+
+        chain = _attr_chain(node)
+    if chain and chain[0] == "self" and kernel is not None:
+        value = kernel
+        for attr in chain[1:]:
+            try:
+                value = getattr(value, attr)
+            except AttributeError:
+                return None
+        return value if isinstance(value, int) else None
+    return None
+
+
+def _block_mod_wrap(index: ast.expr | None, effects, kernel) -> int | None:
+    """Smallest modulus K when *every* block-identity mention in the
+    store index sits under ``<block-derived> % K`` with constant K.
+
+    Blocks ``b`` and ``b + K`` then compute identical indices — a
+    provable cross-block overlap whenever K < n_blocks. Returns None
+    if any block dependence escapes a constant modulus (not provable).
+    """
+    if index is None:
+        return None
+
+    def mentions_block(node: ast.expr) -> bool:
+        from repro.analysis.astinfo import _BLOCK_ATTRS, _attr_chain
+
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Attribute):
+                chain = _attr_chain(sub)
+                if chain and any(p in _BLOCK_ATTRS for p in chain):
+                    return True
+            if isinstance(sub, ast.Name) and sub.id in effects.block_tainted:
+                return True
+        return False
+
+    if not mentions_block(index):
+        return None
+    mods: list[int] = []
+    covered: set[int] = set()
+    for sub in ast.walk(index):
+        if isinstance(sub, ast.BinOp) and isinstance(sub.op, ast.Mod):
+            k = _resolve_int(sub.right, kernel)
+            if k is not None and k > 0 and mentions_block(sub.left):
+                mods.append(k)
+                for leaf in ast.walk(sub.left):
+                    covered.add(id(leaf))
+    if not mods:
+        return None
+    # Every block mention must live inside one of the mod subtrees.
+    from repro.analysis.astinfo import _BLOCK_ATTRS, _attr_chain
+
+    for sub in ast.walk(index):
+        block_leaf = False
+        if isinstance(sub, ast.Attribute):
+            chain = _attr_chain(sub)
+            block_leaf = bool(chain and any(p in _BLOCK_ATTRS for p in chain))
+        elif isinstance(sub, ast.Name):
+            block_leaf = sub.id in effects.block_tainted
+        if block_leaf and id(sub) not in covered:
+            return None
+    return max(mods)
+
+
+def _check_lp008(kernel, effects: PyKernelEffects) -> list[Finding]:
+    """Cross-block write overlap on protected buffers without atomics.
+
+    Two provable paths, in preference order: the kernel's own
+    ``block_output_map`` slices (exact per-block write sets — any
+    element written by two blocks is a persist-order race the per-block
+    checksums cannot arbitrate), else a ``% K`` wrap pattern in the
+    store index that maps distinct blocks onto identical indices.
+    """
+    try:
+        n_blocks = kernel.launch_config().n_blocks
+    except Exception:
+        return []
+    if n_blocks <= 1:
+        return []
+    protected = set(kernel.protected_buffers)
+    nonatomic = {
+        s.buffer for s in effects.stores
+        if s.atomic is None and s.buffer in protected
+    }
+    if not nonatomic:
+        return []
+    findings: list[Finding] = []
+
+    maps: list[dict] | None = None
+    if n_blocks <= 1024:
+        maps = []
+        try:
+            for b in range(n_blocks):
+                m = kernel.block_output_map(b)
+                if m is None:
+                    maps = None
+                    break
+                maps.append(m)
+        except Exception:
+            maps = None
+    if maps is not None:
+        union: dict[str, np.ndarray] = {}
+        flagged: set[str] = set()
+        for b, m in enumerate(maps):
+            for buf, idx in m.items():
+                if buf not in nonatomic or buf in flagged:
+                    continue
+                arr = np.unique(np.asarray(idx).ravel())
+                prev = union.get(buf)
+                if prev is not None:
+                    clash = np.intersect1d(arr, prev, assume_unique=True)
+                    if clash.size:
+                        flagged.add(buf)
+                        findings.append(Finding(
+                            rule="LP008",
+                            severity=Severity.ERROR,
+                            message=(
+                                f"blocks write overlapping elements of "
+                                f"protected buffer '{buf}' without atomics "
+                                f"(e.g. element {int(clash[0])} is written "
+                                f"by block {b} and an earlier block); "
+                                "recovery re-executes failed blocks only, "
+                                "so the surviving writer's value is lost"
+                            ),
+                            kernel=kernel.name,
+                            fix_hint=(
+                                "make per-block write sets disjoint, or "
+                                "use atomics and declare the region "
+                                "non-idempotent"
+                            ),
+                        ))
+                        continue
+                union[buf] = arr if prev is None else np.union1d(prev, arr)
+        return findings
+
+    # No output map: fall back to the provable %-wrap pattern.
+    for s in effects.stores:
+        if s.atomic is not None or s.buffer not in nonatomic:
+            continue
+        k = _block_mod_wrap(s.index, effects, kernel)
+        if k is not None and k < n_blocks:
+            findings.append(Finding(
+                rule="LP008",
+                severity=Severity.ERROR,
+                message=(
+                    f"store index to protected buffer '{s.buffer}' wraps "
+                    f"block identity modulo {k} but the launch has "
+                    f"{n_blocks} blocks: blocks b and b+{k} write the "
+                    "same elements without atomics"
+                ),
+                line=s.lineno,
+                kernel=kernel.name,
+                fix_hint=(
+                    "remove the modulus (or raise it to the grid size) "
+                    "so per-block write sets are disjoint"
+                ),
+            ))
+    return findings
+
+
+def _check_lp009(kernel, effects: PyKernelEffects) -> list[Finding]:
+    """Recovered stores whose RHS reads kernel-mutated locations.
+
+    Under default re-execution recovery, a store whose value derives
+    from a load of a buffer the kernel itself writes is replayed
+    against possibly-already-persisted output — the classic
+    double-apply. Sharper (per store, with the value's provenance)
+    than LP002's buffer-granularity overlap.
+    """
+    if _has_custom_recovery(kernel) or not kernel.idempotent:
+        return []
+    protected = set(kernel.protected_buffers)
+    written = effects.written_buffers
+    findings: list[Finding] = []
+    for s in effects.stores:
+        if s.atomic is not None or s.buffer is None or s.buffer not in protected:
+            continue
+        bad = sorted(s.value_buffers & (written | {s.buffer}))
+        if bad:
+            findings.append(Finding(
+                rule="LP009",
+                severity=Severity.ERROR,
+                message=(
+                    f"recovered store to '{s.buffer}' computes its value "
+                    f"from a load of {bad} which this kernel mutates; "
+                    "after a partial persist, re-execution reads the "
+                    "already-new value and double-applies"
+                ),
+                line=s.lineno,
+                kernel=kernel.name,
+                fix_hint=(
+                    "stage the read-modify-write through a scratch "
+                    "buffer, or declare idempotent=False / provide a "
+                    "custom recover_block"
+                ),
+            ))
+    return findings
+
+
+def _check_lp010(kernel, effects: PyKernelEffects) -> list[Finding]:
+    """Shared-memory values persisted after a divergent barrier.
+
+    ``syncthreads`` under a thread-dependent branch deadlocks or
+    desynchronizes real hardware; any shared-memory value stored to a
+    protected buffer after it may be stale for the threads that skipped
+    the barrier, and the persisted bytes (and their checksum) are then
+    unreliable.
+    """
+    if not effects.divergent_sync_lines:
+        return []
+    first = min(effects.divergent_sync_lines)
+    protected = set(kernel.protected_buffers)
+    findings: list[Finding] = []
+    for s in effects.stores:
+        if (s.buffer in protected and s.value_uses_shared
+                and s.lineno > first):
+            findings.append(Finding(
+                rule="LP010",
+                severity=Severity.ERROR,
+                message=(
+                    f"store to protected buffer '{s.buffer}' persists a "
+                    "shared-memory value after a syncthreads inside a "
+                    f"thread-divergent branch (line {first}); threads "
+                    "that skip the barrier may persist stale data"
+                ),
+                line=s.lineno,
+                kernel=kernel.name,
+                fix_hint=(
+                    "hoist ctx.syncthreads() out of thread-dependent "
+                    "control flow before any persistent store"
+                ),
+            ))
+    return findings
+
+
 def _check_lp004_object(lp_kernel) -> list[Finding]:
     """Table sizing of a live LazyPersistentKernel."""
     table = getattr(lp_kernel, "table", None)
@@ -290,6 +532,9 @@ def lint_kernel_object(kernel, device=None) -> list[Finding]:
     findings.extend(_check_lp002(base, effects))
     findings.extend(_check_lp003(base, effects))
     findings.extend(_check_lp005(base, effects))
+    findings.extend(_check_lp008(base, effects))
+    findings.extend(_check_lp009(base, effects))
+    findings.extend(_check_lp010(base, effects))
     for wrapper in wrappers:
         if wrapper is not base and hasattr(wrapper, "table"):
             findings.extend(_check_lp004_object(wrapper))
@@ -336,12 +581,14 @@ def _class_literal(node: ast.ClassDef, name: str):
 def lint_python_text(text: str, path: str = "<source>") -> list[Finding]:
     """File-mode lint of Python source defining kernel classes.
 
-    Only two rules run here — LP002 (when the class pins
-    ``idempotent = True`` literally and defines no ``recover_block``)
-    and LP005 (when it pins ``parallel_safe = True`` literally) — the
-    pair that is still sound without live objects. Everything else
-    needs resolved buffers and launch shapes, which file mode cannot
-    prove, and lplint never guesses.
+    Four rules run here — LP002 (when the class pins
+    ``idempotent = True`` literally and defines no ``recover_block``),
+    LP005 (when it pins ``parallel_safe = True`` literally), LP009
+    (literal-buffer load→store dataflow under default recovery) and
+    LP010 (divergent-barrier shared escapes against a literal
+    ``protected_buffers``) — the set that is still sound without live
+    objects. Everything else needs resolved buffers and launch shapes,
+    which file mode cannot prove, and lplint never guesses.
     """
     findings: list[Finding] = []
     try:
@@ -394,6 +641,58 @@ def lint_python_text(text: str, path: str = "<source>") -> list[Finding]:
                         "recover_block"
                     ),
                 ))
+        protected_literal = _class_literal(node, "protected_buffers")
+        protected = set(protected_literal or ())
+        if (
+            _class_literal(node, "idempotent") is not False
+            and "recover_block" not in methods
+        ):
+            written = effects.written_buffers
+            for store in effects.stores:
+                if (store.atomic is not None or store.buffer is None
+                        or store.buffer not in protected):
+                    continue
+                bad = sorted(store.value_buffers & (written | {store.buffer}))
+                if bad:
+                    findings.append(Finding(
+                        rule="LP009",
+                        severity=Severity.ERROR,
+                        message=(
+                            f"recovered store to '{store.buffer}' computes "
+                            f"its value from a load of {bad} which this "
+                            "kernel mutates; re-execution after a partial "
+                            "persist double-applies"
+                        ),
+                        file=path,
+                        line=store.lineno,
+                        kernel=node.name,
+                        fix_hint=(
+                            "stage the read-modify-write through a "
+                            "scratch buffer, or declare idempotent=False"
+                        ),
+                    ))
+        if effects.divergent_sync_lines:
+            first = min(effects.divergent_sync_lines)
+            for store in effects.stores:
+                if (store.buffer in protected and store.value_uses_shared
+                        and store.lineno > first):
+                    findings.append(Finding(
+                        rule="LP010",
+                        severity=Severity.ERROR,
+                        message=(
+                            f"store to protected buffer '{store.buffer}' "
+                            "persists a shared-memory value after a "
+                            "syncthreads inside a thread-divergent branch "
+                            f"(line {first})"
+                        ),
+                        file=path,
+                        line=store.lineno,
+                        kernel=node.name,
+                        fix_hint=(
+                            "hoist ctx.syncthreads() out of "
+                            "thread-dependent control flow"
+                        ),
+                    ))
         if _class_literal(node, "parallel_safe") is True:
             for store in effects.atomic_stores:
                 if store.atomic in ("cas", "exch"):

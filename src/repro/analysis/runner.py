@@ -12,7 +12,15 @@ Three kinds of lint target:
 
 ``--oracle`` additionally runs every builtin case through the dynamic
 oracle (:mod:`repro.analysis.oracle`) and reports any static-vs-dynamic
-disagreement.
+disagreement. ``--races`` does the same against the bounded crash-state
+model checker (:mod:`repro.analysis.crashmc`) for the LP-instrumented
+workload cases: a counterexample no race rule predicted is an LP007
+error, a race verdict the enumeration cannot reproduce stays as a
+conservative note.
+
+Reports are finalized before returning: findings are deduplicated
+(identical findings from the CUDA and Python front-ends collapse) and
+sorted by ``(file, line, rule)`` so JSON output is deterministic.
 """
 
 from __future__ import annotations
@@ -22,7 +30,12 @@ from pathlib import Path
 from typing import Callable
 
 from repro.analysis.cuda_rules import lint_cuda_text
-from repro.analysis.findings import Finding, LintReport, Severity
+from repro.analysis.findings import (
+    Finding,
+    LintReport,
+    Severity,
+    finalize_findings,
+)
 from repro.analysis.oracle import OracleVerdict, cross_check, dynamic_oracle
 from repro.analysis.py_rules import (
     kernel_effects,
@@ -128,25 +141,49 @@ def static_hazards(kernel) -> list[str]:
     return kernel_effects(base).idempotence_hazards()
 
 
-def lint_builtin(oracle: bool = False) -> tuple[LintReport, dict]:
-    """Lint every builtin case; optionally cross-check with the oracle.
+def lint_builtin(
+    oracle: bool = False,
+    races: bool = False,
+    races_options=None,
+) -> tuple[LintReport, dict, dict]:
+    """Lint every builtin case; optionally cross-check dynamically.
 
     Returns the report plus, when ``oracle`` is set, a mapping of case
-    name to the :class:`~repro.analysis.oracle.OracleVerdict`.
+    name to the :class:`~repro.analysis.oracle.OracleVerdict`, and,
+    when ``races`` is set, a mapping of workload name to its
+    :class:`~repro.analysis.crashmc.MCReport`.
     """
+    from repro.workloads import WORKLOADS
+
     report = LintReport()
     verdicts: dict[str, OracleVerdict] = {}
+    mc_reports: dict = {}
     for case in builtin_cases():
         report.targets.append(f"builtin:{case.name}")
         device, kernel = case.make_case()
-        report.extend(lint_kernel_object(kernel, device=device))
+        case_findings = lint_kernel_object(kernel, device=device)
+        report.extend(case_findings)
         if oracle:
             verdict = dynamic_oracle(case.make_case)
             verdicts[case.name] = verdict
             report.extend(
                 cross_check(case.name, static_hazards(kernel), verdict)
             )
-    return report, verdicts
+        if races and case.name in WORKLOADS:
+            from repro.analysis.crashmc import (
+                MCOptions,
+                check_workload,
+                cross_check_mc,
+            )
+
+            options = races_options or MCOptions(
+                scale="tiny", cache_lines=1, budget=200
+            )
+            mc = check_workload(case.name, options)
+            mc_reports[case.name] = mc
+            report.extend(cross_check_mc(case.name, case_findings, mc))
+    report.findings = finalize_findings(report.findings)
+    return report, verdicts, mc_reports
 
 
 def lint_file(path: Path) -> list[Finding]:
@@ -186,17 +223,24 @@ def expand_targets(targets: list[str]) -> list[Path]:
 
 
 def run_lint(
-    targets: list[str], oracle: bool = False
-) -> tuple[LintReport, dict]:
+    targets: list[str],
+    oracle: bool = False,
+    races: bool = False,
+    races_options=None,
+) -> tuple[LintReport, dict, dict]:
     """Lint a mixed target list (``builtin`` and/or paths)."""
     report = LintReport()
     verdicts: dict[str, OracleVerdict] = {}
+    mc_reports: dict = {}
     paths = [t for t in targets if t != "builtin"]
     if "builtin" in targets:
-        builtin_report, verdicts = lint_builtin(oracle=oracle)
+        builtin_report, verdicts, mc_reports = lint_builtin(
+            oracle=oracle, races=races, races_options=races_options
+        )
         report.findings.extend(builtin_report.findings)
         report.targets.extend(builtin_report.targets)
     for path in expand_targets(paths):
         report.targets.append(str(path))
         report.extend(lint_file(path))
-    return report, verdicts
+    report.findings = finalize_findings(report.findings)
+    return report, verdicts, mc_reports

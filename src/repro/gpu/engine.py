@@ -340,19 +340,25 @@ class RecordingBlockContext(BlockContext):
     def atomic_cas(self, buf, index, compare, value):
         raise LaunchError(
             "atomic_cas result depends on other blocks and cannot be "
-            "replayed from a log; mark the kernel parallel_safe = False"
+            "replayed from a log; mark the kernel parallel_safe = False "
+            "(lplint rule LP005 flags this before launch: "
+            "python -m repro lint builtin)"
         )
 
     def atomic_exch(self, buf, index, value):
         raise LaunchError(
             "atomic_exch result depends on other blocks and cannot be "
-            "replayed from a log; mark the kernel parallel_safe = False"
+            "replayed from a log; mark the kernel parallel_safe = False "
+            "(lplint rule LP005 flags this before launch: "
+            "python -m repro lint builtin)"
         )
 
     def clwb(self, buf, idx):
         raise LaunchError(
             "clwb flush counts depend on shared cache state and cannot "
-            "be replayed from a log; mark the kernel parallel_safe = False"
+            "be replayed from a log; mark the kernel parallel_safe = False "
+            "(lplint rule LP005 flags this before launch: "
+            "python -m repro lint builtin)"
         )
 
 

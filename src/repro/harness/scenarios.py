@@ -27,6 +27,7 @@ and rounds to convergence.
 from __future__ import annotations
 
 import json
+import zlib
 from pathlib import Path
 
 from repro.errors import HarnessError
@@ -104,6 +105,30 @@ def _final_recover(spec: ChildSpec) -> dict:
         heap.close()
 
 
+def _round_trigger(
+    trigger: str, kill_seed: int | None, round_no: int,
+    workload: str, engine: str, config: str,
+) -> str:
+    """The trigger one kill round uses.
+
+    Without ``kill_seed`` every round kills at the same fixed
+    threshold. With it, count-based thresholds are drawn from a
+    deterministic per-(cell, round) stream — the base threshold bounds
+    the draw at twice its value — so one seed reproduces a whole
+    family of kill points exactly (``walltime`` triggers are left
+    untouched: wall-clock kills are not reproducible anyway).
+    """
+    import numpy as np
+
+    kind, value = parse_trigger(trigger)
+    if kill_seed is None or kind == "walltime":
+        return trigger
+    cell_key = zlib.crc32(f"{workload}/{engine}/{config}".encode())
+    rng = np.random.default_rng([kill_seed, round_no, cell_key])
+    threshold = int(rng.integers(1, max(2, 2 * int(value)) + 1))
+    return f"{kind}:{threshold}"
+
+
 def run_cell(
     workload: str,
     engine: str,
@@ -116,6 +141,7 @@ def run_cell(
     cache_lines: int = DEFAULT_CACHE_LINES,
     timeout: float = DEFAULT_TIMEOUT,
     keep_tmp: bool = False,
+    kill_seed: int | None = None,
 ) -> dict:
     """Run the full kill loop for one grid cell; returns its report."""
     parse_trigger(trigger)  # fail fast on bad input
@@ -132,15 +158,18 @@ def run_cell(
             engine=engine, jobs=jobs, cache_lines=cache_lines,
             heap_path=str(tmp.file("heap.lpnv")),
             ready_path=str(tmp.file("ready")),
-            trigger=trigger,
         )
         for round_no in range(kill_rounds):
             phase = "launch" if round_no == 0 else "recover"
-            spec = ChildSpec(phase=phase, **base)
+            round_trigger = _round_trigger(
+                trigger, kill_seed, round_no, workload, engine, config
+            )
+            spec = ChildSpec(phase=phase, trigger=round_trigger, **base)
             outcome = run_child(spec, tmp, timeout=timeout)
             measured = _measure(spec)
             rounds.append({
                 "phase": phase,
+                "trigger": round_trigger,
                 "killed": outcome.killed,
                 "returncode": outcome.returncode,
                 "spawn_attempts": outcome.attempts,
@@ -153,7 +182,9 @@ def run_cell(
                 # The child outran its trigger and left a fully
                 # consistent heap; further kill rounds would be no-ops.
                 break
-        final = _final_recover(ChildSpec(phase="recover", **base))
+        final = _final_recover(
+            ChildSpec(phase="recover", trigger=None, **base)
+        )
     return {
         "workload": workload,
         "engine": engine,
@@ -179,6 +210,7 @@ def run_grid(
     cache_lines: int = DEFAULT_CACHE_LINES,
     timeout: float = DEFAULT_TIMEOUT,
     progress=None,
+    kill_seed: int | None = None,
 ) -> dict:
     """Run every cell of the grid; returns the full JSON-able report."""
     cells = []
@@ -191,11 +223,13 @@ def run_grid(
                     workload, engine, config, scale=scale, seed=seed,
                     kill_rounds=kill_rounds, trigger=trigger, jobs=jobs,
                     cache_lines=cache_lines, timeout=timeout,
+                    kill_seed=kill_seed,
                 ))
     return {
         "suite": "crash-test",
         "scale": scale,
         "seed": seed,
+        "kill_seed": kill_seed,
         "trigger": trigger,
         "kill_rounds": kill_rounds,
         "cache_lines": cache_lines,

@@ -192,6 +192,12 @@ class MappedShadow:
         #: the journal is still armed, so a trigger that kills the
         #: process models a torn write-back.
         self.writeback_listener = None
+        #: Optional ``f(line_ids, mode)`` hook fired at the top of the
+        #: journal window, right after the intent record lands and
+        #: before any data byte moves (``mode`` is ``"exact"`` or
+        #: ``"range"``). The crash-state model checker records every
+        #: arm bracket through this to enumerate torn-write windows.
+        self.arm_listener = None
         #: Total lines committed through this handle.
         self.lines_written = 0
         #: Live buffers whose ``shadow`` views this heap owns
@@ -470,6 +476,10 @@ class MappedShadow:
                 "<2Q", lo, hi
             )
         self._mm[_JOURNAL_OFFSET:_JOURNAL_OFFSET + len(payload)] = payload
+        listener = self.arm_listener
+        if listener is not None:
+            listener([int(lid) for lid in line_ids],
+                     "exact" if n <= JOURNAL_CAPACITY else "range")
 
     def commit(self, n_lines: int) -> None:
         """Count a completed write-back and clear the intent record.

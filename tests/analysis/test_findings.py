@@ -36,7 +36,7 @@ def test_unknown_rule_id_rejected():
 
 
 def test_every_rule_has_a_description():
-    assert set(RULES) == {f"LP00{i}" for i in range(1, 8)}
+    assert set(RULES) == {f"LP{i:03d}" for i in range(1, 11)}
     assert all(desc for desc in RULES.values())
 
 

@@ -300,7 +300,10 @@ class _Suppressed(Kernel):
     name = "suppressed"
     protected_buffers = ("out",)
     idempotent = True
-    lint_suppressions = {"LP002": "re-stores identical words"}
+    lint_suppressions = {
+        "LP002": "re-stores identical words",
+        "LP009": "re-stores identical words",
+    }
 
     def launch_config(self):
         return LaunchConfig.linear(4, 8)

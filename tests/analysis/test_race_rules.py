@@ -1,0 +1,188 @@
+"""The persistency race rules (LP008-LP010) across both front-ends."""
+
+import importlib.util
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.analysis.cuda_rules import lint_cuda_text
+from repro.analysis.findings import Finding, Severity, finalize_findings
+from repro.analysis.py_rules import (
+    _unwrap,
+    kernel_effects,
+    lint_kernel_object,
+    lint_python_text,
+)
+from repro.errors import LaunchError
+from repro.gpu.atomics import AtomicUnit
+from repro.gpu.engine import RecordingBlockContext
+from repro.gpu.kernel import BlockContext, Kernel, LaunchConfig
+from repro.gpu.memory import GlobalMemory
+
+FIXTURES = Path(__file__).parent.parent / "fixtures" / "lint"
+
+
+def _offenders():
+    spec = importlib.util.spec_from_file_location(
+        "lp_offenders", FIXTURES / "lp_offenders.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _rules(findings):
+    return {f.rule for f in findings}
+
+
+# ---------------------------------------------------------------------------
+# Object mode (live kernels, full buffer resolution)
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("name, rule", [
+    ("lp008-wrap", "LP008"),
+    ("lp009-feedback", "LP009"),
+    ("lp010-shared-escape", "LP010"),
+])
+def test_offender_trips_its_rule(name, rule):
+    module = _offenders()
+    device, lp_kernel = module.make_offender_case(name)
+    findings = lint_kernel_object(lp_kernel, device=device)
+    hits = [f for f in findings if f.rule == rule]
+    assert hits, f"{name} should trip {rule}: {[f.rule for f in findings]}"
+    assert all(f.severity is Severity.ERROR for f in hits)
+
+
+def test_lp008_names_the_clashing_blocks():
+    module = _offenders()
+    device, lp_kernel = module.make_offender_case("lp008-wrap")
+    (hit,) = [f for f in lint_kernel_object(lp_kernel, device=device)
+              if f.rule == "LP008"]
+    assert "block" in hit.message
+
+
+def test_workload_kernels_stay_clean_of_race_rules():
+    from repro.compiler.pydsl import lazy_persistent
+    from repro.gpu.device import Device
+    from repro.workloads import WORKLOADS, make_workload
+
+    for name in WORKLOADS:
+        device = Device()
+        kernel = make_workload(name, scale="tiny", seed=0).setup(device)
+        lp_kernel = lazy_persistent(device, kernel)
+        findings = lint_kernel_object(lp_kernel, device=device)
+        assert not (_rules(findings) & {"LP008", "LP009", "LP010"}), name
+
+
+# ---------------------------------------------------------------------------
+# File mode (conservative, no live buffers)
+# ---------------------------------------------------------------------------
+
+def test_file_mode_flags_python_offenders():
+    text = (FIXTURES / "lp_offenders.py").read_text()
+    findings = lint_python_text(text, path="lp_offenders.py")
+    assert {"LP009", "LP010"} <= _rules(findings)
+
+
+def test_cuda_front_end_flags_lp008_wrap():
+    text = (FIXTURES / "bad_kernel_lp008.cu").read_text()
+    findings = lint_cuda_text(text, path="bad_kernel_lp008.cu")
+    active = [f for f in findings if not f.suppressed]
+    assert [f.rule for f in active] == ["LP008"]
+    assert active[0].severity is Severity.ERROR
+
+
+# ---------------------------------------------------------------------------
+# The AST facts behind the rules
+# ---------------------------------------------------------------------------
+
+def test_effects_capture_store_value_provenance():
+    module = _offenders()
+    effects = kernel_effects(module.LP009FeedbackKernel())
+    (store,) = [s for s in effects.stores if s.buffer == "acc_out"]
+    assert "acc_out" in store.value_buffers
+
+
+def test_effects_mark_divergent_syncthreads():
+    module = _offenders()
+    effects = kernel_effects(module.LP010SharedEscapeKernel())
+    assert effects.divergent_sync_lines
+    (store,) = [s for s in effects.stores if s.buffer == "esc_out"]
+    assert store.value_uses_shared
+
+
+def test_uniform_syncthreads_is_not_divergent():
+    from repro.gpu.device import Device
+    from repro.workloads import make_workload
+
+    device = Device()
+    kernel = make_workload("tmm", scale="tiny", seed=0).setup(device)
+    base, _ = _unwrap(kernel)
+    effects = kernel_effects(base)
+    assert effects.sync_lines
+    assert not effects.divergent_sync_lines
+
+
+# ---------------------------------------------------------------------------
+# Deterministic report finalization
+# ---------------------------------------------------------------------------
+
+def test_finalize_dedupes_and_sorts():
+    a = Finding(rule="LP002", severity=Severity.ERROR, message="m",
+                file="b.cu", line=9)
+    dup = Finding(rule="LP002", severity=Severity.ERROR, message="m",
+                  file="b.cu", line=9)
+    earlier = Finding(rule="LP001", severity=Severity.NOTE, message="n",
+                      file="a.cu", line=2)
+    out = finalize_findings([a, dup, earlier])
+    assert out == [earlier, a]
+
+
+def test_finalize_keeps_distinct_suppression_states():
+    shown = Finding(rule="LP002", severity=Severity.ERROR, message="m")
+    hidden = Finding(rule="LP002", severity=Severity.ERROR, message="m",
+                     suppressed=True, suppress_reason="known")
+    assert len(finalize_findings([shown, hidden])) == 2
+
+
+# ---------------------------------------------------------------------------
+# Worker-mode guards pair with the static rule (LP005)
+# ---------------------------------------------------------------------------
+
+class _CasKernel(Kernel):
+    name = "cas-under-parallel"
+    protected_buffers = ("out",)
+    idempotent = True
+    parallel_safe = True  # the lie LP005 exists to catch
+
+    def launch_config(self) -> LaunchConfig:
+        return LaunchConfig.linear(2, 4)
+
+    def run_block(self, ctx: BlockContext) -> None:
+        ctx.atomic_cas("out", 0, np.float32(0.0), np.float32(1.0))
+
+
+def test_cas_under_parallel_safe_is_flagged_before_launch():
+    import repro
+
+    device = repro.Device()
+    device.alloc("out", (8,), np.float32, persistent=True)
+    findings = lint_kernel_object(_CasKernel(), device=device)
+    hits = [f for f in findings if f.rule == "LP005"]
+    assert hits and all(not f.suppressed for f in hits)
+
+
+@pytest.mark.parametrize("op", ["atomic_cas", "atomic_exch", "clwb"])
+def test_worker_mode_guard_cites_the_lint_rule(op):
+    memory = GlobalMemory(cache_capacity_lines=4)
+    buf = memory.alloc("out", (8,), np.float32, persistent=True)
+    ctx = RecordingBlockContext(memory, AtomicUnit(memory),
+                                LaunchConfig.linear(1, 4), 0)
+    args = {
+        "atomic_cas": (buf, 0, np.float32(0.0), np.float32(1.0)),
+        "atomic_exch": (buf, 0, np.float32(1.0)),
+        "clwb": (buf, np.arange(1)),
+    }[op]
+    with pytest.raises(LaunchError, match="LP005"):
+        getattr(ctx, op)(*args)

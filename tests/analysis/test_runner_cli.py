@@ -13,7 +13,7 @@ FIXTURE = Path(__file__).parent.parent / "fixtures" / "lint" / "bad_kernel.cu"
 
 
 def test_builtins_report_only_documented_suppressions():
-    report, _ = lint_builtin()
+    report, _, _ = lint_builtin()
     assert report.exit_code == 0
     assert report.findings, "MegaKV's conservative LP002s are expected"
     assert all(f.suppressed and f.suppress_reason for f in report.findings)
@@ -21,7 +21,7 @@ def test_builtins_report_only_documented_suppressions():
 
 
 def test_run_lint_flags_seeded_bad_kernel():
-    report, _ = run_lint([str(FIXTURE)])
+    report, _, _ = run_lint([str(FIXTURE)])
     assert report.exit_code == 1
     rules = {f.rule for f in report.findings}
     # The acceptance criterion names LP001 + LP002; the fixture seeds
@@ -46,7 +46,7 @@ def test_expand_targets_recurses_and_skips_pycache(tmp_path):
 
 
 def test_workload_and_example_sources_lint_clean():
-    report, _ = run_lint(["src/repro/workloads", "examples"])
+    report, _, _ = run_lint(["src/repro/workloads", "examples"])
     assert report.exit_code == 0
     assert report.findings == []
 

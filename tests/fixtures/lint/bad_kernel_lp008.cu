@@ -1,0 +1,17 @@
+// Seeded lplint offender for LP008: the covered store folds block
+// identity through "% 2" while the launch runs 8 blocks, so blocks b
+// and b+2 write the same NVM lines without atomics. The kernel is
+// otherwise clean - the store is covered, idempotent, and uses a
+// modular checksum - so LP008 is the only error this file produces.
+
+dim3 grid(8, 1);
+
+#pragma nvm lpcuda_init(tab, 8, 1)
+wrapkernel<<<grid, 16>>>(out, in);
+
+__global__ void wrapkernel(int *out, int *in) {
+    int lane = blockIdx.x % 2;
+    int i = lane * blockDim.x + threadIdx.x;
+#pragma nvm lpcuda_checksum("+", tab, blockIdx.x)
+    out[i] = in[threadIdx.x] * 2;
+}

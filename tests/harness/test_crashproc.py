@@ -191,3 +191,56 @@ def test_grid_report_shape_and_render(tmp_path):
     assert json.loads(out.read_text())["converged"]
     text = render_text(report)
     assert "spmv" in text and "ok" in text
+
+
+# ---------------------------------------------------------------------------
+# Seeded, reproducible kill triggers (--kill-seed)
+# ---------------------------------------------------------------------------
+
+def test_round_trigger_is_deterministic_per_seed():
+    from repro.harness.scenarios import _round_trigger
+
+    a = _round_trigger("writebacks:6", 42, 0, "spmv", "serial", "ga")
+    b = _round_trigger("writebacks:6", 42, 0, "spmv", "serial", "ga")
+    assert a == b
+    kind, value = a.split(":")
+    assert kind == "writebacks"
+    assert 1 <= int(value) <= 12  # bounded by twice the base threshold
+
+
+def test_round_trigger_varies_across_rounds_and_cells():
+    from repro.harness.scenarios import _round_trigger
+
+    base = _round_trigger("writebacks:50", 42, 0, "spmv", "serial", "ga")
+    variants = {
+        _round_trigger("writebacks:50", 42, 1, "spmv", "serial", "ga"),
+        _round_trigger("writebacks:50", 42, 0, "tmm", "serial", "ga"),
+        _round_trigger("writebacks:50", 43, 0, "spmv", "serial", "ga"),
+    }
+    assert variants - {base}, "the stream must depend on round/cell/seed"
+
+
+def test_round_trigger_passthrough_cases():
+    from repro.harness.scenarios import _round_trigger
+
+    assert _round_trigger("writebacks:6", None, 0, "w", "e", "c") \
+        == "writebacks:6"
+    assert _round_trigger("walltime:0.5", 42, 0, "w", "e", "c") \
+        == "walltime:0.5"
+
+
+def test_run_cell_records_seeded_triggers_for_replay():
+    a = run_cell("tmm", "serial", "global-array", kill_rounds=1,
+                 trigger="writebacks:6", kill_seed=7)
+    b = run_cell("tmm", "serial", "global-array", kill_rounds=1,
+                 trigger="writebacks:6", kill_seed=7)
+    assert a["rounds"][0]["trigger"] == b["rounds"][0]["trigger"]
+    assert a["rounds"][0]["trigger"].startswith("writebacks:")
+    assert a["ok"] and b["ok"]
+
+
+def test_run_grid_report_carries_the_kill_seed():
+    report = run_grid(workloads=("spmv",), engines=("serial",),
+                      kill_rounds=1, kill_seed=7)
+    assert report["kill_seed"] == 7
+    assert report["converged"]
