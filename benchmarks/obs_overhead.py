@@ -17,8 +17,14 @@ As a sanity cross-check it also times one run with a live recorder
 (MemorySink + metrics) and reports the enabled-path cost; that number
 is informational, not gated — tracing is allowed to cost something.
 
-Set ``OBS_OVERHEAD_TOLERANCE`` (a float, e.g. ``0.15``) to widen the
-gate on noisy shared CI runners.
+The telemetry sampler gets its own gate: a metrics-recorded run with a
+background :class:`~repro.obs.telemetry.TelemetrySampler` attached
+(50 ms period) must stay within ``TOLERANCE`` of the same run without
+the sampler — periodic snapshotting may not tax the lock-free hot
+path.
+
+Set ``OBS_OVERHEAD_TOLERANCE`` (a float, e.g. ``0.15``) to widen both
+gates on noisy shared CI runners.
 
 Usage::
 
@@ -69,6 +75,19 @@ def measure_serial(recorder: "obs.Recorder | None") -> dict:
     }
 
 
+def measure_with_sampler() -> dict:
+    """Metrics-recorded SPMV with a live background sampler attached."""
+    recorder = obs.Recorder(metrics=obs.MetricsRegistry())
+    sampler = obs.TelemetrySampler(recorder.metrics, interval=0.05)
+    recorder.sampler = sampler
+    sampler.start()
+    try:
+        return measure_serial(recorder)
+    finally:
+        sampler.stop(final_sample=False)
+        sampler.close()
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--check", action="store_true",
@@ -81,15 +100,34 @@ def main(argv: list[str] | None = None) -> int:
         tracer=obs.Tracer(obs.MemorySink()),
         metrics=obs.MetricsRegistry(),
     ))
+    metrics_only = measure_serial(obs.Recorder(
+        metrics=obs.MetricsRegistry(),
+    ))
+    sampled = measure_with_sampler()
     ratio = enabled["blocks_per_sec"] / disabled["blocks_per_sec"]
-    print(f"spmv serial, recorder off: "
+    sampler_ratio = (metrics_only["blocks_per_sec"]
+                     / sampled["blocks_per_sec"])
+    print(f"spmv serial, recorder off:      "
           f"{disabled['blocks_per_sec']:12,.1f} blocks/sec")
-    print(f"spmv serial, recorder on:  "
+    print(f"spmv serial, recorder on:       "
           f"{enabled['blocks_per_sec']:12,.1f} blocks/sec "
           f"({ratio:.2f}x, informational)")
+    print(f"spmv serial, metrics only:      "
+          f"{metrics_only['blocks_per_sec']:12,.1f} blocks/sec")
+    print(f"spmv serial, metrics + sampler: "
+          f"{sampled['blocks_per_sec']:12,.1f} blocks/sec "
+          f"({sampler_ratio:.2f}x of metrics-only)")
 
     if not args.check:
         return 0
+    sampler_floor = metrics_only["blocks_per_sec"] * (1.0 - TOLERANCE)
+    if sampled["blocks_per_sec"] < sampler_floor:
+        print(f"TELEMETRY OVERHEAD REGRESSION: sampler-attached serial "
+              f"spmv {sampled['blocks_per_sec']:,.1f} blocks/sec < "
+              f"{sampler_floor:,.1f} (metrics-only "
+              f"{metrics_only['blocks_per_sec']:,.1f} - {TOLERANCE:.0%})",
+              file=sys.stderr)
+        return 1
     if not BASELINE_PATH.exists():
         print(f"no baseline at {BASELINE_PATH}; "
               "run benchmarks/perf_smoke.py first", file=sys.stderr)
@@ -105,7 +143,8 @@ def main(argv: list[str] | None = None) -> int:
         return 1
     print(f"obs overhead check OK: {disabled['blocks_per_sec']:,.1f} >= "
           f"{floor:,.1f} blocks/sec "
-          f"(baseline {base:,.1f} - {TOLERANCE:.0%})")
+          f"(baseline {base:,.1f} - {TOLERANCE:.0%}); sampler "
+          f"{sampled['blocks_per_sec']:,.1f} >= {sampler_floor:,.1f}")
     return 0
 
 

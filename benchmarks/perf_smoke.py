@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from pathlib import Path
@@ -284,6 +285,74 @@ def run_mapped_suite() -> dict:
     return row
 
 
+#: Ceiling on the telemetry sampler's cost: with a background sampler
+#: attached the same metrics-recorded launch may be at most 5 % slower.
+#: Override with the ``TELEMETRY_OVERHEAD_LIMIT`` env var (a ratio,
+#: e.g. ``1.15``) on noisy shared runners.
+TELEMETRY_OVERHEAD_LIMIT = float(
+    os.environ.get("TELEMETRY_OVERHEAD_LIMIT", "1.05")
+)
+
+#: Sampling period for the overhead scenario: aggressive (50 ms) so a
+#: sub-second launch still sees several snapshot cycles.
+TELEMETRY_INTERVAL = 0.05
+
+
+def measure_telemetry_overhead() -> dict:
+    """Serial SPMV launch wall time: metrics on, sampler off vs. on.
+
+    Both arms run with a live :class:`MetricsRegistry` (the registry
+    itself is priced by ``obs_overhead.py``); the delta isolated here
+    is the background :class:`TelemetrySampler` thread snapshotting the
+    registry every ``TELEMETRY_INTERVAL`` seconds while the launch's
+    hot path increments lock-free.
+    """
+    from repro import obs
+
+    best = {"off": float("inf"), "on": float("inf")}
+    samples_taken = 0
+    for _ in range(5):
+        for mode in ("off", "on"):
+            recorder = obs.Recorder(metrics=obs.MetricsRegistry())
+            sampler = None
+            if mode == "on":
+                sampler = obs.TelemetrySampler(
+                    recorder.metrics, interval=TELEMETRY_INTERVAL)
+                recorder.sampler = sampler
+                sampler.start()
+            previous = obs.install(recorder)
+            try:
+                device, lp_kernel, _ = setup_spmv(ENGINES["serial"]())
+                start = time.perf_counter()
+                device.launch(lp_kernel)
+                best[mode] = min(best[mode],
+                                 time.perf_counter() - start)
+            finally:
+                obs.install(previous)
+                if sampler is not None:
+                    sampler.stop()
+                    samples_taken = max(samples_taken,
+                                        len(sampler.samples))
+                    sampler.close()
+    ratio = best["on"] / best["off"]
+    return {
+        "off_seconds": round(best["off"], 6),
+        "on_seconds": round(best["on"], 6),
+        "overhead_ratio": round(ratio, 3),
+        "sampler_interval": TELEMETRY_INTERVAL,
+        "samples_taken": samples_taken,
+    }
+
+
+def run_telemetry_suite() -> dict:
+    row = measure_telemetry_overhead()
+    print(f"telemetry sampler  {row['overhead_ratio']:10.2f}x overhead "
+          f"(off {row['off_seconds'] * 1e3:8.1f} ms, "
+          f"on {row['on_seconds'] * 1e3:8.1f} ms, "
+          f"{row['samples_taken']} samples)")
+    return row
+
+
 def measure(setup_fn, engine_name: str) -> dict:
     """Blocks/sec of one engine on one workload (fresh state, best of 3)."""
     best = float("inf")
@@ -375,7 +444,8 @@ def derive_parallel_speedup(suite: dict, recovery: dict) -> dict:
 
 
 def check_against_baseline(suite: dict, recovery: dict | None = None,
-                           mapped: dict | None = None) -> int:
+                           mapped: dict | None = None,
+                           telemetry: dict | None = None) -> int:
     if not BASELINE_PATH.exists():
         print(f"no baseline at {BASELINE_PATH}; run without --check first",
               file=sys.stderr)
@@ -416,6 +486,15 @@ def check_against_baseline(suite: dict, recovery: dict | None = None,
             f"(memory {mapped['memory_seconds'] * 1e3:.1f} ms, "
             f"mapped {mapped['mapped_seconds'] * 1e3:.1f} ms)"
         )
+    if telemetry is not None \
+            and telemetry["overhead_ratio"] > TELEMETRY_OVERHEAD_LIMIT:
+        failures.append(
+            f"telemetry_overhead: sampler-on launch costs "
+            f"{telemetry['overhead_ratio']:.2f}x the sampler-off "
+            f"launch > {TELEMETRY_OVERHEAD_LIMIT:.2f}x limit "
+            f"(off {telemetry['off_seconds'] * 1e3:.1f} ms, "
+            f"on {telemetry['on_seconds'] * 1e3:.1f} ms)"
+        )
     if failures:
         print("PERF REGRESSION:\n  " + "\n  ".join(failures),
               file=sys.stderr)
@@ -434,19 +513,22 @@ def main(argv: list[str] | None = None) -> int:
     suite = run_suite()
     recovery = run_recovery_suite()
     mapped = run_mapped_suite()
+    telemetry = run_telemetry_suite()
     speedup = derive_parallel_speedup(suite, recovery)
     if args.check:
-        return check_against_baseline(suite, recovery, mapped)
+        return check_against_baseline(suite, recovery, mapped, telemetry)
 
     BASELINE_PATH.write_text(json.dumps({
         "benchmark": "launch-engine throughput smoke",
         "command": "PYTHONPATH=src python benchmarks/perf_smoke.py",
         "tolerance": TOLERANCE,
         "mapped_overhead_limit": MAPPED_OVERHEAD_LIMIT,
+        "telemetry_overhead_limit": TELEMETRY_OVERHEAD_LIMIT,
         "parallel_speedup_floor": PARALLEL_SPEEDUP_FLOOR,
         "workloads": suite,
         "recovery": recovery,
         "mapped_writeback": mapped,
+        "telemetry_overhead": telemetry,
         "parallel_speedup": speedup,
     }, indent=2) + "\n")
     print(f"wrote {BASELINE_PATH}")

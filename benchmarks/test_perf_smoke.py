@@ -37,10 +37,18 @@ def mapped_suite():
     return perf_smoke.run_mapped_suite()
 
 
+@pytest.fixture(scope="module")
+def telemetry_suite():
+    if not perf_smoke.BASELINE_PATH.exists():
+        pytest.skip(f"no baseline at {perf_smoke.BASELINE_PATH}")
+    return perf_smoke.run_telemetry_suite()
+
+
 @pytest.mark.tier2
-def test_no_regression_vs_baseline(suite, recovery_suite, mapped_suite):
+def test_no_regression_vs_baseline(suite, recovery_suite, mapped_suite,
+                                   telemetry_suite):
     assert perf_smoke.check_against_baseline(
-        suite, recovery_suite, mapped_suite
+        suite, recovery_suite, mapped_suite, telemetry_suite
     ) == 0
 
 
@@ -97,4 +105,16 @@ def test_mapped_writeback_overhead(mapped_suite):
     assert ratio <= perf_smoke.MAPPED_OVERHEAD_LIMIT, (
         f"mapped heap write-back costs {ratio:.2f}x the in-memory "
         f"shadow (limit {perf_smoke.MAPPED_OVERHEAD_LIMIT:.1f}x)"
+    )
+
+
+@pytest.mark.tier2
+def test_telemetry_sampler_overhead(telemetry_suite):
+    ratio = telemetry_suite["overhead_ratio"]
+    assert ratio <= perf_smoke.TELEMETRY_OVERHEAD_LIMIT, (
+        f"sampler-enabled launch costs {ratio:.2f}x the sampler-off "
+        f"launch (limit {perf_smoke.TELEMETRY_OVERHEAD_LIMIT:.2f}x)"
+    )
+    assert telemetry_suite["samples_taken"] > 0, (
+        "the sampler thread never sampled during the measured launch"
     )

@@ -13,6 +13,20 @@ Commands
     ``--trace out.json`` records the run as a Chrome/Perfetto trace,
     ``--metrics out.json`` dumps the flight-recorder metrics snapshot,
     ``--json`` prints a structured result document instead of text.
+    ``--telemetry out.jsonl`` starts a background sampler streaming
+    periodic metric snapshots (counters, rates, gauges, quantiles) as
+    JSONL; ``--prom out.prom`` writes the final state in Prometheus
+    text exposition format.
+``inspect <heap> [--json] [--diff OTHER]``
+    Decode a ``MappedShadow`` heap file **read-only**: header, armed
+    journal (EXACT/RANGE), CRC-checked directory, per-line occupancy,
+    torn-line diagnosis. Unlike opening the heap, inspection never
+    clears the journal. ``--diff`` compares two heap images
+    line-by-line (exit 1 when they differ).
+``watch <telemetry.jsonl> [--once] [--interval S]``
+    Live view of a telemetry stream written by ``run --telemetry`` or
+    ``crash-test --telemetry``: tails the JSONL file and renders the
+    newest sample (rates, gauges, histogram quantiles) as it lands.
 ``profile <workload> [--scale S] [--crash-after N]``
     Run a workload with the flight recorder on and print a per-phase
     wall-time / modeled-cycles / NVM-traffic breakdown.
@@ -114,12 +128,24 @@ def _cmd_run(args: argparse.Namespace) -> int:
     n_blocks = lp_kernel.launch_config().n_blocks
     quiet = args.json
 
-    want_recorder = bool(args.trace or args.metrics or args.json)
+    want_telemetry = bool(args.telemetry or args.prom)
+    want_metrics = bool(args.metrics or args.json or want_telemetry)
+    want_recorder = bool(args.trace or want_metrics)
     recorder = obs.Recorder(
         tracer=obs.Tracer(obs.MemorySink() if args.trace else None),
-        metrics=obs.MetricsRegistry() if (args.metrics or args.json)
+        metrics=obs.MetricsRegistry() if want_metrics
         else obs.NullMetrics(),
     ) if want_recorder else None
+    if want_telemetry:
+        from repro.gpu import shm
+
+        recorder.sampler = obs.TelemetrySampler(
+            recorder.metrics,
+            interval=args.telemetry_interval,
+            jsonl_path=args.telemetry,
+            gauge_providers=[shm.publish_segment_gauges],
+        )
+        recorder.sampler.start()
     previous = obs.install(recorder) if recorder is not None else None
 
     try:
@@ -145,8 +171,22 @@ def _cmd_run(args: argparse.Namespace) -> int:
             print("output verified against the reference.")
     finally:
         if recorder is not None:
+            if recorder.sampler is not None:
+                # Final sample + thread join; the JSONL stream already
+                # holds every earlier sample (flushed per line).
+                recorder.sampler.stop()
+                recorder.sampler.close()
             obs.install(previous)
 
+    if args.telemetry and not quiet:
+        print(f"telemetry stream written to {args.telemetry}")
+    if args.prom:
+        from repro.obs import to_prometheus
+
+        with open(args.prom, "w") as fh:
+            fh.write(to_prometheus(recorder.metrics_snapshot()))
+        if not quiet:
+            print(f"prometheus exposition written to {args.prom}")
     if args.trace:
         recorder.write_trace(args.trace, workload=args.workload,
                              scale=args.scale, engine=args.engine)
@@ -373,27 +413,110 @@ def _cmd_mc(args: argparse.Namespace) -> int:
     return 0 if report["converged"] else 1
 
 
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.errors import ReproError
+    from repro.nvm.inspect import diff_heaps, inspect_heap
+
+    try:
+        if args.diff:
+            report = diff_heaps(args.heap, args.diff)
+        else:
+            report = inspect_heap(args.heap)
+    except ReproError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.render_text())
+    if args.diff:
+        return 0 if report.identical else 1
+    return 0
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.obs import read_telemetry_jsonl, render_sample
+
+    def latest_sample() -> dict | None:
+        try:
+            docs = read_telemetry_jsonl(args.file)
+        except FileNotFoundError:
+            return None
+        return docs[-1] if docs else None
+
+    last_seq = None
+    deadline = (None if args.duration is None
+                else time.monotonic() + args.duration)
+    try:
+        while True:
+            doc = latest_sample()
+            if doc is not None and doc.get("seq") != last_seq:
+                last_seq = doc.get("seq")
+                print(render_sample(doc, top=args.top), flush=True)
+                print(flush=True)
+            if args.once:
+                break
+            if deadline is not None and time.monotonic() >= deadline:
+                break
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        pass
+    if last_seq is None:
+        print(f"no samples in {args.file}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_crash_test(args: argparse.Namespace) -> int:
+    from repro import obs
     from repro.harness import render_text, run_grid, write_report
 
     def progress(label: str) -> None:
         if not args.json:
             print(f"crash-test: {label}", flush=True)
 
-    report = run_grid(
-        workloads=args.workloads,
-        engines=args.engines,
-        configs=args.configs,
-        scale=args.scale,
-        seed=args.seed,
-        kill_rounds=args.rounds,
-        trigger=args.trigger,
-        jobs=args.jobs,
-        cache_lines=args.cache_lines,
-        timeout=args.timeout,
-        progress=progress,
-        kill_seed=args.kill_seed,
-    )
+    previous = None
+    recorder = None
+    if args.telemetry:
+        from repro.gpu import shm
+
+        recorder = obs.Recorder(metrics=obs.MetricsRegistry())
+        recorder.sampler = obs.TelemetrySampler(
+            recorder.metrics,
+            interval=args.telemetry_interval,
+            jsonl_path=args.telemetry,
+            gauge_providers=[shm.publish_segment_gauges],
+        )
+        recorder.sampler.start()
+        previous = obs.install(recorder)
+    try:
+        report = run_grid(
+            workloads=args.workloads,
+            engines=args.engines,
+            configs=args.configs,
+            scale=args.scale,
+            seed=args.seed,
+            kill_rounds=args.rounds,
+            trigger=args.trigger,
+            jobs=args.jobs,
+            cache_lines=args.cache_lines,
+            timeout=args.timeout,
+            progress=progress,
+            kill_seed=args.kill_seed,
+            trace_dir=args.trace,
+            artifacts_dir=args.artifacts,
+        )
+    finally:
+        if recorder is not None:
+            recorder.sampler.stop()
+            recorder.sampler.close()
+            obs.install(previous)
+    if args.telemetry and not args.json:
+        print(f"telemetry stream written to {args.telemetry}")
     if args.out:
         write_report(report, args.out)
         if not args.json:
@@ -457,6 +580,16 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_run = sub.add_parser("run", help="run a workload under LP")
     add_run_args(p_run)
+    p_run.add_argument("--telemetry", default=None, metavar="FILE",
+                       help="stream periodic metric samples (counters, "
+                            "rates, gauges, quantiles) to this JSONL "
+                            "file from a background sampler")
+    p_run.add_argument("--telemetry-interval", type=float, default=0.25,
+                       metavar="S", help="sampling period in seconds "
+                                         "(default 0.25)")
+    p_run.add_argument("--prom", default=None, metavar="FILE",
+                       help="write the final metrics in Prometheus "
+                            "text exposition format")
     p_run.set_defaults(fn=_cmd_run)
 
     p_prof = sub.add_parser(
@@ -551,7 +684,50 @@ def build_parser() -> argparse.ArgumentParser:
                       help="write the JSON report here")
     p_ct.add_argument("--json", action="store_true",
                       help="print the JSON report to stdout")
+    p_ct.add_argument("--trace", default=None, metavar="DIR",
+                      help="export each child round's flight-recorder "
+                           "trace as JSONL into this directory (the "
+                           "stream survives the SIGKILL)")
+    p_ct.add_argument("--artifacts", default=None, metavar="DIR",
+                      help="copy each cell's post-kill heap image "
+                           "(armed journal intact) into this directory "
+                           "for later 'repro inspect'")
+    p_ct.add_argument("--telemetry", default=None, metavar="FILE",
+                      help="stream periodic metric samples to this "
+                           "JSONL file while the grid runs")
+    p_ct.add_argument("--telemetry-interval", type=float, default=0.25,
+                      metavar="S",
+                      help="sampling period in seconds (default 0.25)")
     p_ct.set_defaults(fn=_cmd_crash_test)
+
+    p_ins = sub.add_parser(
+        "inspect",
+        help="decode a heap file read-only: header, armed journal, "
+             "directory, occupancy, torn-line diagnosis")
+    p_ins.add_argument("heap", help="path to a .lpnv heap file")
+    p_ins.add_argument("--diff", default=None, metavar="OTHER",
+                       help="compare against a second heap image "
+                            "line-by-line (exit 1 when they differ)")
+    p_ins.add_argument("--json", action="store_true",
+                       help="print the report as JSON (validated by "
+                            "heap_inspect.schema.json)")
+    p_ins.set_defaults(fn=_cmd_inspect)
+
+    p_watch = sub.add_parser(
+        "watch",
+        help="live view of a telemetry JSONL stream written by "
+             "'run --telemetry' / 'crash-test --telemetry'")
+    p_watch.add_argument("file", help="telemetry JSONL file to tail")
+    p_watch.add_argument("--interval", type=float, default=1.0,
+                         metavar="S", help="poll period (default 1s)")
+    p_watch.add_argument("--once", action="store_true",
+                         help="render the newest sample and exit")
+    p_watch.add_argument("--duration", type=float, default=None,
+                         metavar="S", help="stop after S seconds "
+                                           "(default: until Ctrl-C)")
+    p_watch.add_argument("--top", type=int, default=12,
+                         help="series shown per section (default 12)")
+    p_watch.set_defaults(fn=_cmd_watch)
 
     p_rep = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
     p_rep.add_argument("path", nargs="?", default=None)

@@ -684,6 +684,9 @@ class _WorkerPool:
         self._worker_of = {conn: i
                            for i, (_, conn) in enumerate(self.workers)}
         self._outstanding = 0
+        #: Most tasks simultaneously in flight during the last launch —
+        #: the pool's high-water queue depth.
+        self.peak_outstanding = 0
         self._finalizer = weakref.finalize(
             self, _release_pool_resources,
             [proc for proc, _ in self.workers],
@@ -717,6 +720,8 @@ class _WorkerPool:
             plan.fence_latency, plan.fence_concurrency,
         ))
         self._outstanding += 1
+        if self._outstanding > self.peak_outstanding:
+            self.peak_outstanding = self._outstanding
 
     def _drain_stale(self) -> None:
         """Absorb responses left over from an abandoned launch."""
@@ -752,6 +757,7 @@ class _WorkerPool:
         self._drain_stale()
         self._seq += 1
         seq = self._seq
+        self.peak_outstanding = 0
         self.slots[:n] = 0.0
         next_chunk = 0
         delivered = 0
@@ -969,6 +975,13 @@ class ParallelEngine(LaunchEngine):
                                 plan, group, blocks_ops, tally, completed)
                     if outs is not None:
                         outcomes.extend(outs)
+                    if rec.metrics.active:
+                        # live depth: dispatched-but-unmerged chunks, so
+                        # a telemetry sampler sees mid-launch pressure
+                        rec.metrics.set_gauge(
+                            "engine.shm.queue_depth", pool._outstanding,
+                            engine=self.name,
+                        )
                     merge_ns += time.perf_counter_ns() - m0
                     replayed += 1
         except _PoolBroken:
@@ -989,6 +1002,10 @@ class ParallelEngine(LaunchEngine):
         if rec.metrics.active:
             rec.metrics.inc("engine.slots.merge_ns", merge_ns,
                             engine=self.name)
+            rec.metrics.set_gauge(
+                "engine.shm.queue_depth_peak", pool.peak_outstanding,
+                engine=self.name,
+            )
             if wall_ns > 0:
                 rec.metrics.set_gauge(
                     "engine.shm.worker_busy_frac",

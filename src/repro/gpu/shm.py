@@ -41,6 +41,7 @@ from multiprocessing import resource_tracker, shared_memory
 import numpy as np
 
 from repro.errors import LaunchError
+from repro.obs import current as _recorder
 
 #: Name prefix of every segment this module creates. The janitor only
 #: ever touches names of this shape, so unrelated /dev/shm tenants are
@@ -137,6 +138,7 @@ class SharedSegment:
         _untrack(shm)
         seg = cls(shm, owner=True)
         _register(seg)
+        publish_segment_gauges()
         return seg
 
     @classmethod
@@ -195,6 +197,7 @@ class SharedSegment:
             self._shm.unlink()
         except FileNotFoundError:
             pass
+        publish_segment_gauges()
 
     def destroy(self) -> None:
         """Unlink then close — full owner-side teardown."""
@@ -263,6 +266,36 @@ def live_segment_names() -> list[str]:
     """Names of segments created by this process and still linked."""
     with _lock:
         return sorted(_live.keys())
+
+
+def segment_stats() -> tuple[int, int]:
+    """``(count, total_bytes)`` of this process's live segments.
+
+    A registry walk over :data:`_live` — the attachment-side truth,
+    independent of /dev/shm listings (which also see other processes).
+    """
+    with _lock:
+        segs = list(_live.values())
+    return len(segs), sum(seg.nbytes for seg in segs)
+
+
+def publish_segment_gauges(metrics=None) -> tuple[int, int]:
+    """Publish ``engine.shm.segments`` / ``segment_bytes`` gauges.
+
+    Called on every create/unlink so the gauges track the pool's
+    segment footprint live (and provably return to zero when an engine
+    closes — the leak tests assert exactly that), and usable as a
+    telemetry-sampler gauge provider. With no ``metrics`` argument the
+    currently installed recorder's registry is used; inactive
+    registries make this a no-op beyond the registry walk.
+    """
+    count, nbytes = segment_stats()
+    if metrics is None:
+        metrics = _recorder().metrics
+    if metrics.active:
+        metrics.set_gauge("engine.shm.segments", count)
+        metrics.set_gauge("engine.shm.segment_bytes", nbytes)
+    return count, nbytes
 
 
 def _pid_alive(pid: int) -> bool:

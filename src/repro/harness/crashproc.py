@@ -91,6 +91,10 @@ class ChildSpec:
     #: ``kind:threshold`` per :func:`parse_trigger`, or ``None`` to run
     #: the phase to completion (the crash-free reference round).
     trigger: str | None
+    #: When set, the child streams its flight-recorder events to this
+    #: JSONL file, one line per event flushed as it happens — the trace
+    #: survives the trigger's SIGKILL up to the kill instant.
+    trace_path: str | None = None
 
     def to_json(self) -> str:
         return json.dumps(asdict(self), indent=2)
@@ -185,10 +189,19 @@ def _install_trigger(spec: ChildSpec, device, heap) -> None:
 
 def child_main(spec_path: str) -> int:
     """Entry point of the killed-on-purpose process."""
+    from repro import obs
     from repro.core.recovery import RecoveryManager
     from repro.nvm.mapped import MappedShadow
 
     spec = ChildSpec.from_json(Path(spec_path).read_text())
+    if spec.trace_path is not None:
+        # Install before the heap exists so heap create/open, adopt,
+        # and every span up to the SIGKILL reach the file. JsonlSink
+        # flushes per event; there is deliberately no uninstall — the
+        # process is about to die anyway.
+        obs.install(obs.Recorder(
+            tracer=obs.Tracer(obs.JsonlSink(spec.trace_path))
+        ))
     if spec.phase == "launch":
         heap = MappedShadow.create(spec.heap_path)
         device, work, lp_kernel = build_run(spec, shadow=heap)
@@ -200,6 +213,11 @@ def child_main(spec_path: str) -> int:
         raise HarnessError(f"unknown child phase {spec.phase!r}")
 
     _install_trigger(spec, device, heap)
+    obs.current().trace.instant(
+        "harness.child.ready", cat="harness", track="harness",
+        phase=spec.phase, workload=spec.workload, engine=spec.engine,
+        trigger=spec.trigger or "none",
+    )
     # Setup is done; from here on a death is a result, not a flake.
     Path(spec.ready_path).touch()
 

@@ -27,6 +27,7 @@ and rounds to convergence.
 from __future__ import annotations
 
 import json
+import shutil
 import zlib
 from pathlib import Path
 
@@ -68,11 +69,48 @@ def _measure(spec: ChildSpec) -> dict:
         return {
             "torn_lines": torn_lines,
             "torn_by_buffer": torn_by_buffer,
+            "buffers": sorted(heap.entries),
             "blocks_failed": report.n_failed,
             "missing_checksums": len(report.missing_checksums),
         }
     finally:
         heap.close()
+
+
+def _inspect_round(spec: ChildSpec) -> dict:
+    """Offline inspector's view of the post-kill heap.
+
+    Must run *before* :func:`_measure`: :meth:`MappedShadow.open`
+    clears the armed journal as a side effect, and the whole point of
+    the cold inspector is to decode the file exactly as the SIGKILL
+    left it.
+    """
+    from repro.nvm.inspect import inspect_heap
+
+    report = inspect_heap(spec.heap_path)
+    return {
+        "armed": report.torn.armed,
+        "mode": report.torn.mode,
+        "torn_lines": report.torn.n_lines,
+        "torn_by_buffer": dict(report.torn.by_buffer),
+        "buffers": sorted(e.name for e in report.entries),
+    }
+
+
+def _inspect_consistent(inspected: dict, measured: dict) -> bool:
+    """Does the read-only inspector agree with the reopen path?
+
+    The two decode the same on-disk structures through entirely
+    different code paths (cold ``ACCESS_READ`` map vs. the live
+    ``MappedShadow``); any disagreement on the journal's armed state,
+    the torn-line attribution, or the directory is a format bug.
+    """
+    return (
+        inspected["armed"] == (measured["torn_lines"] > 0)
+        and inspected["torn_lines"] == measured["torn_lines"]
+        and inspected["torn_by_buffer"] == measured["torn_by_buffer"]
+        and inspected["buffers"] == measured["buffers"]
+    )
 
 
 def _final_recover(spec: ChildSpec) -> dict:
@@ -142,13 +180,27 @@ def run_cell(
     timeout: float = DEFAULT_TIMEOUT,
     keep_tmp: bool = False,
     kill_seed: int | None = None,
+    trace_dir=None,
+    artifacts_dir=None,
 ) -> dict:
-    """Run the full kill loop for one grid cell; returns its report."""
+    """Run the full kill loop for one grid cell; returns its report.
+
+    With ``trace_dir`` every child round streams its flight recorder
+    to ``<dir>/<workload>-<engine>-<config>-roundN-<phase>.trace.jsonl``
+    (the trace survives the SIGKILL up to the kill instant). With
+    ``artifacts_dir`` the heap file is copied there — armed journal and
+    all — after the last kill round, before the parent's in-process
+    recovery cleans it, so ``repro inspect`` can be run on it later.
+    """
     parse_trigger(trigger)  # fail fast on bad input
     if kill_rounds < 1:
         raise HarnessError(f"kill_rounds must be >= 1, got {kill_rounds}")
     rec = _recorder()
     rounds: list[dict] = []
+    cell_tag = f"{workload}-{engine}-{config}"
+    if trace_dir is not None:
+        trace_dir = Path(trace_dir)
+        trace_dir.mkdir(parents=True, exist_ok=True)
     with ManagedTmpdir(keep=keep_tmp) as tmp, rec.trace.span(
         "harness.cell", cat="harness", track="harness",
         workload=workload, engine=engine, config=config,
@@ -164,8 +216,26 @@ def run_cell(
             round_trigger = _round_trigger(
                 trigger, kill_seed, round_no, workload, engine, config
             )
-            spec = ChildSpec(phase=phase, trigger=round_trigger, **base)
+            trace_path = None if trace_dir is None else str(
+                trace_dir / f"{cell_tag}-round{round_no}-{phase}"
+                ".trace.jsonl"
+            )
+            spec = ChildSpec(phase=phase, trigger=round_trigger,
+                             trace_path=trace_path, **base)
             outcome = run_child(spec, tmp, timeout=timeout)
+            if artifacts_dir is not None:
+                # Snapshot the raw post-kill image (armed journal and
+                # all) before _measure's reopen disarms it; the last
+                # round's snapshot is the cell's artifact.
+                artifacts_dir = Path(artifacts_dir)
+                artifacts_dir.mkdir(parents=True, exist_ok=True)
+                shutil.copyfile(
+                    base["heap_path"],
+                    artifacts_dir / f"{cell_tag}.heap.lpnv")
+            # Cold-inspect the heap *before* _measure reopens it —
+            # open() disarms the journal, the inspector must see the
+            # exact post-SIGKILL bytes.
+            inspected = _inspect_round(spec)
             measured = _measure(spec)
             rounds.append({
                 "phase": phase,
@@ -173,11 +243,18 @@ def run_cell(
                 "killed": outcome.killed,
                 "returncode": outcome.returncode,
                 "spawn_attempts": outcome.attempts,
+                "inspect": inspected,
+                "inspect_consistent":
+                    _inspect_consistent(inspected, measured),
                 **measured,
             })
             if rec.metrics.active:
                 rec.metrics.inc("harness.rounds", phase=phase,
                                 workload=workload, engine=engine)
+            if rec.sampler is not None:
+                # Round boundary: flush a telemetry sample so the time
+                # series shows per-round progress even for short cells.
+                rec.sampler.sample()
             if outcome.completed and measured["blocks_failed"] == 0:
                 # The child outran its trigger and left a fully
                 # consistent heap; further kill rounds would be no-ops.
@@ -194,7 +271,8 @@ def run_cell(
         #: Process generations from first kill to a verified state.
         "rounds_to_convergence": len(rounds) + 1,
         "ok": bool(final["converged"] and final["verified"]
-                   and final["verified_persisted"]),
+                   and final["verified_persisted"]
+                   and all(r["inspect_consistent"] for r in rounds)),
     }
 
 
@@ -211,6 +289,8 @@ def run_grid(
     timeout: float = DEFAULT_TIMEOUT,
     progress=None,
     kill_seed: int | None = None,
+    trace_dir=None,
+    artifacts_dir=None,
 ) -> dict:
     """Run every cell of the grid; returns the full JSON-able report."""
     cells = []
@@ -223,7 +303,8 @@ def run_grid(
                     workload, engine, config, scale=scale, seed=seed,
                     kill_rounds=kill_rounds, trigger=trigger, jobs=jobs,
                     cache_lines=cache_lines, timeout=timeout,
-                    kill_seed=kill_seed,
+                    kill_seed=kill_seed, trace_dir=trace_dir,
+                    artifacts_dir=artifacts_dir,
                 ))
     return {
         "suite": "crash-test",

@@ -20,6 +20,10 @@ _LAZY = {
     "MappedShadow": "repro.nvm.mapped",
     "HeapEntry": "repro.nvm.mapped",
     "TornWindow": "repro.nvm.mapped",
+    "HeapDiff": "repro.nvm.inspect",
+    "HeapReport": "repro.nvm.inspect",
+    "diff_heaps": "repro.nvm.inspect",
+    "inspect_heap": "repro.nvm.inspect",
 }
 
 __all__ = [

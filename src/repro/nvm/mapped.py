@@ -43,11 +43,8 @@ catch.
 
 from __future__ import annotations
 
-import json
 import mmap
 import os
-import struct
-import zlib
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -55,88 +52,47 @@ import numpy as np
 
 from repro.errors import (
     AllocationError,
-    HeapCorruptError,
     HeapFormatError,
     HeapFullError,
     HeapLayoutError,
     HeapTruncatedError,
-    HeapVersionError,
+    ReproError,
+)
+from repro.nvm import layout
+from repro.nvm.layout import (
+    DEFAULT_DATA_CAPACITY,
+    DEFAULT_DIR_CAPACITY,
+    JOURNAL_CAPACITY,
+    MAGIC,
+    VERSION,
+    HeapEntry,
+    table_role,
 )
 from repro.obs import current as _recorder
 
-MAGIC = b"LPNVHEAP"
-VERSION = 1
+# The byte-level format lives in :mod:`repro.nvm.layout`, shared with
+# the read-only inspector. These aliases keep the historical private
+# names importable.
+_HEADER = layout.HEADER
+_JOURNAL_HEAD = layout.JOURNAL_HEAD
+_HEADER_OFFSET = layout.HEADER_OFFSET
+_JOURNAL_OFFSET = layout.JOURNAL_OFFSET
+_DIR_OFFSET = layout.DIR_OFFSET
+_JOURNAL_EMPTY = layout.JOURNAL_EMPTY
+_JOURNAL_EXACT = layout.JOURNAL_EXACT
+_JOURNAL_RANGE = layout.JOURNAL_RANGE
 
-#: ``magic, version, line_size, dir_capacity, data_offset, dir_len, dir_crc``
-_HEADER = struct.Struct("<8sIIQQQI")
-#: ``mode, count`` followed by ``count`` uint64 line ids (exact mode)
-#: or two uint64s (range mode).
-_JOURNAL_HEAD = struct.Struct("<II")
-
-_HEADER_OFFSET = 0
-_JOURNAL_OFFSET = 64
-_DIR_OFFSET = 4224
-#: Line ids the journal can record exactly; larger write-backs fall
-#: back to a [first, last] range record.
-JOURNAL_CAPACITY = 500
-
-_JOURNAL_EMPTY = 0
-_JOURNAL_EXACT = 1
-_JOURNAL_RANGE = 2
-
-#: Default directory region: ~1.3k buffer descriptors.
-DEFAULT_DIR_CAPACITY = 128 * 1024
-#: Default initial data region (sparse; grows on demand).
-DEFAULT_DATA_CAPACITY = 16 * 1024 * 1024
-
-
-@dataclass(frozen=True)
-class HeapEntry:
-    """One persistent buffer's descriptor in the heap directory."""
-
-    name: str
-    dtype: np.dtype
-    shape: tuple[int, ...]
-    base_addr: int
-    nbytes: int
-    padded_bytes: int
-    #: ``"table"`` for checksum-table buffers (``__lp_`` namespace),
-    #: ``"data"`` for application buffers — the split the directory
-    #: keeps so a cold open can tell the checksum-table region apart.
-    role: str
-
-    @property
-    def size(self) -> int:
-        """Element count."""
-        return int(np.prod(self.shape)) if self.shape else 1
-
-    def to_dict(self) -> dict:
-        return {
-            "name": self.name,
-            "dtype": self.dtype.str,
-            "shape": list(self.shape),
-            "base_addr": self.base_addr,
-            "nbytes": self.nbytes,
-            "padded_bytes": self.padded_bytes,
-            "role": self.role,
-        }
-
-    @classmethod
-    def from_dict(cls, raw: dict) -> "HeapEntry":
-        try:
-            return cls(
-                name=str(raw["name"]),
-                dtype=np.dtype(raw["dtype"]),
-                shape=tuple(int(s) for s in raw["shape"]),
-                base_addr=int(raw["base_addr"]),
-                nbytes=int(raw["nbytes"]),
-                padded_bytes=int(raw["padded_bytes"]),
-                role=str(raw.get("role", "data")),
-            )
-        except (KeyError, TypeError, ValueError) as exc:
-            raise HeapFormatError(
-                f"undecodable heap directory entry: {raw!r} ({exc})"
-            ) from None
+__all__ = [
+    "DEFAULT_DATA_CAPACITY",
+    "DEFAULT_DIR_CAPACITY",
+    "JOURNAL_CAPACITY",
+    "MAGIC",
+    "VERSION",
+    "HeapEntry",
+    "MappedShadow",
+    "TornWindow",
+    "table_role",
+]
 
 
 @dataclass(frozen=True)
@@ -154,11 +110,6 @@ class TornWindow:
     @property
     def n_lines(self) -> int:
         return len(self.lines)
-
-
-def table_role(name: str) -> str:
-    """Directory role of a buffer: checksum-table vs application data."""
-    return "table" if name.startswith("__lp_") else "data"
 
 
 class MappedShadow:
@@ -282,65 +233,33 @@ class MappedShadow:
             raise HeapTruncatedError(f"cannot map heap file {path}: {exc}") \
                 from None
 
-        def fail(exc_type, message):
-            mm.close()
-            fileobj.close()
-            raise exc_type(message)
-
-        raw = mm[_HEADER_OFFSET:_HEADER_OFFSET + _HEADER.size]
-        magic, version, line_size, dir_capacity, data_offset, dir_len, \
-            dir_crc = _HEADER.unpack(raw)
-        if magic != MAGIC:
-            fail(HeapFormatError,
-                 f"{path} is not an LP heap file (magic {magic!r})")
-        if version != VERSION:
-            fail(HeapVersionError,
-                 f"{path} is heap format v{version}; this build reads "
-                 f"v{VERSION}")
-        if line_size <= 0 or line_size & (line_size - 1):
-            fail(HeapFormatError,
-                 f"{path}: nonsensical line size {line_size}")
-        if (data_offset < _DIR_OFFSET + dir_len
-                or dir_len > dir_capacity
-                or data_offset % line_size):
-            fail(HeapFormatError,
-                 f"{path}: nonsensical geometry (dir_len={dir_len}, "
-                 f"dir_capacity={dir_capacity}, data_offset={data_offset})")
-        if size < data_offset:
-            fail(HeapTruncatedError,
-                 f"{path}: file ends at {size} bytes, before its data "
-                 f"region at {data_offset}")
-        dir_bytes = bytes(mm[_DIR_OFFSET:_DIR_OFFSET + dir_len])
-        if zlib.crc32(dir_bytes) != dir_crc:
-            fail(HeapCorruptError,
-                 f"{path}: directory checksum mismatch — the heap "
-                 "directory is corrupt")
         try:
-            raw_entries = json.loads(dir_bytes.decode("utf-8"))
-        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-            fail(HeapCorruptError,
-                 f"{path}: directory is valid per checksum but not "
-                 f"decodable JSON ({exc}) — refusing to guess")
-        entries: dict[str, HeapEntry] = {}
-        try:
-            for raw_entry in raw_entries:
-                entry = HeapEntry.from_dict(raw_entry)
-                entries[entry.name] = entry
-        except HeapFormatError:
+            raw = mm[_HEADER_OFFSET:_HEADER_OFFSET + _HEADER.size]
+            header = layout.parse_header(raw, path)
+            if size < header.data_offset:
+                raise HeapTruncatedError(
+                    f"{path}: file ends at {size} bytes, before its data "
+                    f"region at {header.data_offset}"
+                )
+            dir_bytes = bytes(mm[_DIR_OFFSET:_DIR_OFFSET + header.dir_len])
+            entries = layout.parse_directory(dir_bytes, header.dir_crc,
+                                             path)
+            extent = max(
+                (e.base_addr + e.padded_bytes for e in entries.values()),
+                default=0,
+            )
+            if size < header.data_offset + extent:
+                raise HeapTruncatedError(
+                    f"{path}: directory declares {extent} data bytes but "
+                    f"the file holds only {size - header.data_offset}"
+                )
+        except ReproError:
             mm.close()
             fileobj.close()
             raise
-        extent = max(
-            (e.base_addr + e.padded_bytes for e in entries.values()),
-            default=0,
-        )
-        if size < data_offset + extent:
-            fail(HeapTruncatedError,
-                 f"{path}: directory declares {extent} data bytes but "
-                 f"the file holds only {size - data_offset}")
 
-        heap = cls(path, mm, fileobj, line_size, dir_capacity,
-                   data_offset, entries)
+        heap = cls(path, mm, fileobj, header.line_size,
+                   header.dir_capacity, header.data_offset, entries)
         heap.torn = heap._read_journal()
         heap._write_journal_empty()
         return heap
@@ -464,22 +383,21 @@ class MappedShadow:
         """Record write-back intent for ``line_ids`` before the copy."""
         self._check_open()
         self._check_writable()
-        n = len(line_ids)
-        if n <= JOURNAL_CAPACITY:
-            payload = _JOURNAL_HEAD.pack(_JOURNAL_EXACT, n) + struct.pack(
-                f"<{n}Q", *(int(lid) for lid in line_ids)
-            )
-        else:
-            lo = int(min(line_ids))
-            hi = int(max(line_ids))
-            payload = _JOURNAL_HEAD.pack(_JOURNAL_RANGE, n) + struct.pack(
-                "<2Q", lo, hi
-            )
+        payload = layout.pack_journal(line_ids)
         self._mm[_JOURNAL_OFFSET:_JOURNAL_OFFSET + len(payload)] = payload
+        rec = _recorder()
+        if rec.trace.enabled:
+            # The last event a kill-inside-the-window trace holds is
+            # this arming record — the torn lines, named.
+            rec.trace.instant(
+                "nvm.writeback.arm", cat="nvm", track="nvm",
+                n_lines=len(line_ids),
+            )
         listener = self.arm_listener
         if listener is not None:
+            exact = len(line_ids) <= JOURNAL_CAPACITY
             listener([int(lid) for lid in line_ids],
-                     "exact" if n <= JOURNAL_CAPACITY else "range")
+                     "exact" if exact else "range")
 
     def commit(self, n_lines: int) -> None:
         """Count a completed write-back and clear the intent record.
@@ -506,39 +424,23 @@ class MappedShadow:
             return {}
         out: dict[str, int] = {}
         for entry in self.entries.values():
-            first = entry.base_addr // self.line_size
-            last = first + entry.padded_bytes // self.line_size
+            first, last = entry.line_span(self.line_size)
             n = sum(1 for lid in self.torn.lines if first <= lid < last)
             if n:
                 out[entry.name] = n
         return out
 
     def _read_journal(self) -> TornWindow | None:
-        head = self._mm[_JOURNAL_OFFSET:_JOURNAL_OFFSET + _JOURNAL_HEAD.size]
-        mode, count = _JOURNAL_HEAD.unpack(head)
-        if mode == _JOURNAL_EMPTY:
+        end = _JOURNAL_OFFSET + layout.journal_region_size()
+        record = layout.parse_journal(self._mm[_JOURNAL_OFFSET:end],
+                                      self.path)
+        if not record.armed:
             return None
-        body = _JOURNAL_OFFSET + _JOURNAL_HEAD.size
-        if mode == _JOURNAL_EXACT and count <= JOURNAL_CAPACITY:
-            raw = self._mm[body:body + 8 * count]
-            return TornWindow(lines=struct.unpack(f"<{count}Q", raw),
-                              exact=True)
-        if mode == _JOURNAL_RANGE:
-            lo, hi = struct.unpack("<2Q", self._mm[body:body + 16])
-            if hi < lo:
-                raise HeapCorruptError(
-                    f"{self.path}: torn-write journal range [{lo}, {hi}] "
-                    "is inverted"
-                )
-            return TornWindow(lines=tuple(range(lo, hi + 1)), exact=False)
-        raise HeapCorruptError(
-            f"{self.path}: torn-write journal mode {mode} with count "
-            f"{count} is not a state this format writes"
-        )
+        return TornWindow(lines=record.lines, exact=record.exact)
 
     def _write_journal_empty(self) -> None:
         self._mm[_JOURNAL_OFFSET:_JOURNAL_OFFSET + _JOURNAL_HEAD.size] = \
-            _JOURNAL_HEAD.pack(_JOURNAL_EMPTY, 0)
+            layout.pack_journal_empty()
 
     # ------------------------------------------------------------------
     # Durability and lifecycle
@@ -602,19 +504,15 @@ class MappedShadow:
             )
 
     def _write_directory(self) -> None:
-        payload = json.dumps(
-            [entry.to_dict() for entry in self.entries.values()],
-            separators=(",", ":"),
-        ).encode("utf-8")
+        payload = layout.pack_directory(self.entries.values())
         if len(payload) > self.dir_capacity:
             raise HeapFullError(
                 f"heap {self.path} directory region ({self.dir_capacity} "
                 f"bytes) cannot hold {len(payload)} bytes of descriptors; "
                 "recreate the heap with a larger dir_capacity"
             )
-        header = _HEADER.pack(MAGIC, VERSION, self.line_size,
-                              self.dir_capacity, self.data_offset,
-                              len(payload), zlib.crc32(payload))
+        header = layout.pack_header(self.line_size, self.dir_capacity,
+                                    self.data_offset, payload)
         self._mm[_HEADER_OFFSET:_HEADER_OFFSET + len(header)] = header
         self._mm[_DIR_OFFSET:_DIR_OFFSET + len(payload)] = payload
 

@@ -45,11 +45,21 @@ from repro.obs.metrics import (
     format_name,
 )
 from repro.obs.schema import SchemaValidationError, load_schema, validate
+from repro.obs.telemetry import (
+    TelemetrySampler,
+    TelemetrySample,
+    lint_prometheus,
+    read_telemetry_jsonl,
+    render_sample,
+    to_prometheus,
+)
 from repro.obs.trace import (
+    JsonlSink,
     MemorySink,
     NullSink,
     Tracer,
     export_chrome_trace,
+    read_jsonl_trace,
     write_chrome_trace,
 )
 
@@ -57,6 +67,7 @@ __all__ = [
     "BlockForensics",
     "ForensicsReport",
     "IDENTITY_LABELS",
+    "JsonlSink",
     "MemorySink",
     "MetricsRegistry",
     "NullMetrics",
@@ -64,6 +75,8 @@ __all__ = [
     "ORDER_SENSITIVE_PREFIXES",
     "Recorder",
     "SchemaValidationError",
+    "TelemetrySample",
+    "TelemetrySampler",
     "Tracer",
     "commutative_view",
     "current",
@@ -72,8 +85,13 @@ __all__ = [
     "export_chrome_trace",
     "format_name",
     "install",
+    "lint_prometheus",
     "load_schema",
+    "read_jsonl_trace",
+    "read_telemetry_jsonl",
     "recording",
+    "render_sample",
+    "to_prometheus",
     "validate",
     "write_chrome_trace",
 ]
@@ -86,6 +104,11 @@ class Recorder:
                  metrics=None) -> None:
         self.trace = tracer if tracer is not None else Tracer()
         self.metrics = metrics if metrics is not None else NullMetrics()
+        #: Optional :class:`~repro.obs.telemetry.TelemetrySampler`
+        #: attached by the CLI/harness; instrumentation never touches
+        #: it, but checkpoints (e.g. a harness round boundary) call
+        #: ``rec.sampler.sample()`` when one is present.
+        self.sampler: TelemetrySampler | None = None
 
     @property
     def active(self) -> bool:

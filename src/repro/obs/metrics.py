@@ -31,7 +31,8 @@ pinned here in :data:`ORDER_SENSITIVE_PREFIXES` and enforced through
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import math
+from dataclasses import dataclass, field
 
 #: Metric-name prefixes exempt from cross-engine bit-identity:
 #:
@@ -62,14 +63,42 @@ def format_name(name: str, labels: dict) -> str:
     return f"{name}{{{inner}}}"
 
 
+#: Geometric growth factor of the histogram buckets. Each bucket spans
+#: an 8 % value range, so a quantile estimate is within ~4 % of the
+#: true value (the bucket's geometric midpoint is reported).
+BUCKET_BASE = 1.08
+
+_LOG_BASE = math.log(BUCKET_BASE)
+
+
+def _bucket_index(magnitude: float) -> int:
+    """Log-spaced bucket id of a positive magnitude."""
+    return math.floor(math.log(magnitude) / _LOG_BASE)
+
+
+def _bucket_midpoint(index: int) -> float:
+    """Geometric midpoint of bucket ``index`` — the reported estimate."""
+    return BUCKET_BASE ** (index + 0.5)
+
+
 @dataclass
 class HistogramSummary:
-    """Streaming summary of one histogram series."""
+    """Streaming summary of one histogram series.
+
+    Beyond count/sum/min/max/mean, observations land in log-spaced
+    buckets (8 % relative width, constant memory in the value range)
+    so :meth:`quantile` can estimate p50/p95/p99 without retaining the
+    samples. Signed values are handled by keeping separate magnitude
+    stores for negative, zero and positive observations.
+    """
 
     count: int = 0
     total: float = 0.0
     minimum: float = float("inf")
     maximum: float = float("-inf")
+    _zeros: int = 0
+    _pos: dict[int, int] = field(default_factory=dict)
+    _neg: dict[int, int] = field(default_factory=dict)
 
     def observe(self, value: float) -> None:
         self.count += 1
@@ -78,6 +107,43 @@ class HistogramSummary:
             self.minimum = value
         if value > self.maximum:
             self.maximum = value
+        if value > 0.0:
+            idx = _bucket_index(value)
+            self._pos[idx] = self._pos.get(idx, 0) + 1
+        elif value < 0.0:
+            idx = _bucket_index(-value)
+            self._neg[idx] = self._neg.get(idx, 0) + 1
+        else:
+            self._zeros += 1
+
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile (0 ≤ q ≤ 1) from the buckets.
+
+        Walks the cumulative distribution — negative buckets from the
+        most negative magnitude down, then zeros, then positive buckets
+        up — and returns the owning bucket's geometric midpoint,
+        clipped to the exact observed [min, max]. Empty summaries
+        estimate 0.0.
+        """
+        if not self.count:
+            return 0.0
+        rank = q * (self.count - 1)
+        seen = 0.0
+        for idx in sorted(self._neg, reverse=True):
+            seen += self._neg[idx]
+            if seen > rank:
+                return self._clip(-_bucket_midpoint(idx))
+        seen += self._zeros
+        if seen > rank:
+            return self._clip(0.0)
+        for idx in sorted(self._pos):
+            seen += self._pos[idx]
+            if seen > rank:
+                return self._clip(_bucket_midpoint(idx))
+        return self.maximum
+
+    def _clip(self, value: float) -> float:
+        return min(max(value, self.minimum), self.maximum)
 
     def to_dict(self) -> dict:
         return {
@@ -86,6 +152,9 @@ class HistogramSummary:
             "min": self.minimum,
             "max": self.maximum,
             "mean": self.total / self.count if self.count else 0.0,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
         }
 
 

@@ -100,6 +100,51 @@ class MemorySink:
         return len(self.events)
 
 
+class JsonlSink:
+    """Streams events to a JSONL file, one flushed line per event.
+
+    Built for processes that die by SIGKILL: a :class:`MemorySink`
+    inside a harness child loses everything when the kill trigger
+    fires, whereas every event this sink has emitted is already in the
+    OS page cache (``flush()`` after each line) and survives the kill.
+    The cost is a write syscall per event — this is a forensics sink
+    for crash children, not a hot-path default.
+
+    Lines are :meth:`TraceEvent.to_json` objects; :func:`read_jsonl_trace`
+    loads them back.
+    """
+
+    enabled = True
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._file = open(self.path, "w")
+
+    def emit(self, event: TraceEvent) -> None:
+        self._file.write(json.dumps(event.to_json()) + "\n")
+        self._file.flush()
+
+    def close(self) -> None:
+        if not self._file.closed:
+            self._file.close()
+
+
+def read_jsonl_trace(path: str | Path) -> list[dict]:
+    """Load a :class:`JsonlSink` file (tolerating a torn final line)."""
+    events = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                events.append(json.loads(line))
+            except json.JSONDecodeError:
+                # a SIGKILL can tear the last line mid-write
+                continue
+    return events
+
+
 class _Span:
     """Context manager measuring one span; emits on exit."""
 

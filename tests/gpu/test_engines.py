@@ -18,6 +18,7 @@ import numpy as np
 import pytest
 
 import repro
+from repro import obs
 from repro.errors import LaunchError
 from repro.gpu import shm
 from repro.gpu.engine import (
@@ -277,39 +278,56 @@ def test_engine_is_reentrant_and_reuses_its_pool():
 def test_sigkilled_worker_falls_back_and_leaks_nothing():
     """Killing a pool worker must not lose blocks or /dev/shm segments."""
     engine = _forked_engine()
-    try:
-        device = repro.Device(cache_capacity_lines=64, seed=7,
-                              engine=engine)
-        work = SPMVWorkload(scale="small", seed=3)
-        kernel = work.setup(device)
-        lp_kernel = repro.LPRuntime(
-            device, repro.LPConfig.paper_best()).instrument(kernel)
-        device.launch(lp_kernel)
-        pool = engine._pool
-        assert pool is not None
-        victim = pool.workers[0][0]
-        os.kill(victim.pid, signal.SIGKILL)
-        victim.join(timeout=5.0)
+    with obs.recording(trace=False) as rec:
+        try:
+            device = repro.Device(cache_capacity_lines=64, seed=7,
+                                  engine=engine)
+            work = SPMVWorkload(scale="small", seed=3)
+            kernel = work.setup(device)
+            lp_kernel = repro.LPRuntime(
+                device, repro.LPConfig.paper_best()).instrument(kernel)
+            device.launch(lp_kernel)
+            pool = engine._pool
+            assert pool is not None
+            victim = pool.workers[0][0]
+            os.kill(victim.pid, signal.SIGKILL)
+            victim.join(timeout=5.0)
 
-        result = device.launch(lp_kernel)
-        assert engine._pool is None, "broken pool must be torn down"
-        assert result.completed_blocks == list(
-            range(kernel.launch_config().n_blocks))
-        work.verify(device)
-    finally:
-        engine.close()
-    shm.reap_orphans()
-    assert not shm.leaked_segments()
+            result = device.launch(lp_kernel)
+            assert engine._pool is None, "broken pool must be torn down"
+            assert result.completed_blocks == list(
+                range(kernel.launch_config().n_blocks))
+            work.verify(device)
+        finally:
+            engine.close()
+        shm.reap_orphans()
+        assert not shm.leaked_segments()
+        # the live segment gauges must agree with the empty registry
+        assert shm.publish_segment_gauges(rec.metrics) == (0, 0)
+        snap = rec.metrics_snapshot()["gauges"]
+        assert snap["engine.shm.segments"] == 0
+        assert snap["engine.shm.segment_bytes"] == 0
 
 
 def test_engine_close_unlinks_every_segment():
     engine = _forked_engine()
     config = repro.LPConfig.paper_best()
-    run_spmv(engine, config)
-    assert engine._pool is not None
-    created = {engine._pool.image_seg.name, engine._pool.slot_seg.name,
-               engine._pool.arena_seg.name}
-    assert created <= set(shm.leaked_segments())
-    engine.close()
-    assert not created & set(shm.leaked_segments())
-    assert engine._pool is None
+    with obs.recording(trace=False) as rec:
+        run_spmv(engine, config)
+        assert engine._pool is not None
+        created = {engine._pool.image_seg.name, engine._pool.slot_seg.name,
+                   engine._pool.arena_seg.name}
+        assert created <= set(shm.leaked_segments())
+        gauges = rec.metrics_snapshot()["gauges"]
+        assert gauges["engine.shm.segments"] >= 3
+        assert gauges["engine.shm.segment_bytes"] >= sum(
+            seg.nbytes for seg in (engine._pool.image_seg,
+                                   engine._pool.slot_seg,
+                                   engine._pool.arena_seg))
+        engine.close()
+        assert not created & set(shm.leaked_segments())
+        assert engine._pool is None
+        # unlinking the last segment drove the gauges back to zero
+        gauges = rec.metrics_snapshot()["gauges"]
+        assert gauges["engine.shm.segments"] == 0
+        assert gauges["engine.shm.segment_bytes"] == 0

@@ -173,3 +173,51 @@ def test_codec_reads_from_memoryview_offsets():
     r = shm.PayloadReader(buf, offset=3)
     assert r.u32() == 77
     assert np.array_equal(r.array(), np.arange(4, dtype=np.int64))
+
+
+def test_segment_stats_walk_registry():
+    base_count, base_bytes = shm.segment_stats()
+    seg = shm.SharedSegment.create("stats", 4096)
+    try:
+        count, nbytes = shm.segment_stats()
+        assert count == base_count + 1
+        assert nbytes >= base_bytes + 4096
+    finally:
+        seg.destroy()
+    assert shm.segment_stats() == (base_count, base_bytes)
+
+
+def test_publish_segment_gauges_tracks_create_and_unlink():
+    from repro.obs.metrics import MetricsRegistry
+
+    reg = MetricsRegistry()
+    seg = shm.SharedSegment.create("gauge", 2048)
+    try:
+        count, nbytes = shm.publish_segment_gauges(reg)
+        assert count >= 1 and nbytes >= 2048
+        gauges = reg.snapshot()["gauges"]
+        assert gauges["engine.shm.segments"] == count
+        assert gauges["engine.shm.segment_bytes"] == nbytes
+    finally:
+        seg.destroy()
+    assert shm.publish_segment_gauges(reg) == shm.segment_stats()
+
+
+def test_segment_lifecycle_emits_gauges_to_installed_recorder():
+    from repro import obs
+
+    with obs.recording(trace=False) as rec:
+        seg = shm.SharedSegment.create("live", 1024)
+        created = rec.metrics_snapshot()["gauges"]["engine.shm.segments"]
+        assert created >= 1
+        seg.destroy()
+        after = rec.metrics_snapshot()["gauges"]
+        assert after["engine.shm.segments"] == created - 1
+
+
+def test_publish_segment_gauges_null_metrics_is_noop():
+    from repro.obs.metrics import NullMetrics
+
+    # returns the stats but records nothing
+    stats = shm.publish_segment_gauges(NullMetrics())
+    assert stats == shm.segment_stats()

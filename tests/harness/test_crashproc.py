@@ -244,3 +244,94 @@ def test_run_grid_report_carries_the_kill_seed():
                       kill_rounds=1, kill_seed=7)
     assert report["kill_seed"] == 7
     assert report["converged"]
+
+
+# ---------------------------------------------------------------------------
+# Observability: inspector cross-check, child traces, heap artifacts
+# ---------------------------------------------------------------------------
+
+def test_inspector_agrees_with_harness_on_armed_journal_kill(tmp_path):
+    """The PR's acceptance criterion: a child SIGKILLed inside the
+    armed-journal write-back window must yield the *same* armed /
+    torn / directory state from ``repro inspect``'s cold decoder as
+    from the harness's reopen-and-measure path — cross-checked per
+    round and folded into the cell verdict.
+    """
+    from repro.nvm.inspect import inspect_heap
+
+    cell = run_cell("tmm", "serial", "global-array", kill_rounds=1,
+                    trigger="writebacks:6",
+                    artifacts_dir=tmp_path / "artifacts")
+    (round0,) = cell["rounds"]
+    assert round0["killed"]
+    inspected = round0["inspect"]
+    # The writebacks trigger fires inside the journal window.
+    assert inspected["armed"] is True
+    assert inspected["mode"] == "EXACT"
+    assert round0["inspect_consistent"] is True
+    assert inspected["torn_lines"] == round0["torn_lines"] > 0
+    assert inspected["torn_by_buffer"] == round0["torn_by_buffer"]
+    assert inspected["buffers"] == round0["buffers"]
+    assert cell["ok"]
+
+    # The copied artifact still holds the armed journal (_measure's
+    # reopen disarmed the live heap *after* the snapshot), so
+    # ``repro inspect`` on the artifact reproduces the round's state.
+    artifact = tmp_path / "artifacts" / "tmm-serial-global-array.heap.lpnv"
+    report = inspect_heap(artifact)
+    assert report.torn.armed
+    assert report.torn.n_lines == round0["torn_lines"]
+    assert report.torn.by_buffer == round0["torn_by_buffer"]
+    assert sorted(e.name for e in report.entries) == round0["buffers"]
+
+
+def test_clean_round_inspects_consistently_too():
+    cell = run_cell("spmv", "serial", "global-array", kill_rounds=1,
+                    trigger="blocks:3")
+    (round0,) = cell["rounds"]
+    assert round0["inspect"]["armed"] is False
+    assert round0["inspect"]["mode"] == "EMPTY"
+    assert round0["inspect_consistent"] is True
+    assert cell["ok"]
+
+
+def test_trace_dir_captures_child_flight_recorder(tmp_path):
+    from repro.obs import read_jsonl_trace
+
+    cell = run_cell("tmm", "serial", "global-array", kill_rounds=2,
+                    trigger="writebacks:6", trace_dir=tmp_path)
+    assert cell["ok"]
+    traces = sorted(p.name for p in tmp_path.glob("*.trace.jsonl"))
+    assert traces == [
+        "tmm-serial-global-array-round0-launch.trace.jsonl",
+        "tmm-serial-global-array-round1-recover.trace.jsonl",
+    ]
+    # The SIGKILL truncates the stream mid-run; the reader tolerates a
+    # torn tail and the captured prefix has real device-side events.
+    events = read_jsonl_trace(
+        tmp_path / "tmm-serial-global-array-round0-launch.trace.jsonl")
+    assert events, "child recorded nothing before its SIGKILL"
+    names = {e["name"] for e in events}
+    assert "harness.child.ready" in names
+    # The writebacks trigger kills inside the journal window, so the
+    # last thing on tape is the arming of the window that tore.
+    assert events[-1]["name"] == "nvm.writeback.arm"
+
+
+def test_sampler_flushes_at_round_boundaries():
+    from repro import obs
+    from repro.obs import MetricsRegistry, Recorder, TelemetrySampler
+
+    rec = Recorder(metrics=MetricsRegistry())
+    rec.sampler = TelemetrySampler(rec.metrics)
+    previous = obs.install(rec)
+    try:
+        cell = run_cell("spmv", "serial", "global-array", kill_rounds=2,
+                        trigger="writebacks:6")
+    finally:
+        obs.install(previous)
+        rec.sampler.close()
+    assert cell["ok"]
+    assert len(rec.sampler.samples) == len(cell["rounds"])
+    latest = rec.sampler.latest()
+    assert any(k.startswith("harness.rounds") for k in latest.counters)

@@ -106,3 +106,143 @@ def test_run_without_flags_installs_no_recorder(capsys):
     assert obs.current() is obs.NULL_RECORDER
     assert main(["run", "spmv", "--scale", "tiny"]) == 0
     assert obs.current() is obs.NULL_RECORDER
+
+
+# ---------------------------------------------------------------------------
+# run --telemetry / --prom
+# ---------------------------------------------------------------------------
+
+
+def test_run_telemetry_stream_and_prom_export(tmp_path, capsys):
+    from repro import obs
+    from repro.obs import lint_prometheus, read_telemetry_jsonl
+
+    stream = tmp_path / "telemetry.jsonl"
+    prom = tmp_path / "metrics.prom"
+    assert main(["run", "spmv", "--scale", "tiny",
+                 "--telemetry", str(stream), "--prom", str(prom)]) == 0
+    out = capsys.readouterr().out
+    assert "telemetry stream written to" in out
+    assert "prometheus exposition written to" in out
+    # the sampler thread was stopped and the recorder restored
+    assert obs.current() is obs.NULL_RECORDER
+
+    docs = read_telemetry_jsonl(stream)
+    assert docs, "the final flush guarantees at least one sample"
+    schema = load_schema("telemetry")
+    for doc in docs:
+        validate(doc, schema)
+    final = docs[-1]
+    assert any(k.startswith("device.launches") for k in final["counters"])
+    assert any(k.startswith("engine.blocks.completed")
+               for k in final["counters"])
+    # the shm gauge provider ran before each sample
+    assert "engine.shm.segments" in final["gauges"]
+
+    text = prom.read_text()
+    assert "repro_device_launches_total" in text
+    assert lint_prometheus(text) == []
+
+
+# ---------------------------------------------------------------------------
+# repro inspect
+# ---------------------------------------------------------------------------
+
+
+def _armed_heap(path):
+    import numpy as np
+
+    from repro.gpu.memory import GlobalMemory
+    from repro.nvm.mapped import MappedShadow
+
+    heap = MappedShadow.create(path)
+    mem = GlobalMemory(cache_capacity_lines=4, shadow=heap)
+    buf = mem.alloc("x", (300,), np.float64)
+    mem.write(buf, np.arange(300), np.arange(300, dtype=np.float64))
+    mem.drain()
+    heap.arm([0, 1, 5])
+    heap.sync()
+    return heap
+
+
+def test_cli_inspect_human_and_json(tmp_path, capsys):
+    path = tmp_path / "heap.lpnv"
+    _armed_heap(path)
+
+    assert main(["inspect", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "journal: EXACT" in out
+    assert "torn x: 3 line(s)" in out
+
+    assert main(["inspect", str(path), "--json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    validate(doc, load_schema("heap_inspect"))
+    assert doc["torn"]["armed"] is True
+    assert doc["torn"]["by_buffer"] == {"x": 3}
+
+    # inspection never disarmed the journal
+    assert main(["inspect", str(path)]) == 0
+    assert "journal: EXACT" in capsys.readouterr().out
+
+
+def test_cli_inspect_diff_exit_codes(tmp_path, capsys):
+    from repro.nvm.mapped import MappedShadow
+
+    path = tmp_path / "heap.lpnv"
+    _armed_heap(path).close()
+    copy = tmp_path / "copy.lpnv"
+    copy.write_bytes(path.read_bytes())
+
+    assert main(["inspect", str(path), "--diff", str(copy)]) == 0
+    assert "identical" in capsys.readouterr().out
+
+    mutated = MappedShadow.open(copy)
+    mutated.view("x")[0] = -1.0
+    mutated.sync()
+    mutated.close()
+    assert main(["inspect", str(path), "--diff", str(copy),
+                 "--json"]) == 1
+    doc = json.loads(capsys.readouterr().out)
+    validate(doc, load_schema("heap_inspect"))
+    assert doc["identical"] is False
+
+
+def test_cli_inspect_rejects_garbage(tmp_path, capsys):
+    bad = tmp_path / "bad.lpnv"
+    bad.write_bytes(b"NOTAHEAP" * 4)
+    assert main(["inspect", str(bad)]) == 2
+    assert capsys.readouterr().err
+
+
+# ---------------------------------------------------------------------------
+# repro watch
+# ---------------------------------------------------------------------------
+
+
+def test_cli_watch_once_renders_latest_sample(tmp_path, capsys):
+    from repro.obs import MetricsRegistry, TelemetrySampler
+
+    clock_t = [100.0]
+    stream = tmp_path / "telemetry.jsonl"
+    reg = MetricsRegistry()
+    sampler = TelemetrySampler(reg, jsonl_path=stream,
+                               clock=lambda: clock_t[0])
+    reg.inc("harness.rounds", 2, phase="launch")
+    sampler.sample()
+    clock_t[0] += 1.0
+    reg.inc("harness.rounds", 3, phase="launch")
+    reg.set_gauge("engine.shm.segments", 1)
+    sampler.sample()
+    sampler.close()
+
+    assert main(["watch", str(stream), "--once"]) == 0
+    out = capsys.readouterr().out
+    assert "harness.rounds" in out
+    assert "engine.shm.segments" in out
+
+
+def test_cli_watch_empty_stream_fails(tmp_path, capsys):
+    stream = tmp_path / "telemetry.jsonl"
+    stream.write_text("")
+    assert main(["watch", str(stream), "--once"]) == 1
+    assert "no samples" in capsys.readouterr().err
