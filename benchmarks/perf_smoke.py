@@ -285,6 +285,174 @@ def run_mapped_suite() -> dict:
     return row
 
 
+#: Shard count for the sharded-heap scenarios (matches the CI
+#: ``crash-test --shards 4`` smoke).
+SHARD_COUNT = 4
+
+#: Floor on the headline sharded-recovery claim: cold-open recovery of
+#: a 4-shard heap (concurrent shard reopen + the parallel per-shard
+#: validate/recover pipeline) must beat the single mapped heap's
+#: serial recovery by at least this factor, at equal failed-block
+#: counts.
+SHARDED_RECOVERY_SPEEDUP_FLOOR = 2.0
+
+#: Ceiling on the shard fan-out's write-back cost: launch + drain on a
+#: 4-shard heap may cost at most 1.3x the single mapped heap.
+SHARDED_WRITEBACK_LIMIT = 1.3
+
+
+def _crash_onto_heap(heap) -> None:
+    """Run SPMV halfway into a crash against ``heap`` and close it cold.
+
+    Same crash plan as :func:`measure_recovery`, so the failed-block
+    set is identical across backends (cache behavior is
+    backend-independent) — the two recovery arms compare equal work.
+    """
+    device, lp_kernel, _ = setup_spmv(ENGINES["serial"](), shadow=heap,
+                                      cache_lines=MAPPED_CACHE_LINES)
+    grid = lp_kernel.launch_config().n_blocks
+    device.launch(lp_kernel, crash_plan=repro.CrashPlan(
+        after_blocks=grid // 2, persist_fraction=0.4, seed=5))
+    heap.close()
+
+
+def measure_sharded_recovery() -> dict:
+    """Cold-open recovery wall time: single mapped heap vs 4 shards.
+
+    Both arms crash the same SPMV instance onto a durable heap, close
+    it, and then time the full cold recovery: reopen (concurrent
+    per-shard for the sharded arm), adopt into a rebuilt device, and
+    the eager validate → re-execute → re-validate cycle. The single
+    heap recovers on the serial engine (the pre-sharding pipeline);
+    the sharded heap recovers on the parallel engine with shard-affine
+    chunk dispatch. Failed-block sets are asserted equal and the
+    recovered NVM images bit-identical before the speedup is reported.
+    """
+    import tempfile
+
+    from repro.nvm.sharded import ShardedShadow
+
+    best = {"single": float("inf"), "sharded": float("inf")}
+    failed_sets: dict[str, list[int]] = {}
+    images: dict[str, bytes] = {}
+    n_failed = 0
+    for _ in range(3):
+        for arm in ("single", "sharded"):
+            with tempfile.TemporaryDirectory(prefix="lp-bench-") as tmp:
+                path = Path(tmp) / "heap.lpnv"
+                if arm == "single":
+                    heap = repro.MappedShadow.create(path)
+                    engine_name = "serial"
+                else:
+                    heap = ShardedShadow.create(path,
+                                                n_shards=SHARD_COUNT)
+                    engine_name = "parallel"
+                _crash_onto_heap(heap)
+
+                # Rebuild the device deterministically (not timed —
+                # identical cost in both arms), then time the cold
+                # recovery end to end.
+                device, lp_kernel, check_buffers = setup_spmv(
+                    ENGINES[engine_name]())
+                opener = (ShardedShadow.open if arm == "sharded"
+                          else repro.MappedShadow.open)
+                start = time.perf_counter()
+                reopened = opener(path)
+                reopened.adopt(device.memory)
+                report = repro.RecoveryManager(device,
+                                               lp_kernel).recover()
+                best[arm] = min(best[arm], time.perf_counter() - start)
+                assert report.recovered, (
+                    f"sharded_recovery/{arm}: recovery did not converge"
+                )
+                failed_sets[arm] = report.initial.failed_blocks
+                n_failed = report.initial.n_failed
+                images[arm] = b"".join(
+                    device.memory[name].shadow.tobytes()
+                    for name in check_buffers
+                )
+                reopened.close()
+    assert failed_sets["single"] == failed_sets["sharded"], (
+        "sharded_recovery: failed-block sets diverged between the "
+        "single heap and the sharded heap"
+    )
+    assert images["single"] == images["sharded"], (
+        "sharded_recovery: recovered NVM image diverged between the "
+        "single heap and the sharded heap"
+    )
+    return {
+        "n_shards": SHARD_COUNT,
+        "n_failed": n_failed,
+        "single_seconds": round(best["single"], 6),
+        "sharded_seconds": round(best["sharded"], 6),
+        "speedup_vs_single": round(best["single"] / best["sharded"], 3),
+    }
+
+
+def measure_sharded_writeback() -> dict:
+    """Launch+drain wall time: single mapped heap vs the 4-shard heap.
+
+    Same eviction-heavy SPMV path as :func:`measure_mapped_writeback`,
+    serial engine; NVM images are asserted bit-identical between the
+    two durable backends before the fan-out overhead is reported.
+    """
+    import tempfile
+
+    from repro.nvm.sharded import ShardedShadow
+
+    best = {"mapped": float("inf"), "sharded": float("inf")}
+    images: dict[str, bytes] = {}
+    for _ in range(3):
+        for backend in ("mapped", "sharded"):
+            with tempfile.TemporaryDirectory(prefix="lp-bench-") as tmp:
+                path = Path(tmp) / "heap.lpnv"
+                heap = (repro.MappedShadow.create(path)
+                        if backend == "mapped"
+                        else ShardedShadow.create(path,
+                                                  n_shards=SHARD_COUNT))
+                device, lp_kernel, check_buffers = setup_spmv(
+                    ENGINES["serial"](), shadow=heap,
+                    cache_lines=MAPPED_CACHE_LINES,
+                )
+                start = time.perf_counter()
+                device.launch(lp_kernel)
+                device.drain()
+                best[backend] = min(best[backend],
+                                    time.perf_counter() - start)
+                images[backend] = b"".join(
+                    device.memory[name].shadow.tobytes()
+                    for name in check_buffers
+                )
+                heap.close()
+    assert images["mapped"] == images["sharded"], (
+        "sharded_writeback: sharded NVM image diverged from the "
+        "single mapped heap"
+    )
+    return {
+        "n_shards": SHARD_COUNT,
+        "mapped_seconds": round(best["mapped"], 6),
+        "sharded_seconds": round(best["sharded"], 6),
+        "overhead_ratio": round(best["sharded"] / best["mapped"], 3),
+        "cache_lines": MAPPED_CACHE_LINES,
+    }
+
+
+def run_sharded_suite() -> dict:
+    recovery = measure_sharded_recovery()
+    print(f"sharded  recovery  {recovery['speedup_vs_single']:10.2f}x "
+          f"vs single heap "
+          f"(single {recovery['single_seconds'] * 1e3:8.1f} ms, "
+          f"{recovery['n_shards']} shards "
+          f"{recovery['sharded_seconds'] * 1e3:8.1f} ms, "
+          f"{recovery['n_failed']} failed blocks)")
+    writeback = measure_sharded_writeback()
+    print(f"sharded  writeback {writeback['overhead_ratio']:10.2f}x "
+          f"overhead "
+          f"(mapped {writeback['mapped_seconds'] * 1e3:8.1f} ms, "
+          f"sharded {writeback['sharded_seconds'] * 1e3:8.1f} ms)")
+    return {"recovery": recovery, "writeback": writeback}
+
+
 #: Ceiling on the telemetry sampler's cost: with a background sampler
 #: attached the same metrics-recorded launch may be at most 5 % slower.
 #: Override with the ``TELEMETRY_OVERHEAD_LIMIT`` env var (a ratio,
@@ -445,7 +613,8 @@ def derive_parallel_speedup(suite: dict, recovery: dict) -> dict:
 
 def check_against_baseline(suite: dict, recovery: dict | None = None,
                            mapped: dict | None = None,
-                           telemetry: dict | None = None) -> int:
+                           telemetry: dict | None = None,
+                           sharded: dict | None = None) -> int:
     if not BASELINE_PATH.exists():
         print(f"no baseline at {BASELINE_PATH}; run without --check first",
               file=sys.stderr)
@@ -495,6 +664,25 @@ def check_against_baseline(suite: dict, recovery: dict | None = None,
             f"(off {telemetry['off_seconds'] * 1e3:.1f} ms, "
             f"on {telemetry['on_seconds'] * 1e3:.1f} ms)"
         )
+    if sharded is not None:
+        srec, swb = sharded["recovery"], sharded["writeback"]
+        if srec["speedup_vs_single"] < SHARDED_RECOVERY_SPEEDUP_FLOOR:
+            failures.append(
+                f"sharded_recovery: {srec['n_shards']}-shard cold "
+                f"recovery is only {srec['speedup_vs_single']:.2f}x "
+                f"the single heap < "
+                f"{SHARDED_RECOVERY_SPEEDUP_FLOOR:.1f}x floor "
+                f"(single {srec['single_seconds'] * 1e3:.1f} ms, "
+                f"sharded {srec['sharded_seconds'] * 1e3:.1f} ms)"
+            )
+        if swb["overhead_ratio"] > SHARDED_WRITEBACK_LIMIT:
+            failures.append(
+                f"sharded_writeback: {swb['n_shards']}-shard fan-out "
+                f"costs {swb['overhead_ratio']:.2f}x the single mapped "
+                f"heap > {SHARDED_WRITEBACK_LIMIT:.1f}x limit "
+                f"(mapped {swb['mapped_seconds'] * 1e3:.1f} ms, "
+                f"sharded {swb['sharded_seconds'] * 1e3:.1f} ms)"
+            )
     if failures:
         print("PERF REGRESSION:\n  " + "\n  ".join(failures),
               file=sys.stderr)
@@ -514,9 +702,11 @@ def main(argv: list[str] | None = None) -> int:
     recovery = run_recovery_suite()
     mapped = run_mapped_suite()
     telemetry = run_telemetry_suite()
+    sharded = run_sharded_suite()
     speedup = derive_parallel_speedup(suite, recovery)
     if args.check:
-        return check_against_baseline(suite, recovery, mapped, telemetry)
+        return check_against_baseline(suite, recovery, mapped,
+                                      telemetry, sharded)
 
     BASELINE_PATH.write_text(json.dumps({
         "benchmark": "launch-engine throughput smoke",
@@ -525,10 +715,13 @@ def main(argv: list[str] | None = None) -> int:
         "mapped_overhead_limit": MAPPED_OVERHEAD_LIMIT,
         "telemetry_overhead_limit": TELEMETRY_OVERHEAD_LIMIT,
         "parallel_speedup_floor": PARALLEL_SPEEDUP_FLOOR,
+        "sharded_recovery_speedup_floor": SHARDED_RECOVERY_SPEEDUP_FLOOR,
+        "sharded_writeback_limit": SHARDED_WRITEBACK_LIMIT,
         "workloads": suite,
         "recovery": recovery,
         "mapped_writeback": mapped,
         "telemetry_overhead": telemetry,
+        "sharded_recovery": sharded,
         "parallel_speedup": speedup,
     }, indent=2) + "\n")
     print(f"wrote {BASELINE_PATH}")

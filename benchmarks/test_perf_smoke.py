@@ -44,11 +44,19 @@ def telemetry_suite():
     return perf_smoke.run_telemetry_suite()
 
 
+@pytest.fixture(scope="module")
+def sharded_suite():
+    if not perf_smoke.BASELINE_PATH.exists():
+        pytest.skip(f"no baseline at {perf_smoke.BASELINE_PATH}")
+    return perf_smoke.run_sharded_suite()
+
+
 @pytest.mark.tier2
 def test_no_regression_vs_baseline(suite, recovery_suite, mapped_suite,
-                                   telemetry_suite):
+                                   telemetry_suite, sharded_suite):
     assert perf_smoke.check_against_baseline(
-        suite, recovery_suite, mapped_suite, telemetry_suite
+        suite, recovery_suite, mapped_suite, telemetry_suite,
+        sharded_suite
     ) == 0
 
 
@@ -117,4 +125,29 @@ def test_telemetry_sampler_overhead(telemetry_suite):
     )
     assert telemetry_suite["samples_taken"] > 0, (
         "the sampler thread never sampled during the measured launch"
+    )
+
+
+@pytest.mark.tier2
+def test_sharded_recovery_speedup(sharded_suite):
+    row = sharded_suite["recovery"]
+    assert row["speedup_vs_single"] >= \
+        perf_smoke.SHARDED_RECOVERY_SPEEDUP_FLOOR, (
+            f"{row['n_shards']}-shard cold recovery only "
+            f"{row['speedup_vs_single']:.2f}x the single heap "
+            f"(floor {perf_smoke.SHARDED_RECOVERY_SPEEDUP_FLOOR:.1f}x)"
+        )
+    assert row["n_failed"] > 0, (
+        "sharded_recovery measured an empty failed-block set — the "
+        "crash plan lost nothing, the speedup is meaningless"
+    )
+
+
+@pytest.mark.tier2
+def test_sharded_writeback_overhead(sharded_suite):
+    row = sharded_suite["writeback"]
+    assert row["overhead_ratio"] <= perf_smoke.SHARDED_WRITEBACK_LIMIT, (
+        f"{row['n_shards']}-shard write-back fan-out costs "
+        f"{row['overhead_ratio']:.2f}x the single mapped heap "
+        f"(limit {perf_smoke.SHARDED_WRITEBACK_LIMIT:.1f}x)"
     )

@@ -26,8 +26,9 @@ Public surface
   instrumentation (checksums, reduction, checksum table).
 * :class:`RecoveryManager` — post-crash validation + eager recovery.
 * :class:`CrashPlan` / :class:`FaultInjector` — failure models.
-* :class:`MappedShadow` / :mod:`repro.harness` — the durable
-  mmap-backed NVM heap and the out-of-process crash-kill harness
+* :class:`MappedShadow` / :class:`ShardedShadow` / :mod:`repro.harness`
+  — the durable mmap-backed NVM heap, its sharded multi-heap scale-out
+  (``--shards N``), and the out-of-process crash-kill harness
   (``python -m repro crash-test``).
 * :mod:`repro.workloads` — the paper's nine benchmarks.
 * :mod:`repro.compiler` — the ``#pragma nvm`` directive compiler.
@@ -73,6 +74,7 @@ from repro.gpu.spec import GPUSpec, NVMSpec
 from repro.nvm.audit import AuditReport, audit_crash_consistency
 from repro.nvm.crash import CrashPlan, FaultInjector
 from repro.nvm.mapped import MappedShadow
+from repro.nvm.sharded import ShardedShadow
 
 from repro import obs  # noqa: E402  (re-export subpackage)
 from repro import workloads  # noqa: E402  (re-export subpackage)
@@ -113,6 +115,7 @@ __all__ = [
     "ReductionMode",
     "ReproError",
     "SerialEngine",
+    "ShardedShadow",
     "TableKind",
     "ValidationReport",
     "__version__",

@@ -17,12 +17,14 @@ Commands
     periodic metric snapshots (counters, rates, gauges, quantiles) as
     JSONL; ``--prom out.prom`` writes the final state in Prometheus
     text exposition format.
-``inspect <heap> [--json] [--diff OTHER]``
-    Decode a ``MappedShadow`` heap file **read-only**: header, armed
-    journal (EXACT/RANGE), CRC-checked directory, per-line occupancy,
-    torn-line diagnosis. Unlike opening the heap, inspection never
-    clears the journal. ``--diff`` compares two heap images
-    line-by-line (exit 1 when they differ).
+``inspect <heap> [--json] [--diff OTHER] [--shards N]``
+    Decode a ``MappedShadow`` heap file — or a sharded heap's manifest
+    plus every shard — **read-only**: header, armed journal
+    (EXACT/RANGE), CRC-checked directory, per-line occupancy,
+    torn-line diagnosis (per shard and merged, for sharded heaps).
+    Unlike opening the heap, inspection never clears a journal.
+    ``--diff`` compares two heap images line-by-line (exit 1 when they
+    differ); ``--shards N`` asserts the target is an N-shard manifest.
 ``watch <telemetry.jsonl> [--once] [--interval S]``
     Live view of a telemetry stream written by ``run --telemetry`` or
     ``crash-test --telemetry``: tails the JSONL file and renders the
@@ -30,11 +32,14 @@ Commands
 ``profile <workload> [--scale S] [--crash-after N]``
     Run a workload with the flight recorder on and print a per-phase
     wall-time / modeled-cycles / NVM-traffic breakdown.
-``crash-test [--workloads ...] [--engines ...] [--rounds N]``
+``crash-test [--workloads ...] [--engines ...] [--rounds N] [--shards N]``
     Out-of-process durability proof: SIGKILL child processes mid-launch
     against an mmap-backed heap, reopen the heap cold, validate and
-    recover, and verify against the crash-free reference. Writes a JSON
-    report with ``--out``; exits 1 if any grid cell fails to converge.
+    recover, and verify against the crash-free reference. With
+    ``--shards N`` every cell runs against an N-shard heap and the
+    launch round kills inside one shard's armed journal window.
+    Writes a JSON report with ``--out``; exits 1 if any grid cell
+    fails to converge.
 ``report [path]``
     Regenerate EXPERIMENTS.md.
 ``lint [targets...] [--format text|json] [--oracle] [--races]``
@@ -95,7 +100,14 @@ def _cmd_workloads(_args: argparse.Namespace) -> int:
 
 
 def _make_run(args: argparse.Namespace):
-    """Shared device + LP-kernel setup for ``run`` and ``profile``."""
+    """Shared device + LP-kernel setup for ``run`` and ``profile``.
+
+    Returns an :class:`contextlib.ExitStack` as its last element; the
+    caller must close it (it owns the scratch sharded heap when
+    ``--shards`` is given).
+    """
+    import contextlib
+
     import repro
     from repro.workloads import make_workload
 
@@ -105,17 +117,32 @@ def _make_run(args: argparse.Namespace):
         "cuckoo": repro.LPConfig.naive_cuckoo(),
     }
     engine = repro.make_engine(args.engine, jobs=args.jobs)
-    device = repro.Device(cache_capacity_lines=args.cache_lines,
-                          engine=engine)
-    work = make_workload(args.workload, scale=args.scale, seed=args.seed)
-    kernel = work.setup(device)
-    lp_kernel = repro.LPRuntime(device,
-                                configs[args.config]).instrument(kernel)
-    crash_plan = None
-    if args.crash_after is not None:
-        crash_plan = repro.CrashPlan(after_blocks=args.crash_after,
-                                     persist_fraction=0.3, seed=args.seed)
-    return device, work, lp_kernel, crash_plan
+    stack = contextlib.ExitStack()
+    shadow = None
+    if getattr(args, "shards", 0):
+        from repro.harness.tmpdir import ManagedTmpdir
+        from repro.nvm.sharded import ShardedShadow
+
+        tmp = stack.enter_context(ManagedTmpdir())
+        shadow = stack.enter_context(ShardedShadow.create(
+            tmp.file("heap.lpnv"), n_shards=args.shards))
+    try:
+        device = repro.Device(cache_capacity_lines=args.cache_lines,
+                              engine=engine, shadow=shadow)
+        work = make_workload(args.workload, scale=args.scale,
+                             seed=args.seed)
+        kernel = work.setup(device)
+        lp_kernel = repro.LPRuntime(
+            device, configs[args.config]).instrument(kernel)
+        crash_plan = None
+        if args.crash_after is not None:
+            crash_plan = repro.CrashPlan(after_blocks=args.crash_after,
+                                         persist_fraction=0.3,
+                                         seed=args.seed)
+    except BaseException:
+        stack.close()
+        raise
+    return device, work, lp_kernel, crash_plan, stack
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -124,7 +151,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     from repro import obs
     from repro.core.recovery import RecoveryManager
 
-    device, work, lp_kernel, crash_plan = _make_run(args)
+    device, work, lp_kernel, crash_plan, stack = _make_run(args)
     n_blocks = lp_kernel.launch_config().n_blocks
     quiet = args.json
 
@@ -170,6 +197,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         if not quiet:
             print("output verified against the reference.")
     finally:
+        stack.close()
         if recorder is not None:
             if recorder.sampler is not None:
                 # Final sample + thread join; the JSONL stream already
@@ -205,6 +233,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             "scale": args.scale,
             "config": args.config,
             "engine": args.engine,
+            "shards": args.shards,
             "launch": result.to_dict(),
             "write_stats": device.memory.write_stats.to_dict(),
             "table_stats": lp_kernel.table.stats.to_dict(),
@@ -231,7 +260,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     from repro.core.recovery import RecoveryManager
     from repro.obs.metrics import diff_counters
 
-    device, work, lp_kernel, crash_plan = _make_run(args)
+    device, work, lp_kernel, crash_plan, stack = _make_run(args)
     n_blocks = lp_kernel.launch_config().n_blocks
     phases: list[dict] = []
 
@@ -239,7 +268,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         return sum(v for k, v in deltas.items()
                    if k.startswith("nvm.writeback.lines"))
 
-    with obs.recording() as rec:
+    with stack, obs.recording() as rec:
 
         def run_phase(name, fn):
             before = rec.metrics_snapshot()
@@ -417,16 +446,24 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
     import json
 
     from repro.errors import ReproError
-    from repro.nvm.inspect import diff_heaps, inspect_heap
+    from repro.nvm.inspect import diff_paths, inspect_path
 
     try:
         if args.diff:
-            report = diff_heaps(args.heap, args.diff)
+            report = diff_paths(args.heap, args.diff)
         else:
-            report = inspect_heap(args.heap)
+            report = inspect_path(args.heap)
     except ReproError as exc:
         print(str(exc), file=sys.stderr)
         return 2
+    if args.shards is not None and not args.diff:
+        n_shards = getattr(report, "n_shards", 0)
+        if n_shards != args.shards:
+            kind = (f"a {n_shards}-shard manifest" if n_shards
+                    else "a plain (unsharded) heap file")
+            print(f"{args.heap}: expected a {args.shards}-shard "
+                  f"manifest, found {kind}", file=sys.stderr)
+            return 2
     if args.json:
         print(json.dumps(report.to_dict(), indent=2))
     else:
@@ -509,6 +546,7 @@ def _cmd_crash_test(args: argparse.Namespace) -> int:
             kill_seed=args.kill_seed,
             trace_dir=args.trace,
             artifacts_dir=args.artifacts,
+            shards=args.shards,
         )
     finally:
         if recorder is not None:
@@ -571,6 +609,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker count (parallel; default: the "
                             "container-aware CPU budget) / "
                             "group size (batched)")
+        p.add_argument("--shards", type=int, default=0, metavar="N",
+                       help="run against an N-shard mapped NVM heap "
+                            "in a scratch directory (default: "
+                            "in-memory shadow)")
         p.add_argument("--trace", default=None, metavar="FILE",
                        help="write a Chrome/Perfetto trace JSON file")
         p.add_argument("--metrics", default=None, metavar="FILE",
@@ -678,6 +720,11 @@ def build_parser() -> argparse.ArgumentParser:
                            "per-round triggers land in the JSON report "
                            "for exact replay")
     p_ct.add_argument("--jobs", type=int, default=None, metavar="N")
+    p_ct.add_argument("--shards", type=int, default=0, metavar="N",
+                      help="run every cell against an N-shard heap; "
+                           "the launch round becomes a shard-kill "
+                           "round (die inside one shard's armed "
+                           "journal while the others stay clean)")
     p_ct.add_argument("--timeout", type=float, default=120.0,
                       help="per-child deadline in seconds")
     p_ct.add_argument("--out", default=None, metavar="FILE",
@@ -704,10 +751,16 @@ def build_parser() -> argparse.ArgumentParser:
         "inspect",
         help="decode a heap file read-only: header, armed journal, "
              "directory, occupancy, torn-line diagnosis")
-    p_ins.add_argument("heap", help="path to a .lpnv heap file")
+    p_ins.add_argument("heap", help="path to a .lpnv heap file or a "
+                                    "shard manifest")
     p_ins.add_argument("--diff", default=None, metavar="OTHER",
                        help="compare against a second heap image "
-                            "line-by-line (exit 1 when they differ)")
+                            "line-by-line (exit 1 when they differ); "
+                            "sharded heaps diff manifest + every "
+                            "shard pair")
+    p_ins.add_argument("--shards", type=int, default=None, metavar="N",
+                       help="require the target to be an N-shard "
+                            "manifest (exit 2 otherwise)")
     p_ins.add_argument("--json", action="store_true",
                        help="print the report as JSON (validated by "
                             "heap_inspect.schema.json)")

@@ -41,6 +41,10 @@ class ValidationReport:
     #: Raw per-block diagnosis (reason, expected/found lanes) captured
     #: from the kernel's validation pass; input to forensics.
     failure_details: dict[int, dict] = field(default_factory=dict)
+    #: NVM shard this validation is attributed to — 0 for the single
+    #: mapped (or in-memory) heap, the shard index when a sharded
+    #: heap's per-shard pipeline validates one shard's blocks.
+    shard_id: int = 0
 
     @property
     def n_failed(self) -> int:
@@ -91,8 +95,14 @@ class RecoveryManager:
     # Phases
     # ------------------------------------------------------------------
 
-    def validate(self, block_ids: list[int] | None = None) -> ValidationReport:
-        """Launch the validation pass over all (or given) blocks."""
+    def validate(self, block_ids: list[int] | None = None,
+                 shard_id: int = 0) -> ValidationReport:
+        """Launch the validation pass over all (or given) blocks.
+
+        ``shard_id`` tags the report (and its forensics) with the NVM
+        shard it covers; the default 0 keeps single-heap reports
+        unchanged.
+        """
         rec = _recorder()
         self.kernel.reset_validation()
         with rec.trace.span(
@@ -112,6 +122,7 @@ class RecoveryManager:
             missing_checksums=sorted(self.kernel.missing_checksums),
             launch=launch,
             failure_details=dict(self.kernel.failure_details),
+            shard_id=shard_id,
         )
         if rec.metrics.active:
             rec.metrics.inc("lp.validate.blocks", report.n_blocks)

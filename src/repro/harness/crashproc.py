@@ -12,7 +12,13 @@ group — ``SIGKILL``, no handlers, no cleanup — when a trigger fires:
 * ``blocks:N`` — after N thread blocks' effects have landed (fires via
   the engines' block hook, journal clean);
 * ``walltime:T`` — T seconds into the run (a timer thread; lands
-  wherever it lands).
+  wherever it lands);
+* ``shardwbK:N`` / ``shardwb*:N`` — sharded heaps only
+  (``ChildSpec.shards > 0``): after the Nth cache line lands on shard
+  ``K`` (or, with ``*``, on whichever shard reaches N first). Fires
+  inside *that shard's* journal window, so the reopened sharded heap
+  shows exactly one shard's journal armed while the others committed
+  cleanly — the shard-containment kill.
 
 The parent (:func:`run_child`) spawns the child in its **own session**
 so the child's ``os.kill(0, SIGKILL)`` takes out any ``ParallelEngine``
@@ -33,6 +39,7 @@ from __future__ import annotations
 
 import json
 import os
+import re
 import signal
 import subprocess
 import sys
@@ -47,18 +54,30 @@ from repro.gpu import shm
 #: Trigger kinds and whether their threshold is an int count.
 TRIGGER_KINDS = ("writebacks", "blocks", "walltime")
 
+#: Shard-kill trigger kind: ``shardwb<K>`` targets shard K's
+#: write-back stream, ``shardwb*`` whichever shard fires first.
+_SHARDWB_RE = re.compile(r"^shardwb(\d+|\*)$")
+
 #: Default per-round child deadline. Generous: tiny-scale launches run
 #: in well under a second; the deadline only catches hangs.
 DEFAULT_TIMEOUT = 120.0
 
 
 def parse_trigger(text: str) -> tuple[str, float]:
-    """Parse ``kind:threshold`` into a validated (kind, value) pair."""
+    """Parse ``kind:threshold`` into a validated (kind, value) pair.
+
+    Shard-kill triggers keep their target in the kind itself —
+    ``("shardwb2", 6.0)`` for ``"shardwb2:6"`` — so the pair stays a
+    two-tuple for every caller; :func:`shardwb_target` decodes the
+    shard index.
+    """
     kind, sep, raw = text.partition(":")
-    if not sep or kind not in TRIGGER_KINDS:
+    if not sep or (kind not in TRIGGER_KINDS
+                   and not _SHARDWB_RE.match(kind)):
         raise HarnessError(
             f"bad trigger {text!r}; expected one of "
             + ", ".join(f"{k}:N" for k in TRIGGER_KINDS)
+            + ", shardwbK:N or shardwb*:N"
         )
     try:
         value = float(raw)
@@ -70,6 +89,19 @@ def parse_trigger(text: str) -> tuple[str, float]:
             + ("duration" if kind == "walltime" else "integer count")
         )
     return kind, value
+
+
+def shardwb_target(kind: str) -> int | None:
+    """Shard index of a ``shardwb`` trigger kind (``None`` for ``*``).
+
+    Raises :class:`~repro.errors.HarnessError` when ``kind`` is not a
+    shard-kill trigger at all.
+    """
+    match = _SHARDWB_RE.match(kind)
+    if not match:
+        raise HarnessError(f"{kind!r} is not a shardwb trigger kind")
+    target = match.group(1)
+    return None if target == "*" else int(target)
 
 
 @dataclass
@@ -95,6 +127,11 @@ class ChildSpec:
     #: JSONL file, one line per event flushed as it happens — the trace
     #: survives the trigger's SIGKILL up to the kill instant.
     trace_path: str | None = None
+    #: 0 — ``heap_path`` is a single :class:`MappedShadow` heap file
+    #: (the pre-sharding wire format, so old specs stay decodable);
+    #: N > 0 — ``heap_path`` is a shard manifest and the child runs
+    #: against an N-shard :class:`~repro.nvm.sharded.ShardedShadow`.
+    shards: int = 0
 
     def to_json(self) -> str:
         return json.dumps(asdict(self), indent=2)
@@ -173,6 +210,30 @@ def _install_trigger(spec: ChildSpec, device, heap) -> None:
                 _die()
 
         heap.writeback_listener = on_writeback
+    elif _SHARDWB_RE.match(kind):
+        threshold = int(value)
+        target = shardwb_target(kind)
+        shards = getattr(heap, "shards", None)
+        if shards is None:
+            raise HarnessError(
+                f"trigger {spec.trigger!r} targets a shard, but the "
+                "heap is not sharded (set shards > 0 in the spec)"
+            )
+        if target is not None and target >= len(shards):
+            raise HarnessError(
+                f"trigger {spec.trigger!r} targets shard {target}, but "
+                f"the heap has only {len(shards)} shard(s)"
+            )
+
+        def on_shard_writeback(cumulative_lines: int) -> None:
+            # Fires inside one shard's armed journal window; dying
+            # here tears that shard while committed shards stay clean.
+            if cumulative_lines >= threshold:
+                _die()
+
+        for k, shard in enumerate(shards):
+            if target is None or k == target:
+                shard.writeback_listener = on_shard_writeback
     elif kind == "blocks":
         threshold = int(value)
 
@@ -192,6 +253,7 @@ def child_main(spec_path: str) -> int:
     from repro import obs
     from repro.core.recovery import RecoveryManager
     from repro.nvm.mapped import MappedShadow
+    from repro.nvm.sharded import ShardedShadow
 
     spec = ChildSpec.from_json(Path(spec_path).read_text())
     if spec.trace_path is not None:
@@ -203,10 +265,17 @@ def child_main(spec_path: str) -> int:
             tracer=obs.Tracer(obs.JsonlSink(spec.trace_path))
         ))
     if spec.phase == "launch":
-        heap = MappedShadow.create(spec.heap_path)
+        if spec.shards > 0:
+            heap = ShardedShadow.create(spec.heap_path,
+                                        n_shards=spec.shards)
+        else:
+            heap = MappedShadow.create(spec.heap_path)
         device, work, lp_kernel = build_run(spec, shadow=heap)
     elif spec.phase == "recover":
-        heap = MappedShadow.open(spec.heap_path)
+        if spec.shards > 0:
+            heap = ShardedShadow.open(spec.heap_path)
+        else:
+            heap = MappedShadow.open(spec.heap_path)
         device, work, lp_kernel = build_run(spec)
         heap.adopt(device.memory)
     else:

@@ -22,6 +22,13 @@ engine, LP config) combination:
 builds the JSON report consumed by ``python -m repro crash-test`` and
 the CI smoke job: per-round blocks lost, blocks recovered, torn lines,
 and rounds to convergence.
+
+With ``shards > 0`` every cell runs against a sharded heap
+(:class:`~repro.nvm.sharded.ShardedShadow`): the launch round becomes a
+*shard-kill* round (the child dies inside one shard's armed journal
+window while the other shards stay clean), measurement adds the
+per-shard torn split, and the offline inspector decodes the manifest
+plus every shard file.
 """
 
 from __future__ import annotations
@@ -54,25 +61,40 @@ DEFAULT_CACHE_LINES = 4
 DEFAULT_TRIGGER = "writebacks:6"
 
 
+def _open_heap(spec: ChildSpec):
+    """Parent-side cold open matching the spec's heap kind."""
+    from repro.nvm.mapped import MappedShadow
+    from repro.nvm.sharded import ShardedShadow
+
+    if spec.shards > 0:
+        return ShardedShadow.open(spec.heap_path)
+    return MappedShadow.open(spec.heap_path)
+
+
 def _measure(spec: ChildSpec) -> dict:
     """Reopen the heap cold and take stock: torn lines, failed blocks."""
     from repro.core.recovery import RecoveryManager
-    from repro.nvm.mapped import MappedShadow
 
-    heap = MappedShadow.open(spec.heap_path)
+    heap = _open_heap(spec)
     try:
         torn_lines = heap.torn.n_lines if heap.torn is not None else 0
         torn_by_buffer = heap.torn_by_buffer()
         device, _work, lp_kernel = build_run(spec)
         heap.adopt(device.memory)
         report = RecoveryManager(device, lp_kernel).validate()
-        return {
+        measured = {
             "torn_lines": torn_lines,
             "torn_by_buffer": torn_by_buffer,
             "buffers": sorted(heap.entries),
             "blocks_failed": report.n_failed,
             "missing_checksums": len(report.missing_checksums),
         }
+        if spec.shards > 0:
+            measured["torn_by_shard"] = {
+                str(k): torn.n_lines
+                for k, torn in sorted(heap.torn_by_shard.items())
+            }
+        return measured
     finally:
         heap.close()
 
@@ -80,13 +102,32 @@ def _measure(spec: ChildSpec) -> dict:
 def _inspect_round(spec: ChildSpec) -> dict:
     """Offline inspector's view of the post-kill heap.
 
-    Must run *before* :func:`_measure`: :meth:`MappedShadow.open`
-    clears the armed journal as a side effect, and the whole point of
-    the cold inspector is to decode the file exactly as the SIGKILL
-    left it.
+    Must run *before* :func:`_measure`: the cold reopen clears armed
+    journals as a side effect, and the whole point of the offline
+    inspector is to decode the file(s) exactly as the SIGKILL left
+    them. For a sharded heap the manifest is decoded with every shard,
+    and per-shard torn windows are merged the same way the live reopen
+    merges them.
     """
-    from repro.nvm.inspect import inspect_heap
+    from repro.nvm.inspect import inspect_heap, inspect_sharded
 
+    if spec.shards > 0:
+        report = inspect_sharded(spec.heap_path)
+        merged = report.merged_torn()
+        return {
+            "armed": bool(report.armed_shards()),
+            "mode": "+".join(report.shards[k].torn.mode
+                             for k in report.armed_shards()) or "EMPTY",
+            "torn_lines": merged["torn_lines"],
+            "torn_by_buffer": merged["torn_by_buffer"],
+            "buffers": sorted(
+                e.name for shard in report.shards for e in shard.entries),
+            "shards_armed": report.armed_shards(),
+            "torn_by_shard": {
+                str(k): report.shards[k].torn.n_lines
+                for k in report.armed_shards()
+            },
+        }
     report = inspect_heap(spec.heap_path)
     return {
         "armed": report.torn.armed,
@@ -102,14 +143,17 @@ def _inspect_consistent(inspected: dict, measured: dict) -> bool:
 
     The two decode the same on-disk structures through entirely
     different code paths (cold ``ACCESS_READ`` map vs. the live
-    ``MappedShadow``); any disagreement on the journal's armed state,
-    the torn-line attribution, or the directory is a format bug.
+    reopen); any disagreement on the journal's armed state, the
+    torn-line attribution, the per-shard split, or the directory is a
+    format bug.
     """
     return (
         inspected["armed"] == (measured["torn_lines"] > 0)
         and inspected["torn_lines"] == measured["torn_lines"]
         and inspected["torn_by_buffer"] == measured["torn_by_buffer"]
         and inspected["buffers"] == measured["buffers"]
+        and inspected.get("torn_by_shard", {})
+        == measured.get("torn_by_shard", {})
     )
 
 
@@ -117,9 +161,8 @@ def _final_recover(spec: ChildSpec) -> dict:
     """Parent-side convergence: recover in-process, drain, verify."""
     from repro.core.recovery import RecoveryManager
     from repro.errors import RecoveryError
-    from repro.nvm.mapped import MappedShadow
 
-    heap = MappedShadow.open(spec.heap_path)
+    heap = _open_heap(spec)
     try:
         device, work, lp_kernel = build_run(spec)
         heap.adopt(device.memory)
@@ -182,6 +225,7 @@ def run_cell(
     kill_seed: int | None = None,
     trace_dir=None,
     artifacts_dir=None,
+    shards: int = 0,
 ) -> dict:
     """Run the full kill loop for one grid cell; returns its report.
 
@@ -191,6 +235,16 @@ def run_cell(
     ``artifacts_dir`` the heap file is copied there — armed journal and
     all — after the last kill round, before the parent's in-process
     recovery cleans it, so ``repro inspect`` can be run on it later.
+
+    With ``shards > 0`` the cell runs against an N-shard
+    :class:`~repro.nvm.sharded.ShardedShadow` and the launch round
+    becomes the **shard-kill round**: a count-based write-back trigger
+    is rewritten to ``shardwb*`` so the SIGKILL lands inside exactly
+    one shard's armed journal window while the other shards' committed
+    write-backs stay clean — the containment the cell then proves by
+    converging bit-exactly. Sharded artifacts land in a
+    ``<cell>.sharded/`` subdirectory (manifest + every shard file,
+    names preserved so the manifest stays openable).
     """
     parse_trigger(trigger)  # fail fast on bad input
     if kill_rounds < 1:
@@ -204,18 +258,27 @@ def run_cell(
     with ManagedTmpdir(keep=keep_tmp) as tmp, rec.trace.span(
         "harness.cell", cat="harness", track="harness",
         workload=workload, engine=engine, config=config,
+        shards=shards,
     ):
         base = dict(
             workload=workload, scale=scale, seed=seed, config=config,
             engine=engine, jobs=jobs, cache_lines=cache_lines,
             heap_path=str(tmp.file("heap.lpnv")),
             ready_path=str(tmp.file("ready")),
+            shards=shards,
         )
         for round_no in range(kill_rounds):
             phase = "launch" if round_no == 0 else "recover"
             round_trigger = _round_trigger(
                 trigger, kill_seed, round_no, workload, engine, config
             )
+            if shards > 0 and phase == "launch":
+                kind, value = parse_trigger(round_trigger)
+                if kind == "writebacks":
+                    # The shard-kill round: die inside one shard's
+                    # armed journal window instead of the heap-wide
+                    # write-back count.
+                    round_trigger = f"shardwb*:{int(value)}"
             trace_path = None if trace_dir is None else str(
                 trace_dir / f"{cell_tag}-round{round_no}-{phase}"
                 ".trace.jsonl"
@@ -228,10 +291,22 @@ def run_cell(
                 # all) before _measure's reopen disarms it; the last
                 # round's snapshot is the cell's artifact.
                 artifacts_dir = Path(artifacts_dir)
-                artifacts_dir.mkdir(parents=True, exist_ok=True)
-                shutil.copyfile(
-                    base["heap_path"],
-                    artifacts_dir / f"{cell_tag}.heap.lpnv")
+                if shards > 0:
+                    cell_dir = artifacts_dir / f"{cell_tag}.sharded"
+                    cell_dir.mkdir(parents=True, exist_ok=True)
+                    heap_path = Path(base["heap_path"])
+                    shutil.copyfile(heap_path,
+                                    cell_dir / heap_path.name)
+                    for k in range(shards):
+                        shard_file = heap_path.with_name(
+                            f"{heap_path.name}.shard{k}")
+                        shutil.copyfile(shard_file,
+                                        cell_dir / shard_file.name)
+                else:
+                    artifacts_dir.mkdir(parents=True, exist_ok=True)
+                    shutil.copyfile(
+                        base["heap_path"],
+                        artifacts_dir / f"{cell_tag}.heap.lpnv")
             # Cold-inspect the heap *before* _measure reopens it —
             # open() disarms the journal, the inspector must see the
             # exact post-SIGKILL bytes.
@@ -266,6 +341,7 @@ def run_cell(
         "workload": workload,
         "engine": engine,
         "config": config,
+        "shards": shards,
         "rounds": rounds,
         "final": final,
         #: Process generations from first kill to a verified state.
@@ -291,6 +367,7 @@ def run_grid(
     kill_seed: int | None = None,
     trace_dir=None,
     artifacts_dir=None,
+    shards: int = 0,
 ) -> dict:
     """Run every cell of the grid; returns the full JSON-able report."""
     cells = []
@@ -304,7 +381,7 @@ def run_grid(
                     kill_rounds=kill_rounds, trigger=trigger, jobs=jobs,
                     cache_lines=cache_lines, timeout=timeout,
                     kill_seed=kill_seed, trace_dir=trace_dir,
-                    artifacts_dir=artifacts_dir,
+                    artifacts_dir=artifacts_dir, shards=shards,
                 ))
     return {
         "suite": "crash-test",
@@ -314,6 +391,7 @@ def run_grid(
         "trigger": trigger,
         "kill_rounds": kill_rounds,
         "cache_lines": cache_lines,
+        "shards": shards,
         "cells": cells,
         "converged": all(cell["ok"] for cell in cells),
     }

@@ -14,8 +14,15 @@ region, and a torn-line diagnosis attributing armed lines to buffers.
 for "what did this crash round actually change?" between a pre-kill
 and post-kill image, or between two rounds of the harness.
 
+Sharded heaps (:mod:`repro.nvm.sharded`) are inspected the same way:
+:func:`inspect_sharded` decodes the CRC-guarded manifest plus every
+shard file (each an ordinary v1 heap) into a
+:class:`ShardedHeapReport` with per-shard torn diagnoses and a merged
+view, and :func:`diff_paths` / :func:`inspect_path` dispatch on the
+file's magic so the CLI works unchanged on either kind.
+
 Reports serialize via ``to_dict`` into documents validated by
-``src/repro/obs/schemas/heap_inspect.schema.json``.
+``src/repro/obs/schemas/heap_inspect.schema.json`` (v2).
 """
 
 from __future__ import annotations
@@ -27,7 +34,7 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.errors import HeapTruncatedError
+from repro.errors import HeapFormatError, HeapTruncatedError
 from repro.nvm import layout
 
 #: Differing/torn line-id lists are capped in reports; counts stay exact.
@@ -389,6 +396,70 @@ def inspect_heap(path) -> HeapReport:
         )
 
 
+@dataclass(frozen=True)
+class ShardedHeapReport:
+    """Manifest plus every shard's :class:`HeapReport`, read-only."""
+
+    path: str
+    n_shards: int
+    line_size: int
+    block_lines: int
+    shard_names: tuple[str, ...]
+    #: Address blocks the manifest currently maps to a shard.
+    n_mapped_blocks: int
+    #: Per-shard reports; index == shard id.
+    shards: tuple[HeapReport, ...]
+
+    def armed_shards(self) -> list[int]:
+        """Shard ids whose torn-write journal the crash left armed."""
+        return [k for k, report in enumerate(self.shards)
+                if report.journal.armed]
+
+    def merged_torn(self) -> dict:
+        """Grid-wide torn view, merged exactly like the live reopen."""
+        torn_lines = 0
+        by_buffer: dict[str, int] = {}
+        for report in self.shards:
+            torn_lines += report.torn.n_lines
+            for name, n in report.torn.by_buffer.items():
+                by_buffer[name] = by_buffer.get(name, 0) + n
+        return {"torn_lines": torn_lines, "torn_by_buffer": by_buffer}
+
+    def to_dict(self) -> dict:
+        merged = self.merged_torn()
+        return {
+            "path": self.path,
+            "n_shards": self.n_shards,
+            "line_size": self.line_size,
+            "block_lines": self.block_lines,
+            "shard_names": list(self.shard_names),
+            "n_mapped_blocks": self.n_mapped_blocks,
+            "armed_shards": self.armed_shards(),
+            "torn_lines": merged["torn_lines"],
+            "torn_by_buffer": merged["torn_by_buffer"],
+            "shards": [report.to_dict() for report in self.shards],
+        }
+
+    def render_text(self) -> str:
+        armed = self.armed_shards()
+        merged = self.merged_torn()
+        lines = [
+            f"sharded heap {self.path}",
+            f"  manifest: {self.n_shards} shard(s), line size "
+            f"{self.line_size} B, {self.block_lines} line(s)/block, "
+            f"{self.n_mapped_blocks} mapped block(s)",
+            f"  journals: {len(armed)}/{self.n_shards} shard(s) armed"
+            + (f" ({', '.join(str(k) for k in armed)}), "
+               f"{merged['torn_lines']} torn line(s) total"
+               if armed else " (all clean)"),
+        ]
+        for k, report in enumerate(self.shards):
+            lines.append(f"  --- shard {k} ---")
+            lines.extend("  " + line
+                         for line in report.render_text().splitlines())
+        return "\n".join(lines)
+
+
 _DESCRIPTOR_FIELDS = ("dtype", "shape", "base_addr", "nbytes",
                       "padded_bytes", "role")
 
@@ -434,3 +505,143 @@ def diff_heaps(path_a, path_b) -> HeapDiff:
             buffers=tuple(buffers),
             journal_a=a.journal, journal_b=b.journal,
         )
+
+
+# ----------------------------------------------------------------------
+# Sharded heaps: manifest + N shard files, still strictly read-only
+# ----------------------------------------------------------------------
+
+
+def _read_manifest_file(path: Path) -> layout.ShardManifest:
+    try:
+        raw = path.read_bytes()
+    except OSError as exc:
+        raise HeapTruncatedError(
+            f"cannot read shard manifest {path}: {exc}"
+        ) from None
+    return layout.parse_manifest(raw, path)
+
+
+def inspect_sharded(path) -> ShardedHeapReport:
+    """Decode a shard manifest and every shard file, mutating nothing.
+
+    The manifest is read with a plain ``read_bytes`` and each shard
+    through the same cold ``ACCESS_READ`` path as :func:`inspect_heap`
+    — armed journals stay armed on disk.
+    """
+    path = Path(path)
+    manifest = _read_manifest_file(path)
+    shards = tuple(
+        inspect_heap(path.with_name(name))
+        for name in manifest.shard_names
+    )
+    return ShardedHeapReport(
+        path=str(path),
+        n_shards=manifest.n_shards,
+        line_size=manifest.line_size,
+        block_lines=manifest.block_lines,
+        shard_names=manifest.shard_names,
+        n_mapped_blocks=len(manifest.block_map),
+        shards=shards,
+    )
+
+
+def _is_manifest_file(path) -> bool:
+    try:
+        with open(Path(path), "rb") as fileobj:
+            head = fileobj.read(len(layout.MANIFEST_MAGIC))
+    except OSError as exc:
+        raise HeapTruncatedError(
+            f"cannot read heap file {path}: {exc}"
+        ) from None
+    return layout.is_manifest(head)
+
+
+def inspect_path(path) -> HeapReport | ShardedHeapReport:
+    """Inspect either kind of heap file, dispatching on its magic."""
+    if _is_manifest_file(path):
+        return inspect_sharded(path)
+    return inspect_heap(path)
+
+
+@dataclass(frozen=True)
+class ShardedHeapDiff:
+    """Two sharded heaps compared manifest-to-manifest, shard-by-shard."""
+
+    path_a: str
+    path_b: str
+    #: Manifest fields that disagree (name -> [a, b]); per-shard data
+    #: is still compared when only the block map differs, but a shard
+    #: count mismatch leaves ``shards`` empty.
+    manifest_diff: dict
+    shards: tuple[HeapDiff, ...]
+
+    @property
+    def identical(self) -> bool:
+        return (not self.manifest_diff
+                and all(d.identical for d in self.shards))
+
+    def to_dict(self) -> dict:
+        return {
+            "path_a": self.path_a,
+            "path_b": self.path_b,
+            "identical": self.identical,
+            "manifest_diff": dict(self.manifest_diff),
+            "shards": [d.to_dict() for d in self.shards],
+        }
+
+    def render_text(self) -> str:
+        lines = [f"diff {self.path_a} vs {self.path_b} (sharded)"]
+        if self.identical:
+            lines.append("  sharded heaps are identical")
+            return "\n".join(lines)
+        for key, (va, vb) in sorted(self.manifest_diff.items()):
+            lines.append(f"  manifest.{key}: {va} != {vb}")
+        for k, d in enumerate(self.shards):
+            if d.identical:
+                continue
+            lines.append(f"  --- shard {k} ---")
+            lines.extend("  " + line
+                         for line in d.render_text().splitlines()[1:])
+        return "\n".join(lines)
+
+
+def diff_sharded(path_a, path_b) -> ShardedHeapDiff:
+    """Compare two sharded heaps: manifests, then each shard pair."""
+    path_a, path_b = Path(path_a), Path(path_b)
+    ma = _read_manifest_file(path_a)
+    mb = _read_manifest_file(path_b)
+    manifest_diff: dict = {}
+    for key in ("n_shards", "line_size", "block_lines"):
+        va, vb = getattr(ma, key), getattr(mb, key)
+        if va != vb:
+            manifest_diff[key] = [va, vb]
+    if ma.block_map != mb.block_map:
+        manifest_diff["block_map"] = [len(ma.block_map),
+                                      len(mb.block_map)]
+    shards: tuple[HeapDiff, ...] = ()
+    if ma.n_shards == mb.n_shards:
+        shards = tuple(
+            diff_heaps(path_a.with_name(ma.shard_names[k]),
+                       path_b.with_name(mb.shard_names[k]))
+            for k in range(ma.n_shards)
+        )
+    return ShardedHeapDiff(path_a=str(path_a), path_b=str(path_b),
+                           manifest_diff=manifest_diff, shards=shards)
+
+
+def diff_paths(path_a, path_b) -> HeapDiff | ShardedHeapDiff:
+    """Diff two heap files of the *same* kind, dispatching on magic."""
+    a_sharded = _is_manifest_file(path_a)
+    b_sharded = _is_manifest_file(path_b)
+    if a_sharded != b_sharded:
+        plain, manifest = ((path_b, path_a) if a_sharded
+                           else (path_a, path_b))
+        raise HeapFormatError(
+            f"cannot diff a sharded heap ({manifest}) against a plain "
+            f"heap file ({plain}); inspect one shard file directly to "
+            "compare it with a plain heap"
+        )
+    if a_sharded:
+        return diff_sharded(path_a, path_b)
+    return diff_heaps(path_a, path_b)

@@ -21,6 +21,15 @@ Decoders validate as they parse and raise the same typed errors
 :meth:`MappedShadow.open` documents — never silent garbage. Nothing
 here touches a file: callers hand in bytes and get structures back,
 which is what keeps the inspector strictly read-only.
+
+The module also owns the **shard manifest** format that
+:class:`repro.nvm.sharded.ShardedShadow` writes next to its N shard
+files: a fixed header (magic ``"LPNVMANI"``, version, shard count,
+body length, body CRC32) followed by a CRC-guarded JSON body holding
+the line size, the address-block granularity and the deterministic
+block→shard table. Each shard file is an ordinary v1 heap; the
+manifest is the only thing that knows how the device address space
+was partitioned.
 """
 
 from __future__ import annotations
@@ -294,3 +303,160 @@ def pack_journal_empty() -> bytes:
 def journal_region_size() -> int:
     """Bytes the largest journal record can occupy."""
     return JOURNAL_HEAD.size + 8 * JOURNAL_CAPACITY
+
+
+# ----------------------------------------------------------------------
+# Shard manifest (sharded multi-heap scale-out)
+# ----------------------------------------------------------------------
+
+MANIFEST_MAGIC = b"LPNVMANI"
+MANIFEST_VERSION = 1
+
+#: ``magic, version, n_shards, body_len, body_crc``
+MANIFEST_HEADER = struct.Struct("<8sIIQI")
+MANIFEST_BODY_OFFSET = 64
+
+#: Address-block granularity of the block→shard table: consecutive
+#: cache lines grouped into one mapping unit. Buffers always live
+#: wholly inside one shard, and two buffers cohabiting one address
+#: block are pinned to the same shard — so the default granularity is
+#: a single cache line (buffers never share a line; placement stays
+#: free to balance). The table is stored run-length encoded, so fine
+#: granularity costs one extent per buffer, not one entry per line.
+DEFAULT_SHARD_BLOCK_LINES = 1
+
+
+@dataclass(frozen=True)
+class ShardManifest:
+    """The decoded shard manifest of a sharded heap.
+
+    ``shard_names`` are the shard heap file names relative to the
+    manifest's own directory; ``block_map`` maps address-block id
+    (``line_id // block_lines``) to the owning shard index.
+    """
+
+    n_shards: int
+    line_size: int
+    block_lines: int
+    shard_names: tuple[str, ...]
+    block_map: dict[int, int]
+
+    def shard_of_line(self, line_id: int) -> int:
+        """Owning shard of a cache line; raises on unmapped lines."""
+        block = int(line_id) // self.block_lines
+        try:
+            return self.block_map[block]
+        except KeyError:
+            raise HeapCorruptError(
+                f"line {line_id} (address block {block}) is not mapped "
+                "to any shard in the manifest"
+            ) from None
+
+
+def is_manifest(raw: bytes) -> bool:
+    """True when ``raw`` starts with the shard-manifest magic."""
+    return raw[:len(MANIFEST_MAGIC)] == MANIFEST_MAGIC
+
+
+def parse_manifest(raw: bytes, path) -> ShardManifest:
+    """Decode and validate a shard manifest; raises typed errors."""
+    if len(raw) < MANIFEST_HEADER.size:
+        raise HeapTruncatedError(
+            f"{path}: {len(raw)} manifest bytes — the fixed manifest "
+            f"header is {MANIFEST_HEADER.size} bytes"
+        )
+    magic, version, n_shards, body_len, body_crc = \
+        MANIFEST_HEADER.unpack(raw[:MANIFEST_HEADER.size])
+    if magic == MAGIC:
+        raise HeapFormatError(
+            f"{path} is a plain heap file, not a shard manifest"
+        )
+    if magic != MANIFEST_MAGIC:
+        raise HeapFormatError(
+            f"{path} is not an LP shard manifest (magic {magic!r})"
+        )
+    if version != MANIFEST_VERSION:
+        raise HeapVersionError(
+            f"{path} is shard manifest v{version}; this build reads "
+            f"v{MANIFEST_VERSION}"
+        )
+    if len(raw) < MANIFEST_BODY_OFFSET + body_len:
+        raise HeapTruncatedError(
+            f"{path}: manifest declares a {body_len}-byte body but the "
+            f"file holds only {len(raw) - MANIFEST_BODY_OFFSET}"
+        )
+    body = raw[MANIFEST_BODY_OFFSET:MANIFEST_BODY_OFFSET + body_len]
+    if zlib.crc32(body) != body_crc:
+        raise HeapCorruptError(
+            f"{path}: manifest body checksum mismatch — the shard "
+            "manifest is corrupt"
+        )
+    try:
+        doc = json.loads(body.decode("utf-8"))
+        line_size = int(doc["line_size"])
+        block_lines = int(doc["block_lines"])
+        shard_names = tuple(str(name) for name in doc["shards"])
+        block_map: dict[int, int] = {}
+        for start, count, shard in doc["extents"]:
+            for block in range(int(start), int(start) + int(count)):
+                block_map[block] = int(shard)
+    except (UnicodeDecodeError, json.JSONDecodeError, KeyError,
+            TypeError, ValueError) as exc:
+        raise HeapCorruptError(
+            f"{path}: manifest body is valid per checksum but not "
+            f"decodable ({exc}) — refusing to guess"
+        ) from None
+    if n_shards <= 0 or len(shard_names) != n_shards:
+        raise HeapFormatError(
+            f"{path}: manifest header declares {n_shards} shard(s) but "
+            f"the body names {len(shard_names)}"
+        )
+    if line_size <= 0 or line_size & (line_size - 1):
+        raise HeapFormatError(
+            f"{path}: nonsensical manifest line size {line_size}"
+        )
+    if block_lines <= 0:
+        raise HeapFormatError(
+            f"{path}: nonsensical address-block granularity "
+            f"{block_lines}"
+        )
+    for block, shard in block_map.items():
+        if not 0 <= shard < n_shards:
+            raise HeapCorruptError(
+                f"{path}: address block {block} maps to shard {shard}, "
+                f"outside the manifest's {n_shards} shard(s)"
+            )
+    return ShardManifest(n_shards=n_shards, line_size=line_size,
+                         block_lines=block_lines,
+                         shard_names=shard_names, block_map=block_map)
+
+
+def pack_manifest(manifest: ShardManifest) -> bytes:
+    """Serialize a shard manifest (header + CRC-guarded JSON body).
+
+    The block→shard table is run-length encoded as
+    ``[start_block, n_blocks, shard]`` extents — contiguous buffers
+    produce one extent each, keeping the manifest small even at
+    single-line block granularity.
+    """
+    extents: list[list[int]] = []
+    for block in sorted(manifest.block_map):
+        shard = manifest.block_map[block]
+        if extents and extents[-1][2] == shard \
+                and extents[-1][0] + extents[-1][1] == block:
+            extents[-1][1] += 1
+        else:
+            extents.append([block, 1, shard])
+    body = json.dumps(
+        {
+            "line_size": manifest.line_size,
+            "block_lines": manifest.block_lines,
+            "shards": list(manifest.shard_names),
+            "extents": extents,
+        },
+        separators=(",", ":"),
+    ).encode("utf-8")
+    header = MANIFEST_HEADER.pack(MANIFEST_MAGIC, MANIFEST_VERSION,
+                                  manifest.n_shards, len(body),
+                                  zlib.crc32(body))
+    return header + b"\0" * (MANIFEST_BODY_OFFSET - len(header)) + body

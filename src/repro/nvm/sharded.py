@@ -1,0 +1,575 @@
+"""Sharded multi-heap NVM scale-out: N mapped heaps behind one backend.
+
+:class:`MappedShadow` is a single mmap file, so write-back is one
+serialized journal funnel and post-crash recovery is one sequential
+pass over the whole heap. :class:`ShardedShadow` partitions the device
+address space across N :class:`MappedShadow` shard files and is a
+drop-in ``Device(shadow=...)`` / ``GlobalMemory(shadow=...)`` target:
+
+* **Partitioning** — the address space is divided into fixed *address
+  blocks* of ``block_lines`` consecutive cache lines; an explicit
+  block→shard table is recorded in a CRC-guarded manifest file
+  (:func:`repro.nvm.layout.pack_manifest`) next to the shards. A
+  buffer always lives wholly inside one shard (its shadow must be one
+  contiguous mapped view), so blocks are assigned buffer-at-a-time:
+  blocks already claimed by an overlapping buffer pin the shard,
+  otherwise the least-loaded shard wins. Every shard file is an
+  ordinary v1 heap mirroring the *full* device address space
+  (sparse), so entries keep their global ``base_addr``.
+
+* **Containment** — each shard keeps its own v1 header and torn-write
+  journal, so a write torn by a crash is contained to the shard it
+  targeted. This is sound for exactly the reason the paper's recovery
+  is block-parallel: an LP region is a thread block, and no checksum
+  couples two blocks that land in different shards.
+
+* **Fan-out** — :meth:`arm` partitions a write-back's lines by shard
+  and arms each involved shard's journal; :meth:`commit` commits them
+  in ascending shard order. Per-shard ``writeback_listener`` hooks
+  fire inside each shard's own armed window, which is what lets the
+  crash harness kill *one* shard's write-back mid-arm while the other
+  shards stay clean.
+
+* **Concurrent recovery** — :meth:`open` validates and reopens all
+  shards concurrently (one thread per shard), and
+  :meth:`shard_of_block` exposes the block→shard affinity hint the
+  parallel engine uses to keep each worker's validate/recover chunks
+  shard-local.
+
+A manifest update is an atomic write-to-temp + ``os.replace``, so a
+kill mid-update leaves the previous valid manifest — torn manifests
+cannot happen, only stale-but-consistent ones, and the directory of
+each shard is the ground truth the manifest must agree with at open.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import (
+    AllocationError,
+    HeapCorruptError,
+    HeapFormatError,
+    HeapLayoutError,
+    HeapTruncatedError,
+)
+from repro.nvm import layout
+from repro.nvm.layout import (
+    DEFAULT_DATA_CAPACITY,
+    DEFAULT_DIR_CAPACITY,
+    DEFAULT_SHARD_BLOCK_LINES,
+    JOURNAL_CAPACITY,
+    HeapEntry,
+    ShardManifest,
+)
+from repro.nvm.mapped import MappedShadow, TornWindow
+from repro.obs import current as _recorder
+
+__all__ = [
+    "DEFAULT_SHARD_BLOCK_LINES",
+    "ShardedShadow",
+    "shard_path",
+]
+
+
+def shard_path(manifest_path, shard: int) -> Path:
+    """Path of one shard's heap file next to its manifest."""
+    manifest_path = Path(manifest_path)
+    return manifest_path.with_name(f"{manifest_path.name}.shard{shard}")
+
+
+class ShardedShadow:
+    """N mapped heap shards behind the single shadow-backend contract.
+
+    Use :meth:`create` for a fresh sharded heap and :meth:`open` to
+    reconstruct one cold from its manifest after a crash; both return
+    an object interchangeable with :class:`MappedShadow` everywhere a
+    shadow backend is accepted (``Device``, ``GlobalMemory``, the
+    crash harness, ``adopt``/``enter_worker_mode`` flows).
+    """
+
+    def __init__(self, path: Path, shards: list[MappedShadow],
+                 line_size: int, block_lines: int,
+                 block_map: dict[int, int],
+                 entries: dict[str, HeapEntry],
+                 owner: dict[str, int],
+                 torn_by_shard: dict[int, TornWindow]) -> None:
+        self.path = Path(path)
+        #: The shard heaps, index == shard id.
+        self.shards = shards
+        self.line_size = line_size
+        self.block_lines = block_lines
+        #: Address block id -> owning shard (the manifest table).
+        self._block_map = block_map
+        #: Merged allocation-ordered directory across all shards.
+        self.entries = entries
+        #: Buffer name -> owning shard id.
+        self._owner = owner
+        #: Per-shard torn windows found at :meth:`open`.
+        self.torn_by_shard = torn_by_shard
+        #: Merged torn window across shards (``None`` when clean).
+        self.torn = self._merge_torn(torn_by_shard)
+        #: Sharded-level hooks, mirroring :class:`MappedShadow`. The
+        #: write-back listener fires *before* any shard journal
+        #: clears; per-shard listeners (``shards[k].writeback_listener``)
+        #: fire inside shard ``k``'s own armed window.
+        self.writeback_listener = None
+        self.arm_listener = None
+        self.lines_written = 0
+        #: Last :meth:`arm` partition: shard id -> armed line count.
+        self._armed: dict[int, int] = {}
+        self._closed = False
+        self._sealed = False
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        path,
+        n_shards: int,
+        line_size: int = 128,
+        dir_capacity: int = DEFAULT_DIR_CAPACITY,
+        data_capacity: int = DEFAULT_DATA_CAPACITY,
+        block_lines: int = DEFAULT_SHARD_BLOCK_LINES,
+    ) -> "ShardedShadow":
+        """Create a fresh manifest + ``n_shards`` empty shard heaps."""
+        if n_shards <= 0:
+            raise HeapFormatError("a sharded heap needs n_shards >= 1")
+        if block_lines <= 0:
+            raise HeapFormatError("block_lines must be positive")
+        path = Path(path)
+        rec = _recorder()
+        with rec.trace.span("heap.sharded.create", cat="nvm", track="nvm",
+                            path=str(path), shards=n_shards):
+            shards = [
+                MappedShadow.create(shard_path(path, k), line_size,
+                                    dir_capacity, data_capacity)
+                for k in range(n_shards)
+            ]
+        heap = cls(path, shards, line_size, block_lines, block_map={},
+                   entries={}, owner={}, torn_by_shard={})
+        heap._write_manifest()
+        if rec.metrics.active:
+            rec.metrics.set_gauge("nvm.sharded.shards", n_shards)
+        return heap
+
+    @classmethod
+    def open(cls, path) -> "ShardedShadow":
+        """Reopen a cold sharded heap from its manifest, concurrently.
+
+        Each shard is validated and reopened on its own thread (one
+        :meth:`MappedShadow.open` per shard, so per-shard torn windows
+        and typed errors are exactly the single-heap ones). Raises the
+        same ``Heap*`` errors as :meth:`MappedShadow.open`, plus
+        :class:`~repro.errors.HeapCorruptError` when the manifest and
+        the shard directories disagree.
+        """
+        path = Path(path)
+        rec = _recorder()
+        with rec.trace.span("heap.sharded.reopen", cat="nvm", track="nvm",
+                            path=str(path)):
+            manifest = cls._read_manifest(path)
+
+            def open_shard(k: int) -> MappedShadow:
+                with rec.trace.span("heap.shard.reopen", cat="nvm",
+                                    track="nvm", shard=k):
+                    return MappedShadow.open(
+                        path.with_name(manifest.shard_names[k]))
+
+            opened: list[MappedShadow | None] = [None] * manifest.n_shards
+            if manifest.n_shards == 1:
+                opened[0] = open_shard(0)
+            else:
+                with ThreadPoolExecutor(
+                        max_workers=manifest.n_shards) as pool:
+                    futures = [pool.submit(open_shard, k)
+                               for k in range(manifest.n_shards)]
+                    try:
+                        for k, future in enumerate(futures):
+                            opened[k] = future.result()
+                    except BaseException:
+                        for shard in opened:
+                            if shard is not None:
+                                shard.close()
+                        raise
+            shards = [shard for shard in opened if shard is not None]
+            heap = cls._assemble(path, manifest, shards)
+        if rec.metrics.active:
+            rec.metrics.inc("nvm.sharded.reopens")
+            rec.metrics.set_gauge("nvm.sharded.shards", heap.n_shards)
+            for k, torn in heap.torn_by_shard.items():
+                rec.metrics.inc("nvm.sharded.torn_lines", torn.n_lines,
+                                shard=str(k))
+        if rec.trace.enabled and heap.torn is not None:
+            rec.trace.instant(
+                "heap.sharded.torn", cat="nvm", track="nvm",
+                n_lines=heap.torn.n_lines,
+                shards=sorted(heap.torn_by_shard),
+            )
+        return heap
+
+    @classmethod
+    def _read_manifest(cls, path: Path) -> ShardManifest:
+        try:
+            raw = path.read_bytes()
+        except OSError as exc:
+            raise HeapTruncatedError(
+                f"cannot read shard manifest {path}: {exc}"
+            ) from None
+        return layout.parse_manifest(raw, path)
+
+    @classmethod
+    def _assemble(cls, path: Path, manifest: ShardManifest,
+                  shards: list[MappedShadow]) -> "ShardedShadow":
+        """Cross-check manifest vs shard directories and merge them."""
+        entries: dict[str, HeapEntry] = {}
+        owner: dict[str, int] = {}
+        torn_by_shard: dict[int, TornWindow] = {}
+        for k, shard in enumerate(shards):
+            if shard.line_size != manifest.line_size:
+                raise HeapCorruptError(
+                    f"{path}: shard {k} has line size {shard.line_size}, "
+                    f"manifest says {manifest.line_size}"
+                )
+            for name, entry in shard.entries.items():
+                if name in owner:
+                    raise HeapCorruptError(
+                        f"{path}: buffer {name!r} appears in shard "
+                        f"{owner[name]} and shard {k}"
+                    )
+                first, last = entry.line_span(manifest.line_size)
+                for line in (first, max(first, last - 1)):
+                    if manifest.shard_of_line(line) != k:
+                        raise HeapCorruptError(
+                            f"{path}: manifest maps buffer {name!r} "
+                            f"(line {line}) away from shard {k}, where "
+                            "its directory entry lives"
+                        )
+                owner[name] = k
+            if shard.torn is not None:
+                torn_by_shard[k] = shard.torn
+        for name, entry in sorted(
+                ((name, entry) for shard in shards
+                 for name, entry in shard.entries.items()),
+                key=lambda item: item[1].base_addr):
+            entries[name] = entry
+        return cls(path, shards, manifest.line_size,
+                   manifest.block_lines, dict(manifest.block_map),
+                   entries, owner, torn_by_shard)
+
+    # ------------------------------------------------------------------
+    # Shadow-backend interface (GlobalMemory plugs in here)
+    # ------------------------------------------------------------------
+
+    def attach(self, buf) -> np.ndarray:
+        """Home ``buf`` in one shard and record the block→shard claim."""
+        self._check_open()
+        self._check_writable()
+        if buf.name in self.entries:
+            raise AllocationError(
+                f"buffer {buf.name!r} already lives in sharded heap "
+                f"{self.path}"
+            )
+        blocks = self._blocks_of(buf.base_addr, buf.padded_bytes)
+        shard_id = self._place(buf.name, blocks)
+        new_blocks = [b for b in blocks if b not in self._block_map]
+        for block in new_blocks:
+            self._block_map[block] = shard_id
+        try:
+            view = self.shards[shard_id].attach(buf)
+            self._write_manifest()
+        except Exception:
+            for block in new_blocks:
+                del self._block_map[block]
+            self.shards[shard_id].detach(buf.name)
+            raise
+        self.entries[buf.name] = self.shards[shard_id].entries[buf.name]
+        self._owner[buf.name] = shard_id
+        return view
+
+    def detach(self, name: str) -> None:
+        """Drop a freed buffer from its shard and release its blocks."""
+        self._check_open()
+        if name not in self.entries:
+            return
+        shard_id = self._owner.pop(name)
+        entry = self.entries.pop(name)
+        self.shards[shard_id].detach(name)
+        first, last = entry.line_span(self.line_size)
+        for block in range(first // self.block_lines,
+                           max(first, last - 1) // self.block_lines + 1):
+            if self._block_map.get(block) == shard_id \
+                    and not self._block_in_use(block):
+                del self._block_map[block]
+        self._write_manifest()
+
+    def view(self, name: str) -> np.ndarray:
+        """The mapped NVM image of one entry, from its owning shard."""
+        self._check_open()
+        return self.shards[self._owner[name]].view(name)
+
+    def adopt(self, memory) -> None:
+        """Swap a rebuilt memory's shadows for the shards' cold images.
+
+        Same contract as :meth:`MappedShadow.adopt`, validated against
+        the *union* directory: the rebuilt memory must reproduce every
+        persistent buffer across all shards, byte-compatible, and each
+        buffer's shadow becomes a view into its owning shard.
+        """
+        self._check_open()
+        rec = _recorder()
+        with rec.trace.span("heap.adopt", cat="nvm", track="nvm",
+                            buffers=len(self.entries),
+                            shards=self.n_shards):
+            persistent = {
+                name: buf for name, buf in memory.buffers.items()
+                if buf.persistent
+            }
+            if memory.line_size != self.line_size:
+                raise HeapLayoutError(
+                    f"memory line size {memory.line_size} != sharded "
+                    f"heap line size {self.line_size}"
+                )
+            missing = sorted(set(self.entries) - set(persistent))
+            extra = sorted(set(persistent) - set(self.entries))
+            if missing or extra:
+                raise HeapLayoutError(
+                    f"sharded heap {self.path} directory does not match "
+                    f"the rebuilt memory: missing from memory "
+                    f"{missing[:5]}, absent from heap {extra[:5]}"
+                )
+            for name, entry in self.entries.items():
+                buf = persistent[name]
+                got = (buf.dtype.str, tuple(buf.shape), buf.base_addr,
+                       buf.nbytes)
+                want = (entry.dtype.str, entry.shape, entry.base_addr,
+                        entry.nbytes)
+                if got != want:
+                    raise HeapLayoutError(
+                        f"buffer {name!r} diverged from the sharded heap "
+                        f"directory: memory has (dtype, shape, addr, "
+                        f"nbytes) = {got}, heap has {want}"
+                    )
+            for name, buf in persistent.items():
+                shard = self.shards[self._owner[name]]
+                view = shard.view(name)
+                buf.shadow = view
+                buf.data[:] = view
+                shard._attached[name] = buf
+            memory.cache.drop_all()
+            memory.shadow_backend = self
+
+    # ------------------------------------------------------------------
+    # Write-back journal fan-out
+    # ------------------------------------------------------------------
+
+    def arm(self, line_ids) -> None:
+        """Partition a write-back by shard and arm each shard's journal."""
+        self._check_open()
+        self._check_writable()
+        parts: dict[int, list[int]] = {}
+        for lid in line_ids:
+            parts.setdefault(self._shard_of_line(int(lid)), []).append(
+                int(lid))
+        for shard_id in sorted(parts):
+            self.shards[shard_id].arm(parts[shard_id])
+        self._armed = {shard_id: len(lines)
+                       for shard_id, lines in parts.items()}
+        rec = _recorder()
+        if rec.metrics.active:
+            rec.metrics.inc("nvm.sharded.writeback.shards", len(parts))
+        listener = self.arm_listener
+        if listener is not None:
+            exact = all(n <= JOURNAL_CAPACITY for n in self._armed.values())
+            listener([int(lid) for lid in line_ids],
+                     "exact" if exact else "range")
+
+    def commit(self, n_lines: int) -> None:
+        """Complete the fanned-out write-back, shard by shard.
+
+        The sharded-level listener fires first — while *every* involved
+        shard journal is still armed, matching the single-heap "kill
+        here leaves the journal armed" semantics. Each shard then
+        commits in ascending order; a per-shard listener that kills the
+        process leaves that shard (and only later-ordered shards of the
+        same write-back) armed while already-committed shards are
+        clean.
+        """
+        self._check_writable()
+        self.lines_written += n_lines
+        listener = self.writeback_listener
+        if listener is not None:
+            listener(self.lines_written)
+        armed, self._armed = self._armed, {}
+        for shard_id in sorted(armed):
+            self.shards[shard_id].commit(armed[shard_id])
+
+    def torn_lines(self) -> list[int]:
+        """Merged torn-write window across all shards (maybe [])."""
+        return list(self.torn.lines) if self.torn is not None else []
+
+    def torn_by_buffer(self) -> dict[str, int]:
+        """Torn-write suspects attributed to buffers, all shards."""
+        out: dict[str, int] = {}
+        for shard in self.shards:
+            out.update(shard.torn_by_buffer())
+        return out
+
+    # ------------------------------------------------------------------
+    # Durability and lifecycle
+    # ------------------------------------------------------------------
+
+    def seal(self) -> None:
+        """Seal every shard for worker-process fork safety."""
+        self._sealed = True
+        for shard in self.shards:
+            shard.seal()
+
+    def sync(self) -> None:
+        """``msync`` all shards (concurrently when there are several)."""
+        self._check_open()
+        self._check_writable()
+        rec = _recorder()
+        with rec.trace.span("heap.sharded.sync", cat="nvm", track="nvm",
+                            shards=self.n_shards):
+            if self.n_shards == 1:
+                self.shards[0].sync()
+            else:
+                with ThreadPoolExecutor(
+                        max_workers=self.n_shards) as pool:
+                    for future in [pool.submit(shard.sync)
+                                   for shard in self.shards]:
+                        future.result()
+
+    def close(self) -> None:
+        """Flush and release every shard mapping."""
+        if self._closed:
+            return
+        self._closed = True
+        for shard in self.shards:
+            shard.close()
+
+    def __enter__(self) -> "ShardedShadow":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Shard topology accessors (engine affinity, harness, inspector)
+    # ------------------------------------------------------------------
+
+    def shard_of_block(self, block_id: int) -> int:
+        """Affinity hint: the shard a *thread block*'s chunk prefers.
+
+        LP regions (thread blocks) are mutually independent, so any
+        deterministic partition is sound; a simple modulo keeps the
+        parallel engine's contiguous chunks spread evenly across
+        shard-affine workers.
+        """
+        return int(block_id) % self.n_shards
+
+    def shard_of_buffer(self, name: str) -> int:
+        """The shard that owns a directory buffer."""
+        return self._owner[name]
+
+    def shard_paths(self) -> list[Path]:
+        return [shard.path for shard in self.shards]
+
+    def manifest(self) -> ShardManifest:
+        """The current manifest view of this heap's partitioning."""
+        return ShardManifest(
+            n_shards=self.n_shards, line_size=self.line_size,
+            block_lines=self.block_lines,
+            shard_names=tuple(shard.path.name for shard in self.shards),
+            block_map=dict(self._block_map),
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise HeapFormatError(f"sharded heap {self.path} is closed")
+
+    def _check_writable(self) -> None:
+        if self._sealed:
+            raise HeapFormatError(
+                f"sharded heap {self.path} is sealed in a worker "
+                "process; only the parent may persist"
+            )
+
+    def _shard_of_line(self, line_id: int) -> int:
+        block = line_id // self.block_lines
+        try:
+            return self._block_map[block]
+        except KeyError:
+            raise HeapLayoutError(
+                f"line {line_id} (address block {block}) belongs to no "
+                f"shard of {self.path}"
+            ) from None
+
+    def _blocks_of(self, base_addr: int, padded_bytes: int) -> list[int]:
+        first_line = base_addr // self.line_size
+        last_line = first_line + max(padded_bytes // self.line_size, 1) - 1
+        return list(range(first_line // self.block_lines,
+                          last_line // self.block_lines + 1))
+
+    def _block_in_use(self, block: int) -> bool:
+        lo = block * self.block_lines
+        hi = lo + self.block_lines
+        for entry in self.entries.values():
+            first, last = entry.line_span(self.line_size)
+            if first < hi and last > lo:
+                return True
+        return False
+
+    def _place(self, name: str, blocks: list[int]) -> int:
+        """Pick the owning shard for a new buffer's address blocks."""
+        pinned = {self._block_map[b] for b in blocks
+                  if b in self._block_map}
+        if len(pinned) > 1:
+            raise HeapLayoutError(
+                f"buffer {name!r} spans address blocks already split "
+                f"across shards {sorted(pinned)} — a buffer must live "
+                "wholly inside one shard"
+            )
+        if pinned:
+            return pinned.pop()
+        loads = [0] * self.n_shards
+        for shard_id in self._block_map.values():
+            loads[shard_id] += 1
+        return min(range(self.n_shards), key=lambda k: (loads[k], k))
+
+    def _write_manifest(self) -> None:
+        """Atomically persist the manifest (write-temp + rename)."""
+        payload = layout.pack_manifest(self.manifest())
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        with open(tmp, "wb") as fileobj:
+            fileobj.write(payload)
+            fileobj.flush()
+            os.fsync(fileobj.fileno())
+        os.replace(tmp, self.path)
+
+    @staticmethod
+    def _merge_torn(torn_by_shard: dict[int, TornWindow]) \
+            -> TornWindow | None:
+        if not torn_by_shard:
+            return None
+        lines: list[int] = []
+        for torn in torn_by_shard.values():
+            lines.extend(torn.lines)
+        exact = all(torn.exact for torn in torn_by_shard.values())
+        return TornWindow(lines=tuple(sorted(lines)), exact=exact)

@@ -68,6 +68,9 @@ class BlockForensics:
     expected_lanes: list[str] | None
     found_lanes: list[str] | None
     losses: list[BufferLoss] = field(default_factory=list)
+    #: NVM shard the failing block's validation covered (0 for the
+    #: single-heap case, so pre-sharding reports keep their shape).
+    shard_id: int = 0
 
     def to_dict(self) -> dict:
         return {
@@ -76,6 +79,7 @@ class BlockForensics:
             "expected_lanes": self.expected_lanes,
             "found_lanes": self.found_lanes,
             "losses": [loss.to_dict() for loss in self.losses],
+            "shard_id": self.shard_id,
         }
 
     def render_text(self) -> str:
@@ -107,6 +111,8 @@ class ForensicsReport:
     table_lines_lost: int = 0
     data_lines_lost: int = 0
     lost_by_buffer: dict[str, int] = field(default_factory=dict)
+    #: NVM shard the diagnosed validation covered (0 for single-heap).
+    shard_id: int = 0
 
     @property
     def n_failed(self) -> int:
@@ -122,6 +128,7 @@ class ForensicsReport:
             "data_lines_lost": self.data_lines_lost,
             "lost_by_buffer": dict(sorted(self.lost_by_buffer.items())),
             "failures": [f.to_dict() for f in self.failures],
+            "shard_id": self.shard_id,
         }
 
     def render_text(self) -> str:
@@ -197,6 +204,7 @@ def diagnose(kernel, validation, device,
             found_lanes=_hex_lanes(info.get("found")),
             losses=_block_losses(kernel, block_id, device.memory,
                                  lost_lines, lost_by_buffer),
+            shard_id=getattr(validation, "shard_id", 0),
         ))
 
     table_lost = sum(
@@ -212,4 +220,5 @@ def diagnose(kernel, validation, device,
         table_lines_lost=table_lost,
         data_lines_lost=sum(lost_by_buffer.values()) - table_lost,
         lost_by_buffer=lost_by_buffer,
+        shard_id=getattr(validation, "shard_id", 0),
     )

@@ -309,6 +309,50 @@ def test_sigkilled_worker_falls_back_and_leaks_nothing():
         assert snap["engine.shm.segment_bytes"] == 0
 
 
+def test_forked_pool_shard_affine_dispatch_keeps_parity(tmp_path):
+    """A sharded shadow tags every chunk with its NVM shard; the pool's
+    shard-affine dispatch preference must not change results vs serial.
+    """
+    from repro.nvm.sharded import ShardedShadow
+
+    config = repro.LPConfig.paper_best()
+
+    def run(engine, path):
+        heap = ShardedShadow.create(path, n_shards=4)
+        device = repro.Device(cache_capacity_lines=64, seed=7,
+                              engine=engine, shadow=heap)
+        work = SPMVWorkload(scale="small", seed=3)
+        kernel = work.setup(device)
+        lp_kernel = repro.LPRuntime(device, config).instrument(kernel)
+        result = device.launch(lp_kernel)
+        device.drain()
+        heap.close()
+        return device, result
+
+    engine = _forked_engine()
+    with obs.recording(trace=False) as rec:
+        try:
+            ref = run("serial", tmp_path / "a.lpnv")
+            got = run(engine, tmp_path / "b.lpnv")
+            assert engine._pool is not None, "pool path was not exercised"
+            assert_same_launch(ref, got)
+            counters = rec.metrics_snapshot()["counters"]
+            affine = [v for k, v in counters.items()
+                      if k.startswith("engine.scheduling.shard_affine")]
+            assert affine and sum(affine) > 0, (
+                "pooled launch over a sharded heap never took the "
+                "shard-affine dispatch path"
+            )
+        finally:
+            engine.close()
+    assert not shm.leaked_segments()
+    # The two heaps converged to bit-identical persistent images.
+    for k in range(4):
+        a = (tmp_path / f"a.lpnv.shard{k}").read_bytes()
+        b = (tmp_path / f"b.lpnv.shard{k}").read_bytes()
+        assert a == b, f"shard {k} diverged between serial and pooled"
+
+
 def test_engine_close_unlinks_every_segment():
     engine = _forked_engine()
     config = repro.LPConfig.paper_best()

@@ -30,6 +30,8 @@ from repro.harness.scenarios import render_text, write_report
     ("writebacks:6", ("writebacks", 6.0)),
     ("blocks:12", ("blocks", 12.0)),
     ("walltime:0.5", ("walltime", 0.5)),
+    ("shardwb2:5", ("shardwb2", 5.0)),
+    ("shardwb*:6", ("shardwb*", 6.0)),
 ])
 def test_parse_trigger_accepts_valid(text, expected):
     assert parse_trigger(text) == expected
@@ -38,10 +40,21 @@ def test_parse_trigger_accepts_valid(text, expected):
 @pytest.mark.parametrize("text", [
     "writebacks", "writebacks:", "writebacks:abc", "writebacks:-3",
     "writebacks:2.5", "blocks:0", "walltime:0", "sigkill:3", "6",
+    "shardwb:4", "shardwb-1:4", "shardwb*", "shardwb2:0",
 ])
 def test_parse_trigger_rejects_invalid(text):
     with pytest.raises(HarnessError):
         parse_trigger(text)
+
+
+def test_shardwb_target_decodes_shard_index():
+    from repro.harness.crashproc import shardwb_target
+
+    assert shardwb_target("shardwb2") == 2
+    assert shardwb_target("shardwb0") == 0
+    assert shardwb_target("shardwb*") is None
+    with pytest.raises(HarnessError):
+        shardwb_target("writebacks")
 
 
 # ---------------------------------------------------------------------------
@@ -109,6 +122,15 @@ def test_child_spec_round_trips_through_json():
     with ManagedTmpdir() as tmp:
         spec = _spec(tmp, trigger="blocks:3")
         assert ChildSpec.from_json(spec.to_json()) == spec
+
+
+def test_child_spec_shards_round_trips_and_defaults_off():
+    with ManagedTmpdir() as tmp:
+        assert _spec(tmp).shards == 0
+        spec = _spec(tmp, shards=4, trigger="shardwb*:6")
+        restored = ChildSpec.from_json(spec.to_json())
+        assert restored == spec
+        assert restored.shards == 4
 
 
 def test_clean_child_completes_and_leaves_consistent_heap():

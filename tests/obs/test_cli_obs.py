@@ -214,6 +214,83 @@ def test_cli_inspect_rejects_garbage(tmp_path, capsys):
     assert capsys.readouterr().err
 
 
+def _armed_sharded_heap(path):
+    import numpy as np
+
+    from repro.gpu.memory import GlobalMemory
+    from repro.nvm.sharded import ShardedShadow
+
+    heap = ShardedShadow.create(path, n_shards=4)
+    mem = GlobalMemory(cache_capacity_lines=4, shadow=heap)
+    buf = mem.alloc("x", (300,), np.float64)
+    mem.write(buf, np.arange(300), np.arange(300, dtype=np.float64))
+    mem.drain()
+    first, _ = heap.entries["x"].line_span(heap.line_size)
+    heap.arm([first, first + 1])
+    heap.sync()
+    return heap
+
+
+def test_cli_inspect_sharded_manifest(tmp_path, capsys):
+    path = tmp_path / "heap.lpnv"
+    victim = _armed_sharded_heap(path).shard_of_buffer("x")
+
+    assert main(["inspect", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "sharded heap" in out
+    assert "4 shard(s)" in out
+
+    assert main(["inspect", str(path), "--json", "--shards", "4"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    validate(doc, load_schema("heap_inspect"))
+    assert doc["n_shards"] == 4
+    assert doc["armed_shards"] == [victim]
+    assert doc["torn_by_buffer"] == {"x": 2}
+    assert len(doc["shards"]) == 4
+
+    # A single shard file is itself a valid v1 heap for the inspector.
+    assert main(["inspect", str(tmp_path / f"heap.lpnv.shard{victim}"),
+                 "--json"]) == 0
+    shard_doc = json.loads(capsys.readouterr().out)
+    validate(shard_doc, load_schema("heap_inspect"))
+    assert shard_doc["journal"]["armed"] is True
+
+
+def test_cli_inspect_shards_expectation_mismatch(tmp_path, capsys):
+    sharded = tmp_path / "heap.lpnv"
+    _armed_sharded_heap(sharded)
+    assert main(["inspect", str(sharded), "--shards", "2"]) == 2
+    assert "expected a 2-shard manifest" in capsys.readouterr().err
+
+    from repro.nvm.mapped import MappedShadow
+
+    plain = tmp_path / "plain.lpnv"
+    MappedShadow.create(plain).close()
+    assert main(["inspect", str(plain), "--shards", "4"]) == 2
+    assert capsys.readouterr().err
+
+
+def test_cli_inspect_sharded_diff_and_mixed_kinds(tmp_path, capsys):
+    path = tmp_path / "heap.lpnv"
+    _armed_sharded_heap(path).close()
+    copy = tmp_path / "copy.lpnv"
+    copy.write_bytes(path.read_bytes())
+    for k in range(4):
+        (tmp_path / f"copy.lpnv.shard{k}").write_bytes(
+            (tmp_path / f"heap.lpnv.shard{k}").read_bytes())
+
+    assert main(["inspect", str(path), "--diff", str(copy),
+                 "--json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    validate(doc, load_schema("heap_inspect"))
+    assert doc["identical"] is True
+
+    # Sharded vs plain shard file is a type error, not a diff.
+    assert main(["inspect", str(path), "--diff",
+                 str(tmp_path / "heap.lpnv.shard0")]) == 2
+    assert "cannot diff" in capsys.readouterr().err
+
+
 # ---------------------------------------------------------------------------
 # repro watch
 # ---------------------------------------------------------------------------

@@ -35,6 +35,21 @@ def test_run_with_table_choice(capsys):
     assert "cuckoo" in capsys.readouterr().out
 
 
+def test_run_sharded_clean(capsys):
+    assert main(["run", "histo", "--scale", "tiny", "--shards", "2"]) == 0
+    assert "output verified" in capsys.readouterr().out
+
+
+def test_run_sharded_with_crash_recovers(capsys):
+    code = main(["run", "tmm", "--scale", "tiny", "--crash-after", "4",
+                 "--cache-lines", "8", "--shards", "4"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "CRASHED" in out
+    assert "recovered" in out
+    assert "output verified" in out
+
+
 def test_experiments_single(capsys):
     assert main(["experiments", "fig1"]) == 0
     out = capsys.readouterr().out
