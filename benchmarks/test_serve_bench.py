@@ -1,0 +1,52 @@
+"""Tier-2 gate: KV-service throughput/latency vs BENCH_serve.json.
+
+Re-measures the ``bench-serve`` scenarios (quick shape) and enforces
+the two service gates: the batching window buys >= 3x the throughput
+of a one-request-per-launch daemon on the same mapped heap, and
+serving durably costs at most 2x the in-memory p50. Also sanity-checks
+the committed baseline itself — the gates must hold for the numbers we
+ship, not just the machine re-running them.
+"""
+
+import json
+
+import pytest
+
+from repro.service import bench
+
+
+@pytest.fixture(scope="module")
+def suite():
+    if not bench.BASELINE_PATH.exists():
+        pytest.skip(f"no baseline at {bench.BASELINE_PATH}")
+    return bench.run_suite(quick=True)
+
+
+@pytest.mark.tier2
+def test_committed_baseline_passes_its_own_gates():
+    if not bench.BASELINE_PATH.exists():
+        pytest.skip(f"no baseline at {bench.BASELINE_PATH}")
+    doc = json.loads(bench.BASELINE_PATH.read_text())
+    assert doc["benchmark"] == "serve_smoke"
+    assert bench.check_gates(doc) == []
+
+
+@pytest.mark.tier2
+def test_batched_speedup_floor(suite):
+    assert bench.check_gates(suite) == []
+
+
+@pytest.mark.tier2
+def test_no_requests_lost_or_shed(suite):
+    for name, sc in suite["scenarios"].items():
+        assert sc["errors"] == 0, name
+        assert sc["shed"] == 0, name
+        assert sc["reconnects"] == 0, name
+
+
+@pytest.mark.tier2
+def test_batching_actually_batches(suite):
+    assert suite["scenarios"]["one_per_launch"]["server"][
+        "batch_occupancy"]["max"] == 1
+    assert suite["scenarios"]["batched_mapped"]["server"][
+        "batch_occupancy"]["max"] > 4

@@ -516,6 +516,36 @@ def _cmd_crash_test(args: argparse.Namespace) -> int:
         if not args.json:
             print(f"crash-test: {label}", flush=True)
 
+    if args.serve:
+        import json
+
+        from repro.harness.serve import render_serve_text, run_serve_scenario
+
+        trigger = args.trigger
+        if trigger == "writebacks:6":  # the grid default is too eager
+            trigger = "writebacks:150"
+        report = run_serve_scenario(
+            shards=args.shards,
+            seed=args.seed,
+            engine=args.engines[0] if args.engines else "serial",
+            kill_trigger=trigger,
+            timeout=args.timeout,
+            telemetry_path=args.telemetry,
+            artifacts_dir=args.artifacts,
+            progress=progress,
+        )
+        if args.out:
+            with open(args.out, "w") as fh:
+                json.dump(report, fh, indent=2)
+                fh.write("\n")
+            if not args.json:
+                print(f"report written to {args.out}")
+        if args.json:
+            print(json.dumps(report, indent=2))
+        else:
+            print(render_serve_text(report))
+        return 0 if report["converged"] else 1
+
     previous = None
     recorder = None
     if args.telemetry:
@@ -573,6 +603,113 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
     make_md(args.path)
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import json
+    import signal
+
+    from repro import obs
+    from repro.service import KVServer, ServiceConfig
+
+    config = ServiceConfig(
+        capacity=args.capacity,
+        engine=args.engine,
+        jobs=args.jobs,
+        cache_lines=args.cache_lines,
+        config=args.config,
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        queue_cap=args.queue_cap,
+    )
+    address = args.socket if args.socket else (args.host, args.port)
+
+    want_metrics = bool(args.telemetry or args.prom or args.stats)
+    recorder = obs.Recorder(metrics=obs.MetricsRegistry()) \
+        if want_metrics else None
+    previous = obs.install(recorder) if recorder is not None else None
+    try:
+        server = KVServer(config, heap_path=args.heap,
+                          shards=args.shards, address=address)
+    except Exception:
+        if recorder is not None:
+            obs.install(previous)
+        raise
+    if args.kill_trigger:
+        # Harness-internal: die with SIGKILL inside the armed
+        # write-back window (or after N blocks / S seconds).
+        server.install_kill_trigger(args.kill_trigger)
+    if recorder is not None and args.telemetry:
+        from repro.gpu import shm
+
+        recorder.sampler = obs.TelemetrySampler(
+            recorder.metrics,
+            interval=args.telemetry_interval,
+            jsonl_path=args.telemetry,
+            gauge_providers=[shm.publish_segment_gauges,
+                             server.publish_gauges],
+        )
+        recorder.sampler.start()
+
+    def _on_signal(_signum, _frame):
+        server.shutdown()
+
+    signal.signal(signal.SIGTERM, _on_signal)
+    signal.signal(signal.SIGINT, _on_signal)
+
+    server.start()
+    bound = server.address
+    rendered = bound if isinstance(bound, str) else f"{bound[0]}:{bound[1]}"
+    if args.ready_file:
+        # The harness waits on this marker; its content is the bound
+        # address (TCP port 0 resolves here).
+        with open(args.ready_file, "w") as fh:
+            fh.write(rendered + "\n")
+    resume = server.core.resume_info
+    print(f"serving {server.core.backend()} store at {rendered} "
+          f"(max_batch={config.max_batch}, "
+          f"max_wait_ms={config.max_wait_ms}, "
+          f"queue_cap={config.queue_cap})", flush=True)
+    if resume["resumed"]:
+        print(f"resumed: replayed {resume['replayed_launches']} "
+              f"in-flight launch(es), recovered "
+              f"{resume['recovered_blocks']} region(s), "
+              f"{resume['torn_lines']} torn line(s)", flush=True)
+    try:
+        server.join()
+    finally:
+        if recorder is not None:
+            if recorder.sampler is not None:
+                recorder.sampler.stop()
+                recorder.sampler.close()
+            obs.install(previous)
+    stats = server.stats()
+    if args.stats:
+        with open(args.stats, "w") as fh:
+            json.dump(stats, fh, indent=2)
+            fh.write("\n")
+    if args.prom:
+        from repro.obs import to_prometheus
+
+        server.publish_gauges(recorder.metrics)
+        with open(args.prom, "w") as fh:
+            fh.write(to_prometheus(recorder.metrics_snapshot()))
+    counters = stats["counters"]
+    print(f"served {counters['acked']} request(s) in "
+          f"{counters['windows']} window(s), shed {counters['shed']}; "
+          "bye", flush=True)
+    return 0
+
+
+def _cmd_bench_serve(args: argparse.Namespace) -> int:
+    from repro.service.bench import main as bench_main
+
+    argv = ["--out", args.out]
+    if args.quick:
+        argv.append("--quick")
+    if args.check:
+        argv.append("--check")
+    return bench_main(argv)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -745,6 +882,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_ct.add_argument("--telemetry-interval", type=float, default=0.25,
                       metavar="S",
                       help="sampling period in seconds (default 0.25)")
+    p_ct.add_argument("--serve", action="store_true",
+                      help="run the KV-daemon scenario instead of the "
+                           "workload grid: SIGKILL the daemon mid-batch "
+                           "under live client load, restart it on the "
+                           "same heap, and prove every acked write "
+                           "survives (honors --shards/--seed/--timeout/"
+                           "--trigger/--telemetry/--out/--json)")
     p_ct.set_defaults(fn=_cmd_crash_test)
 
     p_ins = sub.add_parser(
@@ -781,6 +925,64 @@ def build_parser() -> argparse.ArgumentParser:
     p_watch.add_argument("--top", type=int, default=12,
                          help="series shown per section (default 12)")
     p_watch.set_defaults(fn=_cmd_watch)
+
+    p_srv = sub.add_parser(
+        "serve",
+        help="run the persistent MegaKV daemon (GET/PUT/DELETE over a "
+             "socket, batched into LP-protected launches)")
+    p_srv.add_argument("--heap", default=None, metavar="FILE",
+                       help="durable heap path; created if missing, "
+                            "cold-opened + recovered if present "
+                            "(omit for a volatile in-memory store)")
+    p_srv.add_argument("--shards", type=int, default=0, metavar="N",
+                       help="back the store with an N-shard heap")
+    p_srv.add_argument("--socket", default=None, metavar="PATH",
+                       help="listen on a Unix socket at PATH "
+                            "(default: TCP on --host/--port)")
+    p_srv.add_argument("--host", default="127.0.0.1")
+    p_srv.add_argument("--port", type=int, default=0,
+                       help="TCP port (0 = ephemeral; see --ready-file)")
+    p_srv.add_argument("--capacity", type=int, default=8192,
+                       help="store record capacity (slots are 8x)")
+    p_srv.add_argument("--engine", default="serial",
+                       choices=("serial", "parallel", "batched"))
+    p_srv.add_argument("--jobs", type=int, default=None, metavar="N")
+    p_srv.add_argument("--cache-lines", type=int, default=256)
+    p_srv.add_argument("--config", default="global-array",
+                       choices=("global-array", "quadratic", "cuckoo"))
+    p_srv.add_argument("--max-batch", type=int, default=128,
+                       help="flush the batching window at this many "
+                            "requests")
+    p_srv.add_argument("--max-wait-ms", type=float, default=2.0,
+                       help="... or this many ms after its first one")
+    p_srv.add_argument("--queue-cap", type=int, default=1024,
+                       help="admission-control bound; beyond it "
+                            "requests are shed")
+    p_srv.add_argument("--ready-file", default=None, metavar="FILE",
+                       help="write the bound address here once serving")
+    p_srv.add_argument("--stats", default=None, metavar="FILE",
+                       help="write the final stats JSON here on exit")
+    p_srv.add_argument("--telemetry", default=None, metavar="FILE",
+                       help="stream periodic metric samples (queue "
+                            "depth, occupancy, sheds) to this JSONL")
+    p_srv.add_argument("--telemetry-interval", type=float, default=0.25,
+                       metavar="S")
+    p_srv.add_argument("--prom", default=None, metavar="FILE",
+                       help="write a Prometheus exposition on exit")
+    p_srv.add_argument("--kill-trigger", default=None, metavar="SPEC",
+                       help=argparse.SUPPRESS)  # harness-internal
+    p_srv.set_defaults(fn=_cmd_serve)
+
+    p_bsrv = sub.add_parser(
+        "bench-serve",
+        help="measure service p50/p99 latency and QPS into "
+             "BENCH_serve.json")
+    p_bsrv.add_argument("--out", default="BENCH_serve.json")
+    p_bsrv.add_argument("--quick", action="store_true",
+                        help="smaller request counts (CI smoke)")
+    p_bsrv.add_argument("--check", action="store_true",
+                        help="exit non-zero when a gate fails")
+    p_bsrv.set_defaults(fn=_cmd_bench_serve)
 
     p_rep = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
     p_rep.add_argument("path", nargs="?", default=None)

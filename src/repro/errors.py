@@ -154,3 +154,15 @@ class DirectiveSemanticError(CompileError):
 
 class SliceError(CompileError):
     """The program slice of a store-address computation could not be built."""
+
+
+class ServiceError(ReproError):
+    """Base class for KV-service (daemon / protocol / client) errors."""
+
+
+class ProtocolError(ServiceError):
+    """A wire frame or request document violated the service protocol."""
+
+
+class ServiceUnavailableError(ServiceError):
+    """The daemon could not be reached (or the connection dropped)."""

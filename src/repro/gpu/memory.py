@@ -175,6 +175,31 @@ class GlobalMemory:
     # Allocation
     # ------------------------------------------------------------------
 
+    @property
+    def alloc_cursor(self) -> int:
+        """The bump allocator's next address (addresses are never reused)."""
+        return self._next_addr
+
+    def set_alloc_cursor(self, addr: int) -> None:
+        """Advance the bump allocator to ``addr``.
+
+        Restart-replay support: a process rebuilding a crashed peer's
+        memory layout records the peer's cursor before a request window
+        and replays the window's allocations from the same address, so
+        every replayed buffer lands at the ``base_addr`` the durable
+        heap directory knows it by. The cursor only ever moves forward
+        — rewinding could overlap live buffers.
+        """
+        if addr < self._next_addr:
+            raise AllocationError(
+                f"alloc cursor may only advance: {addr} < {self._next_addr}"
+            )
+        if addr % self.line_size:
+            raise AllocationError(
+                f"alloc cursor {addr} is not {self.line_size}-byte aligned"
+            )
+        self._next_addr = addr
+
     def alloc(
         self,
         name: str,

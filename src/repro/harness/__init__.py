@@ -10,6 +10,10 @@ Layers:
 * :mod:`repro.harness.scenarios` — the kill → reopen → validate →
   recover → re-kill loop over workloads × engines × configs, emitting
   the ``crash-test`` JSON report.
+* :mod:`repro.harness.serve` — the KV-daemon scenario: SIGKILL the
+  live server mid-batch under client load, restart it on the same
+  heap, and prove every acked write survives
+  (``repro crash-test --serve``).
 """
 
 from repro.harness.crashproc import (
@@ -25,6 +29,7 @@ from repro.harness.scenarios import (
     run_grid,
     write_report,
 )
+from repro.harness.serve import render_serve_text, run_serve_scenario
 from repro.harness.tmpdir import ManagedTmpdir
 
 __all__ = [
@@ -33,9 +38,11 @@ __all__ = [
     "ManagedTmpdir",
     "build_run",
     "parse_trigger",
+    "render_serve_text",
     "render_text",
     "run_cell",
     "run_child",
     "run_grid",
+    "run_serve_scenario",
     "write_report",
 ]

@@ -75,6 +75,17 @@ class KVBatchSession:
         #: (their contents were copied into the BatchOutcome).
         self._stale_result_buffers: list[str] = []
 
+    @property
+    def batch_counter(self) -> int:
+        """Monotonic batch number; names the next batch's checksum table.
+
+        The service request log records this (plus the allocator
+        cursor) per window, so a restarted daemon can replay the
+        window's table/results allocations under identical names and
+        addresses before adopting the reopened heap.
+        """
+        return self._batch_counter
+
     # ------------------------------------------------------------------
     # Operations
     # ------------------------------------------------------------------

@@ -21,6 +21,7 @@ _LAZY = {
     "HeapEntry": "repro.nvm.mapped",
     "TornWindow": "repro.nvm.mapped",
     "ShardedShadow": "repro.nvm.sharded",
+    "open_heap": "repro.nvm.sharded",
     "ShardManifest": "repro.nvm.layout",
     "HeapDiff": "repro.nvm.inspect",
     "HeapReport": "repro.nvm.inspect",

@@ -573,3 +573,18 @@ class ShardedShadow:
             lines.extend(torn.lines)
         exact = all(torn.exact for torn in torn_by_shard.values())
         return TornWindow(lines=tuple(sorted(lines)), exact=exact)
+
+
+def open_heap(path) -> "MappedShadow | ShardedShadow":
+    """Open an existing durable heap, dispatching on its on-disk magic.
+
+    A plain ``LPNVHEAP`` file reopens as a :class:`MappedShadow`; an
+    ``LPNVMANI`` shard manifest reopens as a :class:`ShardedShadow`
+    (which reopens every shard). Long-lived services use this so one
+    ``--heap`` path restarts correctly whatever layout created it.
+    """
+    with open(path, "rb") as fileobj:
+        head = fileobj.read(len(layout.MANIFEST_MAGIC))
+    if layout.is_manifest(head):
+        return ShardedShadow.open(path)
+    return MappedShadow.open(path)

@@ -43,10 +43,12 @@ from dataclasses import dataclass, field
 #:   worker busy fractions); only the parallel engine emits it.
 #: * ``engine.slots.`` — slot-array merge timing; wall clock, and only
 #:   the parallel engine's pooled path has slots at all.
+#: * ``service.window.ms`` — the KV daemon's per-window wall clock.
 #:
 #: Everything else must match across serial/parallel/batched engines.
 ORDER_SENSITIVE_PREFIXES = ("time.", "engine.scheduling.",
-                            "engine.shm.", "engine.slots.")
+                            "engine.shm.", "engine.slots.",
+                            "service.window.ms")
 
 #: Labels whose *values* are identity, not semantics: the ``engine``
 #: label names which engine ran the launch, and differs by construction

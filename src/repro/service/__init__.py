@@ -1,0 +1,44 @@
+"""``repro.service`` — the persistent MEGA-KV daemon.
+
+A long-lived server that owns a durable (mapped or sharded)
+:class:`~repro.megakv.store.MegaKVStore`, speaks a length-prefixed
+JSON protocol over a Unix or TCP socket, and aggregates concurrent
+client requests into LP-instrumented MegaKV batch launches. Acks are
+sent only after the window's write-back drained, so no acked write is
+ever lost; on restart the daemon cold-opens the heap, replays the
+request log, runs validate+recover, and resumes serving.
+
+Modules
+-------
+``protocol``
+    Wire framing and the blocking / pipelined :class:`ServiceClient`.
+``core``
+    :class:`ServiceCore` — heap lifecycle, window partitioning, the
+    flush/ack path and restart recovery, with no socket code.
+``reqlog``
+    The per-window request log (a tiny WAL) that makes restart replay
+    possible on top of the bump allocator.
+``daemon``
+    :class:`KVServer` — sockets, reader threads, the bounded admission
+    queue and the batcher thread.
+``loadgen``
+    Seeded zipfian load generator (N clients, mixed op ratios).
+``bench``
+    The ``repro bench-serve`` suite behind ``BENCH_serve.json``.
+"""
+
+from repro.service.core import ServiceConfig, ServiceCore, partition_window
+from repro.service.daemon import KVServer
+from repro.service.loadgen import LoadConfig, ZipfianKeys, run_load
+from repro.service.protocol import ServiceClient
+
+__all__ = [
+    "KVServer",
+    "LoadConfig",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceCore",
+    "ZipfianKeys",
+    "partition_window",
+    "run_load",
+]

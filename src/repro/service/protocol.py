@@ -1,0 +1,292 @@
+"""Wire protocol of the KV service: length-prefixed JSON frames.
+
+Every message — request or response — is one *frame*: a 4-byte
+big-endian unsigned length followed by that many bytes of UTF-8 JSON
+encoding a single object. Requests carry ``{"id", "op", "key",
+"value"}``; responses echo the ``id`` and add ``{"ok", "value",
+"error"}``. Keys and values are the store's domain: non-zero unsigned
+64-bit integers (0 is the empty-slot sentinel on the GPU side, so the
+protocol rejects it at the door).
+
+Responses are matched by ``id``, not by order: a request shed by
+admission control is answered immediately from the reader thread while
+earlier accepted requests are still waiting on their batch ack, so a
+pipelined client can observe reordering. :class:`ServiceClient` hides
+this behind a pending-response map.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import socket
+import struct
+import time
+
+from repro.errors import ProtocolError, ServiceUnavailableError
+
+#: Frame header: big-endian unsigned 32-bit payload length.
+HEADER = struct.Struct(">I")
+
+#: Upper bound on a single frame's JSON payload.
+MAX_FRAME = 16 * 1024 * 1024
+
+#: Operations a client may send.
+OPS = ("get", "put", "delete", "ping", "stats", "shutdown")
+
+#: Operations that enter the batching window (everything else is
+#: answered inline by the reader thread).
+BATCH_OPS = ("get", "put", "delete")
+
+#: Exclusive upper bound of the key/value domain (uint64).
+KEY_LIMIT = 1 << 64
+
+
+def pack_frame(doc: dict) -> bytes:
+    """Encode one JSON document as a wire frame."""
+    payload = json.dumps(doc, separators=(",", ":")).encode("utf-8")
+    if len(payload) > MAX_FRAME:
+        raise ProtocolError(
+            f"frame of {len(payload)} bytes exceeds MAX_FRAME={MAX_FRAME}"
+        )
+    return HEADER.pack(len(payload)) + payload
+
+
+def recv_exact(sock: socket.socket, n: int) -> bytes | None:
+    """Read exactly ``n`` bytes; ``None`` on clean EOF at a boundary.
+
+    EOF *inside* a frame (a torn frame) raises — the peer died
+    mid-message, which callers must not confuse with a clean close.
+    """
+    chunks: list[bytes] = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if remaining == n:
+                return None
+            raise ServiceUnavailableError(
+                f"connection closed mid-frame ({n - remaining}/{n} bytes)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def read_frame(sock: socket.socket) -> dict | None:
+    """Read one frame; ``None`` on clean EOF before a header."""
+    head = recv_exact(sock, HEADER.size)
+    if head is None:
+        return None
+    (length,) = HEADER.unpack(head)
+    if length > MAX_FRAME:
+        raise ProtocolError(
+            f"peer announced a {length}-byte frame (max {MAX_FRAME})"
+        )
+    payload = recv_exact(sock, length)
+    if payload is None:
+        raise ServiceUnavailableError("connection closed between frames")
+    try:
+        doc = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable frame payload: {exc}") from exc
+    if not isinstance(doc, dict):
+        raise ProtocolError(
+            f"frame payload is {type(doc).__name__}, expected object"
+        )
+    return doc
+
+
+def validate_request(doc: dict) -> str:
+    """Validate a request document; returns its op.
+
+    Raises :class:`ProtocolError` on anything a well-behaved client
+    would never send — the daemon turns that into an error *response*
+    for recoverable shapes and drops the connection for unframeable
+    garbage.
+    """
+    op = doc.get("op")
+    if op not in OPS:
+        raise ProtocolError(f"unknown op {op!r}")
+    if op in BATCH_OPS:
+        key = doc.get("key")
+        if not isinstance(key, int) or isinstance(key, bool) \
+                or not 0 < key < KEY_LIMIT:
+            raise ProtocolError(
+                f"op {op!r} needs an integer key in [1, 2**64) "
+                f"(got {key!r})"
+            )
+    if op == "put":
+        value = doc.get("value")
+        if not isinstance(value, int) or isinstance(value, bool) \
+                or not 0 < value < KEY_LIMIT:
+            raise ProtocolError(
+                f"put needs an integer value in [1, 2**64) (got {value!r})"
+            )
+    return op
+
+
+class ServiceClient:
+    """Blocking (optionally pipelined) client for the KV daemon.
+
+    ``address`` is either a Unix socket path (``str``) or a
+    ``(host, port)`` tuple. The client is single-threaded: one thread
+    may pipeline requests with :meth:`send` / :meth:`wait`, but
+    concurrent use needs one client per thread (the load generator
+    does exactly that).
+    """
+
+    def __init__(self, address, timeout: float = 30.0) -> None:
+        self.address = address
+        self.timeout = timeout
+        self._sock: socket.socket | None = None
+        self._ids = itertools.count(1)
+        self._pending: dict[int, dict] = {}
+
+    # -- connection lifecycle -------------------------------------------
+
+    def connect(self, retry_for: float = 0.0) -> "ServiceClient":
+        """Connect, optionally retrying for ``retry_for`` seconds.
+
+        The retry loop is what lets harness clients ride out a daemon
+        SIGKILL: they spin here until the restarted daemon listens
+        again.
+        """
+        deadline = time.monotonic() + retry_for
+        delay = 0.02
+        while True:
+            try:
+                self._sock = self._dial()
+                return self
+            except OSError as exc:
+                self._sock = None
+                if time.monotonic() >= deadline:
+                    raise ServiceUnavailableError(
+                        f"cannot connect to {self.address!r}: {exc}"
+                    ) from exc
+                time.sleep(delay)
+                delay = min(delay * 2, 0.25)
+
+    def _dial(self) -> socket.socket:
+        if isinstance(self.address, str):
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        else:
+            sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.settimeout(self.timeout)
+        try:
+            sock.connect(self.address)
+        except OSError:
+            sock.close()
+            raise
+        return sock
+
+    @property
+    def connected(self) -> bool:
+        return self._sock is not None
+
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            finally:
+                self._sock = None
+        self._pending.clear()
+
+    def __enter__(self) -> "ServiceClient":
+        if self._sock is None:
+            self.connect()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- pipelined primitives -------------------------------------------
+
+    def send(self, op: str, key: int | None = None,
+             value: int | None = None) -> int:
+        """Send one request without waiting; returns its id."""
+        if self._sock is None:
+            raise ServiceUnavailableError("client is not connected")
+        req_id = next(self._ids)
+        doc: dict = {"id": req_id, "op": op}
+        if key is not None:
+            doc["key"] = key
+        if value is not None:
+            doc["value"] = value
+        try:
+            self._sock.sendall(pack_frame(doc))
+        except OSError as exc:
+            self.close()
+            raise ServiceUnavailableError(f"send failed: {exc}") from exc
+        return req_id
+
+    def wait(self, req_id: int) -> dict:
+        """Block until the response for ``req_id`` arrives."""
+        if req_id in self._pending:
+            return self._pending.pop(req_id)
+        while True:
+            resp = self._read_response()
+            got = resp.get("id")
+            if got == req_id:
+                return resp
+            self._pending[got] = resp
+
+    def wait_any(self) -> dict:
+        """Block until *some* response arrives (pipelined clients)."""
+        if self._pending:
+            return self._pending.pop(next(iter(self._pending)))
+        return self._read_response()
+
+    def _read_response(self) -> dict:
+        if self._sock is None:
+            raise ServiceUnavailableError("client is not connected")
+        try:
+            resp = read_frame(self._sock)
+        except OSError as exc:
+            self.close()
+            raise ServiceUnavailableError(f"recv failed: {exc}") from exc
+        except ServiceUnavailableError:
+            self.close()
+            raise
+        if resp is None:
+            self.close()
+            raise ServiceUnavailableError("server closed the connection")
+        return resp
+
+    # -- blocking convenience calls -------------------------------------
+
+    def call(self, op: str, key: int | None = None,
+             value: int | None = None) -> dict:
+        """Send one request and wait for its response."""
+        return self.wait(self.send(op, key, value))
+
+    def get(self, key: int) -> int | None:
+        """Look a key up; ``None`` on miss. Raises on shed/error."""
+        resp = self.call("get", key)
+        if not resp.get("ok"):
+            raise ServiceUnavailableError(
+                f"get({key}) failed: {resp.get('error')}"
+            )
+        return resp.get("value")
+
+    def put(self, key: int, value: int) -> dict:
+        return self.call("put", key, value)
+
+    def delete(self, key: int) -> dict:
+        return self.call("delete", key)
+
+    def ping(self) -> dict:
+        return self.call("ping")
+
+    def stats(self) -> dict:
+        """Fetch the daemon's stats document (see service_stats schema)."""
+        resp = self.call("stats")
+        if not resp.get("ok"):
+            raise ServiceUnavailableError(
+                f"stats failed: {resp.get('error')}"
+            )
+        return resp["stats"]
+
+    def shutdown(self) -> dict:
+        """Ask the daemon to drain and exit cleanly."""
+        return self.call("shutdown")

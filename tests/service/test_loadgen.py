@@ -1,0 +1,103 @@
+"""The seeded load generator is deterministic — and pinned.
+
+The bench and crash scenarios only mean anything if two runs replay
+identical traffic, so this test pins the first keys and the exact op
+mix of the default seed. If it ever fails, the generator changed
+behaviour and every committed BENCH_serve number is stale.
+"""
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.errors import ServiceError
+from repro.service.loadgen import LoadConfig, ZipfianKeys, plan_ops
+
+#: First eight ops of (seed=0, client 0) under the default shape —
+#: committed literals, not recomputed.
+PINNED_FIRST_8 = [
+    ("get", 14970076879386038193, None),
+    ("get", 8709371129873690708, None),
+    ("put", 11400714819323198485, 874160564942366987),
+    ("get", 11400714819323198485, None),
+    ("put", 1606053297877825593, 2978418710633010041),
+    ("put", 18332166918490527648, 9138007129887651750),
+    ("delete", 15998078693348208393, None),
+    ("get", 9830067809575187193, None),
+]
+
+#: Exact op mix of the same plan (200 requests at 0.5/0.4/0.1).
+PINNED_MIX = {"get": 95, "put": 85, "delete": 20}
+
+
+def test_seed0_plan_is_pinned():
+    plan = plan_ops(LoadConfig(seed=0), client_idx=0)
+    assert plan[:8] == PINNED_FIRST_8
+    assert Counter(op for op, _, _ in plan) == PINNED_MIX
+
+
+def test_plan_is_deterministic_per_client():
+    cfg = LoadConfig(seed=123, requests_per_client=100)
+    assert plan_ops(cfg, 2) == plan_ops(cfg, 2)
+    assert plan_ops(cfg, 2) != plan_ops(cfg, 3)
+    assert plan_ops(LoadConfig(seed=124, requests_per_client=100), 2) \
+        != plan_ops(cfg, 2)
+
+
+def test_partitioned_clients_touch_disjoint_keys():
+    cfg = LoadConfig(seed=5, clients=4, requests_per_client=300,
+                     key_space=64, partition_keys=True)
+    key_sets = [
+        {key for _, key, _ in plan_ops(cfg, i)} for i in range(4)
+    ]
+    for i in range(4):
+        for j in range(i + 1, 4):
+            assert not (key_sets[i] & key_sets[j])
+
+
+def test_keys_are_valid_store_domain():
+    plan = plan_ops(LoadConfig(seed=9, requests_per_client=500,
+                               key_space=1000), 0)
+    for op, key, value in plan:
+        assert 0 < key < (1 << 64)
+        if op == "put":
+            assert 0 < value < (1 << 64)
+
+
+def test_zipfian_skew_prefers_low_ranks():
+    """Rank 1 must dominate a theta=0.99 stream; uniform it is not."""
+    zipf = ZipfianKeys(100, theta=0.99)
+    rng = np.random.default_rng(0)
+    keys = zipf.draw(rng, 5000).tolist()
+    counts = Counter(keys)
+    hottest = counts[zipf.key_of(1)]
+    assert hottest == max(counts.values())
+    assert hottest > 5000 / 100 * 5  # way above the uniform share
+
+
+def test_zipfian_scramble_is_injective_over_partitions():
+    seen = set()
+    for offset in (0, 512, 1024):
+        zipf = ZipfianKeys(512, rank_offset=offset)
+        keys = {zipf.key_of(r) for r in range(1, 513)}
+        assert len(keys) == 512
+        assert not (keys & seen)
+        seen |= keys
+
+
+def test_key_of_matches_draw():
+    zipf = ZipfianKeys(512, theta=0.9, rank_offset=512)
+    rng = np.random.default_rng(3)
+    keys = zipf.draw(rng, 200)
+    ranks = np.searchsorted(
+        zipf._cdf, np.random.default_rng(3).random(200)) + 1
+    assert all(zipf.key_of(int(r)) == int(k)
+               for r, k in zip(ranks, keys))
+
+
+def test_bad_shapes_rejected():
+    with pytest.raises(ServiceError):
+        plan_ops(LoadConfig(get_frac=0.9, put_frac=0.9, delete_frac=0.1), 0)
+    with pytest.raises(ServiceError):
+        ZipfianKeys(0)

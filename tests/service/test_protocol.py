@@ -1,0 +1,138 @@
+"""Wire-protocol framing and request validation."""
+
+import socket
+import threading
+
+import pytest
+
+from repro.errors import ProtocolError, ServiceUnavailableError
+from repro.service.protocol import (
+    HEADER,
+    MAX_FRAME,
+    pack_frame,
+    read_frame,
+    recv_exact,
+    validate_request,
+)
+
+
+def _pipe():
+    """A connected local socket pair."""
+    a, b = socket.socketpair()
+    a.settimeout(5.0)
+    b.settimeout(5.0)
+    return a, b
+
+
+def test_frame_round_trip():
+    a, b = _pipe()
+    doc = {"id": 7, "op": "put", "key": 1, "value": (1 << 64) - 1}
+    a.sendall(pack_frame(doc))
+    assert read_frame(b) == doc
+    a.close()
+    b.close()
+
+
+def test_many_frames_in_one_stream_byte_dribble():
+    """Frames survive arbitrary TCP segmentation (one byte at a time)."""
+    a, b = _pipe()
+    docs = [{"id": i, "op": "get", "key": i + 1} for i in range(5)]
+    wire = b"".join(pack_frame(d) for d in docs)
+
+    def dribble():
+        for i in range(len(wire)):
+            a.sendall(wire[i:i + 1])
+        a.close()
+
+    thread = threading.Thread(target=dribble)
+    thread.start()
+    got = [read_frame(b) for _ in range(len(docs))]
+    thread.join()
+    assert got == docs
+    assert read_frame(b) is None  # clean EOF at a frame boundary
+    b.close()
+
+
+def test_clean_eof_returns_none():
+    a, b = _pipe()
+    a.close()
+    assert read_frame(b) is None
+    b.close()
+
+
+def test_torn_header_raises():
+    a, b = _pipe()
+    a.sendall(HEADER.pack(100)[:2])  # half a header, then die
+    a.close()
+    with pytest.raises(ServiceUnavailableError):
+        read_frame(b)
+    b.close()
+
+
+def test_torn_payload_raises():
+    a, b = _pipe()
+    frame = pack_frame({"id": 1, "op": "ping"})
+    a.sendall(frame[:-3])  # header + partial payload
+    a.close()
+    with pytest.raises(ServiceUnavailableError):
+        read_frame(b)
+    b.close()
+
+
+def test_oversized_frame_rejected_both_ways():
+    with pytest.raises(ProtocolError):
+        pack_frame({"blob": "x" * (MAX_FRAME + 1)})
+    a, b = _pipe()
+    a.sendall(HEADER.pack(MAX_FRAME + 1))
+    with pytest.raises(ProtocolError):
+        read_frame(b)
+    a.close()
+    b.close()
+
+
+def test_non_object_payload_rejected():
+    a, b = _pipe()
+    payload = b"[1,2,3]"
+    a.sendall(HEADER.pack(len(payload)) + payload)
+    with pytest.raises(ProtocolError):
+        read_frame(b)
+    a.close()
+    b.close()
+
+
+def test_recv_exact_none_only_at_boundary():
+    a, b = _pipe()
+    a.sendall(b"abcd")
+    a.close()
+    assert recv_exact(b, 4) == b"abcd"
+    assert recv_exact(b, 4) is None
+    b.close()
+
+
+@pytest.mark.parametrize("doc", [
+    {"op": "nope", "key": 1},
+    {"op": "get"},                          # missing key
+    {"op": "get", "key": 0},                # zero is the empty sentinel
+    {"op": "get", "key": 1 << 64},          # out of uint64 range
+    {"op": "get", "key": True},             # bool is not a key
+    {"op": "get", "key": "1"},
+    {"op": "put", "key": 1},                # missing value
+    {"op": "put", "key": 1, "value": 0},
+    {"op": "put", "key": 1, "value": 1 << 64},
+    {"op": "put", "key": 1, "value": False},
+])
+def test_validate_request_rejects(doc):
+    with pytest.raises(ProtocolError):
+        validate_request(doc)
+
+
+@pytest.mark.parametrize("doc,op", [
+    ({"op": "get", "key": 1}, "get"),
+    ({"op": "put", "key": (1 << 64) - 1, "value": 1}, "put"),
+    ({"op": "delete", "key": 2}, "delete"),
+    ({"op": "ping"}, "ping"),
+    ({"op": "stats"}, "stats"),
+    ({"op": "shutdown"}, "shutdown"),
+])
+def test_validate_request_accepts(doc, op):
+    assert validate_request(doc) == op
